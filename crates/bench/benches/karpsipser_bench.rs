@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the Karp–Sipser kernels (backs Table 3's
+//! `KarpSipserMT` column, Figure 4a, and the KS baseline of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmatch_core::{karp_sipser, karp_sipser_mt, karp_sipser_mt_seq, KarpSipserConfig};
+use dsmatch_gen::adversarial_ks;
+use dsmatch_graph::SplitMix64;
+
+fn uniform_choices(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = SplitMix64::new(seed);
+    let rc = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+    let cc = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+    (rc, cc)
+}
+
+fn bench_ksmt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("karp_sipser_mt_random_1out");
+    group.sample_size(20);
+    for n in [100_000usize, 1_000_000] {
+        let (rc, cc) = uniform_choices(n, 42);
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::new("parallel", n), &(&rc, &cc), |b, (rc, cc)| {
+            b.iter(|| karp_sipser_mt(rc, cc))
+        });
+        if n <= 100_000 {
+            group.bench_with_input(
+                BenchmarkId::new("sequential_exact", n),
+                &(&rc, &cc),
+                |b, (rc, cc)| b.iter(|| karp_sipser_mt_seq(rc, cc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_classic_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classic_karp_sipser_adversarial");
+    group.sample_size(10);
+    for k in [2usize, 32] {
+        let g = adversarial_ks(3200, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| karp_sipser(g, &KarpSipserConfig { seed: 7 }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksmt, bench_classic_ks);
+criterion_main!(benches);

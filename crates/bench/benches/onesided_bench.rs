@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for `OneSidedMatch` (backs Table 3's
+//! `OneSided` column and Figure 3b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmatch_core::{
+    cheap_random_edge, cheap_random_vertex, one_sided_match_with_scaling,
+};
+use dsmatch_gen::{erdos_renyi_square, random_regular};
+use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
+
+fn bench_one_sided_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_sided_sampling_only");
+    group.sample_size(20);
+    for (name, g) in [
+        ("er_d8_100k", erdos_renyi_square(100_000, 8.0, 1)),
+        ("regular_d3_100k", random_regular(100_000, 3, 1)),
+    ] {
+        let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
+        group.throughput(Throughput::Elements(g.nrows() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| one_sided_match_with_scaling(g, &scaling, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_against_cheap_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_comparison_er_d4_50k");
+    group.sample_size(20);
+    let g = erdos_renyi_square(50_000, 4.0, 3);
+    let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
+    group.bench_function("one_sided(sampling)", |b| {
+        b.iter(|| one_sided_match_with_scaling(&g, &scaling, 7))
+    });
+    group.bench_function("cheap_random_edge", |b| b.iter(|| cheap_random_edge(&g, 7)));
+    group.bench_function("cheap_random_vertex", |b| b.iter(|| cheap_random_vertex(&g, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_sided_sampling, bench_against_cheap_baselines);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the scaling kernels (backs Table 3's
+//! `ScaleSK` column and Figure 3a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmatch_gen::{erdos_renyi_square, grid_mesh};
+use dsmatch_scale::{ruiz, sinkhorn_knopp, sinkhorn_knopp_seq, ScalingConfig};
+
+fn bench_sinkhorn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinkhorn_knopp_1iter");
+    group.sample_size(20);
+    for d in [4.0f64, 16.0] {
+        let g = erdos_renyi_square(100_000, d, 42);
+        group.throughput(Throughput::Elements(g.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("parallel", format!("er_d{d}")), &g, |b, g| {
+            b.iter(|| sinkhorn_knopp(g, &ScalingConfig::iterations(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", format!("er_d{d}")), &g, |b, g| {
+            b.iter(|| sinkhorn_knopp_seq(g, &ScalingConfig::iterations(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_to_5_iters");
+    group.sample_size(20);
+    let g = grid_mesh(316, 316); // ~100k vertices
+    group.bench_function("sinkhorn_knopp", |b| {
+        b.iter(|| sinkhorn_knopp(&g, &ScalingConfig::iterations(5)))
+    });
+    group.bench_function("ruiz", |b| b.iter(|| ruiz(&g, &ScalingConfig::iterations(5))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sinkhorn, bench_scaling_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the `TwoSidedMatch` pipeline (backs
+//! Table 3's `TwoSided` column and Figure 4b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsmatch_core::{two_sided_choices, two_sided_match, two_sided_match_with_scaling, TwoSidedConfig};
+use dsmatch_gen::{erdos_renyi_square, grid_mesh};
+use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_sided_full_pipeline");
+    group.sample_size(20);
+    for (name, g) in [
+        ("er_d4_100k", erdos_renyi_square(100_000, 4.0, 1)),
+        ("mesh_100k", grid_mesh(316, 316)),
+    ] {
+        group.throughput(Throughput::Elements(g.nnz() as u64));
+        let cfg = TwoSidedConfig { scaling: ScalingConfig::iterations(1), seed: 7 };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| two_sided_match(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_sided_stage_breakdown_er_d4_100k");
+    group.sample_size(20);
+    let g = erdos_renyi_square(100_000, 4.0, 1);
+    group.bench_function("scale_1iter", |b| {
+        b.iter(|| sinkhorn_knopp(&g, &ScalingConfig::iterations(1)))
+    });
+    let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(1));
+    group.bench_function("choices", |b| b.iter(|| two_sided_choices(&g, &scaling, 7)));
+    group.bench_function("sampling+matching", |b| {
+        b.iter(|| two_sided_match_with_scaling(&g, &scaling, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Reproduce **Figures 4a and 4b** of the paper: speedups of
+//! `KarpSipserMT` (the matching kernel alone, on pre-sampled choices) and
+//! of the full `TwoSidedMatch` pipeline (scaling + two-sided sampling +
+//! `KarpSipserMT`) on the 12-matrix suite.
+//!
+//! Expected shape (paper): KarpSipserMT is the best scaler of all kernels
+//! (geo-mean 11.1, up to 12.6 at 16 threads) because the choice-array
+//! representation is contention-free except for the three atomics;
+//! TwoSidedMatch averages ~10.6.
+//!
+//! ```text
+//! cargo run --release -p dsmatch-bench --bin fig4 \
+//!     [--shrink 64] [--runs 8] [--warmup 2] [--paper]
+//! ```
+
+use dsmatch_bench::{arg, flag, geometric_mean, thread_ladder, time_stats, with_threads, Table};
+use dsmatch_core::{karp_sipser_mt, two_sided_choices, two_sided_match, TwoSidedConfig};
+use dsmatch_gen::suite;
+use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
+
+fn main() {
+    let shrink: usize = arg("shrink", 64);
+    let (runs, warmup) = if flag("paper") { (20, 5) } else { (arg("runs", 8), arg("warmup", 2)) };
+    let seed: u64 = arg("seed", 0xF4);
+    let threads = thread_ladder();
+
+    println!("# Figure 4a — KarpSipserMT speedups (shrink = {shrink})");
+    let mut header = vec!["name".to_string()];
+    header.extend(threads.iter().map(|t| format!("{t}T")));
+    let mut t4a = Table::new(header.clone());
+    let mut t4b = Table::new(header);
+    let mut ksmt_top = Vec::new();
+    let mut two_top = Vec::new();
+
+    for (k, entry) in suite::instances().into_iter().enumerate() {
+        let g = entry.build_scaled(shrink, seed.wrapping_add(k as u64));
+        let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(1));
+        let (rc, cc) = two_sided_choices(&g, &scaling, 7);
+
+        let mut base = 0.0f64;
+        let mut row_a = vec![entry.name.to_string()];
+        for &t in &threads {
+            let dt = with_threads(t, || {
+                time_stats(runs, warmup, || {
+                    std::hint::black_box(karp_sipser_mt(&rc, &cc));
+                })
+            });
+            if t == 1 {
+                base = dt;
+                row_a.push("1.00".into());
+            } else {
+                let s = base / dt;
+                row_a.push(format!("{s:.2}"));
+                if t == *threads.last().unwrap() {
+                    ksmt_top.push(s);
+                }
+            }
+        }
+        t4a.push(row_a);
+
+        let cfg = TwoSidedConfig { scaling: ScalingConfig::iterations(1), seed: 7 };
+        let mut base = 0.0f64;
+        let mut row_b = vec![entry.name.to_string()];
+        for &t in &threads {
+            let dt = with_threads(t, || {
+                time_stats(runs, warmup, || {
+                    std::hint::black_box(two_sided_match(&g, &cfg));
+                })
+            });
+            if t == 1 {
+                base = dt;
+                row_b.push("1.00".into());
+            } else {
+                let s = base / dt;
+                row_b.push(format!("{s:.2}"));
+                if t == *threads.last().unwrap() {
+                    two_top.push(s);
+                }
+            }
+        }
+        t4b.push(row_b);
+    }
+    t4a.print();
+    println!();
+    println!("# Figure 4b — TwoSidedMatch speedups (full pipeline)");
+    t4b.print();
+    println!();
+    if !ksmt_top.is_empty() {
+        println!(
+            "geo-mean speedup at {} threads: KarpSipserMT = {:.2}, TwoSidedMatch = {:.2}",
+            thread_ladder().last().unwrap(),
+            geometric_mean(&ksmt_top),
+            geometric_mean(&two_top)
+        );
+    }
+    println!("paper reference @16T: KarpSipserMT geo-mean 11.1 (max 12.6); TwoSidedMatch 10.6.");
+}

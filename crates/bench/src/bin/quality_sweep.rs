@@ -1,0 +1,105 @@
+//! Reproduce the paper's **§4.1.1 quality sweep**: on square, fully
+//! indecomposable matrices the guarantees 0.632 (`OneSidedMatch`) and 0.866
+//! (`TwoSidedMatch`) are surpassed after 10 scaling iterations for nearly
+//! every instance, and after 20 iterations for all of them.
+//!
+//! The paper ran all 743 square fully indecomposable UFL matrices with
+//! 1000 ≤ n and nnz ≤ 2·10⁷; we substitute a generated ensemble spanning
+//! the same structural variety (rings, meshes, regular unions, power-law
+//! with diagonal, ER with diagonal), keep only those the Dulmage–Mendelsohn
+//! fine decomposition certifies as fully indecomposable, and report how
+//! many instances clear each guarantee at 10 and 20 iterations.
+//!
+//! ```text
+//! cargo run --release -p dsmatch-bench --bin quality_sweep [--count 60] [--nmax 20000]
+//! ```
+
+use dsmatch_bench::{arg, Table};
+use dsmatch_core::{
+    one_sided_match_with_scaling, two_sided_match_with_scaling, ONE_SIDED_GUARANTEE,
+    TWO_SIDED_CONJECTURE,
+};
+use dsmatch_dm::is_fully_indecomposable;
+use dsmatch_exact::sprank;
+use dsmatch_gen as gen;
+use dsmatch_graph::BipartiteGraph;
+use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
+
+fn ensemble(count: usize, nmax: usize) -> Vec<(String, BipartiteGraph)> {
+    let mut out: Vec<(String, BipartiteGraph)> = Vec::new();
+    let sizes: Vec<usize> = (0..count)
+        .map(|k| 1000 + (k * 9973) % (nmax.saturating_sub(1000).max(1)))
+        .collect();
+    for (k, &n) in sizes.iter().enumerate() {
+        let g = match k % 5 {
+            0 => ("ring", gen::ring(n)),
+            1 => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                ("mesh", gen::grid_mesh(side, side))
+            }
+            2 => ("regular", gen::random_regular(n, 3, k as u64)),
+            3 => ("chung_lu+diag", {
+                let e = gen::suite::instances()[7]; // kkt_power family
+                e.build(n, k as u64)
+            }),
+            _ => ("er8", gen::erdos_renyi_square(n, 8.0, k as u64)),
+        };
+        out.push((format!("{}-{n}", g.0), g.1));
+    }
+    out
+}
+
+fn main() {
+    let count: usize = arg("count", 60);
+    let nmax: usize = arg("nmax", 20_000);
+
+    let candidates = ensemble(count, nmax);
+    let mut kept = Vec::new();
+    for (name, g) in candidates {
+        if is_fully_indecomposable(&g) {
+            kept.push((name, g));
+        }
+    }
+    println!(
+        "# §4.1.1 quality sweep — {} fully indecomposable instances (of {count} generated)",
+        kept.len()
+    );
+
+    let mut table = Table::new(vec![
+        "iterations",
+        "OneSided ≥ 0.632",
+        "TwoSided ≥ 0.866",
+        "worst 1S",
+        "worst 2S",
+    ]);
+    for iters in [10usize, 20] {
+        let mut ok1 = 0usize;
+        let mut ok2 = 0usize;
+        let mut worst1 = f64::INFINITY;
+        let mut worst2 = f64::INFINITY;
+        for (_, g) in &kept {
+            let opt = sprank(g);
+            let scaling = sinkhorn_knopp(g, &ScalingConfig::iterations(iters));
+            let q1 = one_sided_match_with_scaling(g, &scaling, 1).quality(opt);
+            let q2 = two_sided_match_with_scaling(g, &scaling, 1).quality(opt);
+            if q1 >= ONE_SIDED_GUARANTEE {
+                ok1 += 1;
+            }
+            if q2 >= TWO_SIDED_CONJECTURE {
+                ok2 += 1;
+            }
+            worst1 = worst1.min(q1);
+            worst2 = worst2.min(q2);
+        }
+        table.push(vec![
+            iters.to_string(),
+            format!("{ok1}/{}", kept.len()),
+            format!("{ok2}/{}", kept.len()),
+            format!("{worst1:.3}"),
+            format!("{worst2:.3}"),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("paper reference: 706/743 clear both at 10 iterations; all 743 at 20.");
+}

@@ -1,0 +1,62 @@
+//! Convergence-rate diagnosis: σ₂ of the scaled matrix vs the scaling
+//! iterations needed to reach the quality guarantees.
+//!
+//! §3.3 of the paper cites Knight's theorem — Sinkhorn–Knopp converges
+//! linearly at rate σ₂² (second singular value of the doubly stochastic
+//! limit). This binary makes that connection concrete on the paper's
+//! instance families: instances with σ₂ → 1 (the adversarial family at
+//! large k) need visibly more iterations to reach the TwoSidedMatch
+//! conjecture line.
+//!
+//! ```text
+//! cargo run --release -p dsmatch-bench --bin sigma2 [--n 800]
+//! ```
+
+use dsmatch_bench::{arg, Table};
+use dsmatch_core::{two_sided_match_with_scaling, TWO_SIDED_CONJECTURE};
+use dsmatch_gen as gen;
+use dsmatch_graph::BipartiteGraph;
+use dsmatch_scale::{second_singular_value, sinkhorn_knopp, ScalingConfig};
+
+fn iterations_to_conjecture(g: &BipartiteGraph, max: usize) -> Option<usize> {
+    let n = g.nrows();
+    for iters in 1..=max {
+        let s = sinkhorn_knopp(g, &ScalingConfig::iterations(iters));
+        let m = two_sided_match_with_scaling(g, &s, 7);
+        if m.cardinality() as f64 / n as f64 >= TWO_SIDED_CONJECTURE {
+            return Some(iters);
+        }
+    }
+    None
+}
+
+fn main() {
+    let n: usize = arg("n", 800);
+    println!("# σ₂ of the scaled matrix vs iterations needed for quality ≥ 0.866 (n = {n})");
+    let mut table = Table::new(vec!["instance", "σ₂", "SK rate σ₂²", "iters to 0.866"]);
+    let instances: Vec<(String, BipartiteGraph)> = vec![
+        ("ring".into(), gen::ring(n)),
+        ("er_d8".into(), gen::erdos_renyi_square(n, 8.0, 3)),
+        ("adversarial k=2".into(), gen::adversarial_ks(n, 2)),
+        ("adversarial k=8".into(), gen::adversarial_ks(n, 8)),
+        ("adversarial k=32".into(), gen::adversarial_ks(n, 32)),
+    ];
+    for (name, g) in instances {
+        let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(100));
+        let sigma = second_singular_value(&g, &s, 150, 11);
+        let iters = iterations_to_conjecture(&g, 60)
+            .map_or("> 60".to_string(), |k| k.to_string());
+        table.push(vec![
+            name,
+            format!("{sigma:.4}"),
+            format!("{:.4}", sigma * sigma),
+            iters,
+        ]);
+    }
+    table.print();
+    println!();
+    println!("expected: iterations-to-0.866 grows with the adversarial k — the");
+    println!("mechanism behind Table 1's '5 iterations are not enough at k = 32'");
+    println!("observation. (σ₂ itself sits near 1 for every sparse instance; the");
+    println!("practically relevant quantity is the row in the last column.)");
+}

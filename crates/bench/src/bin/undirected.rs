@@ -1,0 +1,85 @@
+//! The §5 extension experiment: quality of the undirected 1-out heuristic
+//! across graph families, with and without symmetric scaling.
+//!
+//! The paper only announces this variant ("the algorithms and results
+//! extend naturally"); this binary provides the evidence table the
+//! follow-up paper would contain: fraction of vertices matched relative to
+//! the maximum matching, on graph families with perfect matchings.
+//!
+//! ```text
+//! cargo run --release -p dsmatch-bench --bin undirected [--n 100000]
+//! ```
+
+use dsmatch_bench::{arg, min_of, Table};
+use dsmatch_core::{one_out_undirected, OneOutConfig};
+use dsmatch_graph::{SplitMix64, UndirectedGraph};
+use dsmatch_scale::ScalingConfig;
+
+/// Even cycle: perfect matching of size n/2.
+fn cycle(n: usize) -> UndirectedGraph {
+    UndirectedGraph::from_edges(n, &(0..n).map(|v| (v, (v + 1) % n)).collect::<Vec<_>>())
+}
+
+/// Cycle + random perfect matching chords: 3-regular-ish, perfect matching.
+fn cycle_plus_matching(n: usize, seed: u64) -> UndirectedGraph {
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let mut rng = SplitMix64::new(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    for pair in perm.chunks_exact(2) {
+        edges.push((pair[0] as usize, pair[1] as usize));
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Star-heavy skewed graph + perfect matching backbone.
+fn skewed(n: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(usize, usize)> = (0..n / 2).map(|k| (2 * k, 2 * k + 1)).collect();
+    // Hubs: first 1% of vertices receive many extra edges.
+    let hubs = (n / 100).max(1);
+    for _ in 0..3 * n {
+        let h = rng.next_index(hubs);
+        let v = rng.next_index(n);
+        if h != v {
+            edges.push((h, v));
+        }
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+fn main() {
+    let n: usize = arg("n", 100_000);
+    let runs: usize = arg("runs", 5);
+    let n = if n % 2 == 1 { n + 1 } else { n };
+
+    println!("# §5 extension — undirected 1-out matching quality (n = {n}, min of {runs} runs)");
+    println!("every family has a perfect matching: quality = 2|M| / n");
+    let mut table = Table::new(vec!["family", "0 it", "1 it", "5 it", "10 it"]);
+    let families: Vec<(&str, UndirectedGraph)> = vec![
+        ("cycle", cycle(n)),
+        ("cycle+matching", cycle_plus_matching(n, 1)),
+        ("skewed hubs", skewed(n, 2)),
+    ];
+    for (name, g) in families {
+        let mut row = vec![name.to_string()];
+        for iters in [0usize, 1, 5, 10] {
+            let q = min_of(runs, |r| {
+                let m = one_out_undirected(
+                    &g,
+                    &OneOutConfig {
+                        scaling: ScalingConfig::iterations(iters),
+                        seed: 100 + r as u64,
+                    },
+                );
+                2.0 * m.cardinality() as f64 / n as f64
+            });
+            row.push(format!("{q:.3}"));
+        }
+        table.push(row);
+    }
+    table.print();
+    println!();
+    println!("expected: scaling lifts the skewed family the most; regular families sit");
+    println!("near the bipartite constant 0.866 already without scaling.");
+}

@@ -1,0 +1,222 @@
+//! Timing, thread-pool and table-printing helpers.
+//!
+//! The paper's measurement protocol (§4.2): every timed kernel is run 20
+//! times, the first five discarded, and the **geometric mean** of the rest
+//! reported; speedups are relative to the single-thread execution. The
+//! helpers here encode that protocol so the figure binaries stay short.
+
+use std::time::{Duration, Instant};
+
+/// Parse `--name <value>` or `--name=<value>` from `std::env::args`.
+///
+/// The experiment binaries take only a handful of numeric knobs, so a tiny
+/// hand-rolled parser keeps the dependency set to the blessed crates.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (k, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            if let Ok(parsed) = v.parse() {
+                return parsed;
+            }
+        } else if *a == flag {
+            if let Some(v) = args.get(k + 1) {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// True when `--name` appears among the CLI arguments.
+pub fn flag(name: &str) -> bool {
+    let needle = format!("--{name}");
+    std::env::args().any(|a| a == needle)
+}
+
+/// Thread counts for the speedup experiments: 1, 2, 4, 8, 16 capped at the
+/// machine's logical CPU count (the paper's Xeon had 16 cores + HT).
+pub fn thread_ladder() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    [1usize, 2, 4, 8, 16].into_iter().filter(|&t| t == 1 || t <= max).collect()
+}
+
+/// Run `f` once and return `(result, wall time)`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// The paper's protocol: `total` runs, first `warmup` ignored, geometric
+/// mean of the remaining wall times (in seconds).
+pub fn time_stats(total: usize, warmup: usize, mut f: impl FnMut()) -> f64 {
+    assert!(warmup < total);
+    let mut times = Vec::with_capacity(total - warmup);
+    for run in 0..total {
+        let (_, dt) = time_once(&mut f);
+        if run >= warmup {
+            times.push(dt.as_secs_f64());
+        }
+    }
+    geometric_mean(&times)
+}
+
+/// Geometric mean of positive samples.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Median of samples.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Minimum of `n` evaluations of `f` — the paper's Tables 1–2 report the
+/// minimum quality over 10 executions ("we are investigating the
+/// worst-case behavior").
+pub fn min_of(n: usize, f: impl FnMut(usize) -> f64) -> f64 {
+    (0..n).map(f).fold(f64::INFINITY, f64::min)
+}
+
+/// Run `f` inside a Rayon pool with exactly `threads` worker threads.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// A printable experiment table (markdown-ish alignment).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Row>,
+}
+
+/// One row of a [`Table`].
+pub type Row = Vec<String>;
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (k, h) in self.header.iter().enumerate() {
+            width[k] = h.len();
+        }
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                width[k] = width[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                line.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('|');
+        for w in &width {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn min_of_runs_all() {
+        let mut calls = 0;
+        let m = min_of(5, |k| {
+            calls += 1;
+            (5 - k) as f64
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        let n = with_threads(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.push(vec!["a".into(), "1".into()]);
+        t.push(vec!["long-name".into(), "2.345".into()]);
+        let s = t.render();
+        assert!(s.contains("| long-name |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn time_stats_positive() {
+        let t = time_stats(6, 2, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_width() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["x".into()]);
+    }
+}

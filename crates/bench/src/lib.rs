@@ -1,0 +1,15 @@
+//! # dsmatch-bench — experiment harness
+//!
+//! Shared utilities for the binaries that regenerate every table and figure
+//! of the paper (see DESIGN.md §4 for the experiment index) and for the
+//! Criterion micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    arg, flag, geometric_mean, median, min_of, thread_ladder, time_once, time_stats,
+    with_threads, Row, Table,
+};

@@ -1,0 +1,143 @@
+//! The "cheap matching" baselines of paper §2.1.
+//!
+//! Two classic randomized greedy heuristics, both with worst-case
+//! approximation guarantee 1/2 (the vertex variant slightly above 1/2 per
+//! Aronson–Dyer–Frieze–Suen and Poloczek–Szegedy):
+//!
+//! - [`cheap_random_edge`]: visit the edges in uniformly random order and
+//!   match the endpoints of each edge whose endpoints are both free.
+//! - [`cheap_random_vertex`]: repeatedly pick a random (remaining) vertex
+//!   and match it with a random free neighbour.
+//!
+//! They serve as quality baselines in the experiment harness: the paper
+//! positions `OneSidedMatch`/`TwoSidedMatch` as replacements for exactly
+//! these jump-start heuristics.
+
+use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
+
+/// Random-edge greedy matching (first cheap variant of §2.1).
+pub fn cheap_random_edge(g: &BipartiteGraph, seed: u64) -> Matching {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = g
+        .csr()
+        .iter_entries()
+        .map(|(i, j)| (i as VertexId, j as VertexId))
+        .collect();
+    rng.shuffle(&mut edges);
+    let mut m = Matching::new(g.nrows(), g.ncols());
+    for (i, j) in edges {
+        if !m.is_row_matched(i as usize) && !m.is_col_matched(j as usize) {
+            m.set(i as usize, j as usize);
+        }
+    }
+    m
+}
+
+/// Random-vertex greedy matching (second cheap variant of §2.1): visit the
+/// `n_r + n_c` vertices in uniformly random order; when an unmatched vertex
+/// is visited, match it with a uniformly random unmatched neighbour (if
+/// any). Vertices that become isolated are skipped implicitly.
+pub fn cheap_random_vertex(g: &BipartiteGraph, seed: u64) -> Matching {
+    let mut rng = SplitMix64::new(seed);
+    let n_r = g.nrows();
+    let mut order: Vec<u32> = (0..(n_r + g.ncols()) as u32).collect();
+    rng.shuffle(&mut order);
+    let mut m = Matching::new(n_r, g.ncols());
+    let mut free: Vec<VertexId> = Vec::new();
+    for v in order {
+        let v = v as usize;
+        free.clear();
+        if v < n_r {
+            if m.is_row_matched(v) {
+                continue;
+            }
+            free.extend(g.row_adj(v).iter().filter(|&&j| !m.is_col_matched(j as usize)));
+            if !free.is_empty() {
+                let j = free[rng.next_index(free.len())];
+                m.set(v, j as usize);
+            }
+        } else {
+            let j = v - n_r;
+            if m.is_col_matched(j) {
+                continue;
+            }
+            free.extend(g.col_adj(j).iter().filter(|&&i| !m.is_row_matched(i as usize)));
+            if !free.is_empty() {
+                let i = free[rng.next_index(free.len())];
+                m.set(i as usize, j);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::{Csr, TripletMatrix};
+
+    fn ring(n: usize) -> BipartiteGraph {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i);
+            t.push(i, (i + 1) % n);
+        }
+        BipartiteGraph::from_csr(t.into_csr())
+    }
+
+    #[test]
+    fn both_produce_valid_matchings() {
+        let g = ring(100);
+        for seed in 0..5 {
+            cheap_random_edge(&g, seed).verify(&g).unwrap();
+            cheap_random_vertex(&g, seed).verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn both_are_maximal() {
+        let g = ring(64);
+        for seed in 0..5 {
+            for m in [cheap_random_edge(&g, seed), cheap_random_vertex(&g, seed)] {
+                for (i, j) in g.csr().iter_entries() {
+                    assert!(
+                        m.is_row_matched(i) || m.is_col_matched(j),
+                        "alive edge ({i},{j}) after greedy (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_guarantee_via_maximality() {
+        // A maximal matching is ≥ 1/2 of maximum; ring's maximum is n.
+        let n = 512;
+        let g = ring(n);
+        for seed in 0..5 {
+            assert!(cheap_random_edge(&g, seed).cardinality() * 2 >= n);
+            assert!(cheap_random_vertex(&g, seed).cardinality() * 2 >= n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ring(50);
+        assert_eq!(cheap_random_edge(&g, 3), cheap_random_edge(&g, 3));
+        assert_eq!(cheap_random_vertex(&g, 3), cheap_random_vertex(&g, 3));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = BipartiteGraph::from_csr(Csr::empty(4, 4));
+        assert_eq!(cheap_random_edge(&g, 0).cardinality(), 0);
+        assert_eq!(cheap_random_vertex(&g, 0).cardinality(), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[0, 1]]));
+        assert_eq!(cheap_random_edge(&g, 1).cardinality(), 1);
+        assert_eq!(cheap_random_vertex(&g, 1).cardinality(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The classic Karp–Sipser heuristic (paper §2.1).
+//!
+//! Rule: while the graph is non-empty, match a degree-one vertex with its
+//! unique neighbour if one exists (an *optimal* decision — some maximum
+//! matching contains that edge); otherwise match the endpoints of a
+//! uniformly random alive edge. Matched vertices and their incident edges
+//! are removed.
+//!
+//! The phase before the first random pick is *Phase 1*; everything after is
+//! *Phase 2* (new degree-one vertices keep being honoured there too). The
+//! heuristic is exact on graphs whose components contain at most one cycle
+//! — which is why `TwoSidedMatch` can use it as an exact algorithm — but
+//! has no constant-factor guarantee in general, and the paper's Table 1
+//! exhibits a family (our `dsmatch-gen::adversarial`) driving it to ~0.67.
+//!
+//! Random edge selection is implemented as uniformly popping (swap-remove)
+//! from the alive-edge pool and discarding edges with a matched endpoint:
+//! every alive edge remains in the pool, so conditioned on hitting an alive
+//! edge the draw is uniform over alive edges, as the analysis requires.
+//!
+//! This implementation is sequential; it is the baseline the paper compares
+//! against (their parallel-KS citation [4] is inexact, which is the gap
+//! `KarpSipserMT` fills for the sampled subgraphs).
+
+use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
+
+/// Configuration for [`karp_sipser`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KarpSipserConfig {
+    /// Seed for the random edge draws.
+    pub seed: u64,
+}
+
+/// Result of a Karp–Sipser run with decision statistics.
+#[derive(Clone, Debug)]
+pub struct KarpSipserStats {
+    /// The computed matching.
+    pub matching: Matching,
+    /// Matches made through the degree-one rule (optimal decisions).
+    pub degree_one_matches: usize,
+    /// Matches made through random edge picks (heuristic decisions).
+    pub random_matches: usize,
+}
+
+/// Vertex reference on either side of the bipartition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Row(u32),
+    Col(u32),
+}
+
+struct State<'g> {
+    g: &'g BipartiteGraph,
+    deg_r: Vec<u32>,
+    deg_c: Vec<u32>,
+    matching: Matching,
+    stack: Vec<Side>,
+    degree_one_matches: usize,
+}
+
+impl<'g> State<'g> {
+    fn new(g: &'g BipartiteGraph) -> Self {
+        let deg_r: Vec<u32> = (0..g.nrows()).map(|i| g.row_degree(i) as u32).collect();
+        let deg_c: Vec<u32> = (0..g.ncols()).map(|j| g.col_degree(j) as u32).collect();
+        let mut stack = Vec::new();
+        for (i, &d) in deg_r.iter().enumerate() {
+            if d == 1 {
+                stack.push(Side::Row(i as u32));
+            }
+        }
+        for (j, &d) in deg_c.iter().enumerate() {
+            if d == 1 {
+                stack.push(Side::Col(j as u32));
+            }
+        }
+        Self {
+            g,
+            deg_r,
+            deg_c,
+            matching: Matching::new(g.nrows(), g.ncols()),
+            stack,
+            degree_one_matches: 0,
+        }
+    }
+
+    /// The unique unmatched neighbour of a degree-one vertex.
+    fn sole_neighbor(&self, v: Side) -> Option<Side> {
+        match v {
+            Side::Row(i) => self
+                .g
+                .row_adj(i as usize)
+                .iter()
+                .find(|&&j| !self.matching.is_col_matched(j as usize))
+                .map(|&j| Side::Col(j)),
+            Side::Col(j) => self
+                .g
+                .col_adj(j as usize)
+                .iter()
+                .find(|&&i| !self.matching.is_row_matched(i as usize))
+                .map(|&i| Side::Row(i)),
+        }
+    }
+
+    /// Match row `i` with column `j` and update neighbour degrees, pushing
+    /// newly created degree-one vertices.
+    fn consume(&mut self, i: u32, j: u32) {
+        self.matching.set(i as usize, j as usize);
+        for &c in self.g.row_adj(i as usize) {
+            if c != j && !self.matching.is_col_matched(c as usize) {
+                self.deg_c[c as usize] -= 1;
+                if self.deg_c[c as usize] == 1 {
+                    self.stack.push(Side::Col(c));
+                }
+            }
+        }
+        for &r in self.g.col_adj(j as usize) {
+            if r != i && !self.matching.is_row_matched(r as usize) {
+                self.deg_r[r as usize] -= 1;
+                if self.deg_r[r as usize] == 1 {
+                    self.stack.push(Side::Row(r));
+                }
+            }
+        }
+    }
+
+    fn is_matched(&self, v: Side) -> bool {
+        match v {
+            Side::Row(i) => self.matching.is_row_matched(i as usize),
+            Side::Col(j) => self.matching.is_col_matched(j as usize),
+        }
+    }
+
+    fn degree(&self, v: Side) -> u32 {
+        match v {
+            Side::Row(i) => self.deg_r[i as usize],
+            Side::Col(j) => self.deg_c[j as usize],
+        }
+    }
+
+    /// Exhaust the degree-one rule.
+    fn drain(&mut self) {
+        while let Some(v) = self.stack.pop() {
+            if self.is_matched(v) || self.degree(v) != 1 {
+                continue; // stale entry
+            }
+            let Some(w) = self.sole_neighbor(v) else { continue };
+            let (i, j) = match (v, w) {
+                (Side::Row(i), Side::Col(j)) | (Side::Col(j), Side::Row(i)) => (i, j),
+                _ => unreachable!("neighbours are on opposite sides"),
+            };
+            self.consume(i, j);
+            self.degree_one_matches += 1;
+        }
+    }
+}
+
+/// Run the classic Karp–Sipser heuristic.
+pub fn karp_sipser(g: &BipartiteGraph, cfg: &KarpSipserConfig) -> KarpSipserStats {
+    let mut st = State::new(g);
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // Phase 1: all forced decisions available initially (and transitively).
+    st.drain();
+
+    // Phase 2: uniformly random alive edges, re-draining after each match.
+    let mut pool: Vec<(VertexId, VertexId)> = g
+        .csr()
+        .iter_entries()
+        .map(|(i, j)| (i as VertexId, j as VertexId))
+        .collect();
+    let mut random_matches = 0usize;
+    while !pool.is_empty() {
+        let k = rng.next_index(pool.len());
+        let (i, j) = pool.swap_remove(k);
+        if st.matching.is_row_matched(i as usize) || st.matching.is_col_matched(j as usize) {
+            continue; // dead edge
+        }
+        st.consume(i, j);
+        random_matches += 1;
+        st.drain();
+    }
+
+    KarpSipserStats {
+        matching: st.matching,
+        degree_one_matches: st.degree_one_matches,
+        random_matches,
+    }
+}
+
+/// Convenience: run [`karp_sipser`] and return only the matching.
+pub fn karp_sipser_matching(g: &BipartiteGraph, seed: u64) -> Matching {
+    karp_sipser(g, &KarpSipserConfig { seed }).matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::{Csr, TripletMatrix};
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    #[test]
+    fn perfect_on_path_graph() {
+        // Path: r0–c0–r1–c1 … : all decisions forced, perfect matching.
+        let n = 50;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i);
+            if i + 1 < n {
+                t.push(i + 1, i);
+            }
+        }
+        let g = BipartiteGraph::from_csr(t.into_csr());
+        let s = karp_sipser(&g, &KarpSipserConfig::default());
+        assert_eq!(s.matching.cardinality(), n);
+        assert_eq!(s.random_matches, 0, "a forest needs no random decisions");
+        assert_eq!(s.degree_one_matches, n);
+        s.matching.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn exact_on_single_cycle() {
+        // 3×3 cycle pattern (each row two entries): one random pick, then
+        // forced decisions; max matching = 3.
+        let g = graph(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 1]]);
+        for seed in 0..20 {
+            let s = karp_sipser(&g, &KarpSipserConfig { seed });
+            assert_eq!(s.matching.cardinality(), 3, "seed {seed}");
+            s.matching.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn maximal_matching_always() {
+        // KS always returns a *maximal* matching: no alive edge remains.
+        let g = graph(&[
+            &[1, 1, 1, 0],
+            &[1, 1, 0, 1],
+            &[0, 1, 1, 1],
+            &[1, 0, 1, 1],
+        ]);
+        for seed in 0..20 {
+            let s = karp_sipser(&g, &KarpSipserConfig { seed });
+            let m = &s.matching;
+            m.verify(&g).unwrap();
+            for (i, j) in g.csr().iter_entries() {
+                assert!(
+                    m.is_row_matched(i) || m.is_col_matched(j),
+                    "edge ({i},{j}) alive after KS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_csr(Csr::empty(3, 3));
+        let s = karp_sipser(&g, &KarpSipserConfig::default());
+        assert_eq!(s.matching.cardinality(), 0);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let g = graph(&[&[1, 1], &[1, 1]]);
+        let s = karp_sipser(&g, &KarpSipserConfig { seed: 3 });
+        assert_eq!(
+            s.matching.cardinality(),
+            s.degree_one_matches + s.random_matches
+        );
+        assert_eq!(s.matching.cardinality(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph(&[
+            &[1, 1, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 1, 1, 0],
+            &[1, 1, 0, 1],
+        ]);
+        let a = karp_sipser(&g, &KarpSipserConfig { seed: 11 });
+        let b = karp_sipser(&g, &KarpSipserConfig { seed: 11 });
+        assert_eq!(a.matching, b.matching);
+    }
+
+    #[test]
+    fn isolated_vertices_ignored() {
+        let g = graph(&[&[0, 0, 0], &[0, 1, 0], &[0, 0, 0]]);
+        let s = karp_sipser(&g, &KarpSipserConfig::default());
+        assert_eq!(s.matching.cardinality(), 1);
+        assert_eq!(s.matching.rmate(1), 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! 1-out matching for **undirected** graphs — the extension announced in
+//! the paper's conclusion (§5): "We are investigating variants of the
+//! proposed heuristics for finding approximate matchings in undirected
+//! graphs. The algorithms and results extend naturally."
+//!
+//! The construction mirrors `TwoSidedMatch` with one vertex class:
+//!
+//! 1. scale the symmetric adjacency with a symmetry-preserving iteration
+//!    (`dsmatch-scale::symmetric_scaling`), giving `s_uv = d[u]·d[v]`;
+//! 2. every vertex samples **one** neighbour with probability proportional
+//!    to the scaled entry (`choice[v]`);
+//! 3. the chosen edges form a functional graph whose components again
+//!    contain at most one cycle, so Karp–Sipser is exact on it. Phase 1 is
+//!    the same chain-following out-one consumption as `KarpSipserMT`
+//!    (whose correctness argument never used bipartiteness); the leftover
+//!    cycles — which may now be **odd** — are matched alternately by a
+//!    cycle walk, leaving one vertex per odd cycle unmatched, which is
+//!    optimal.
+
+use dsmatch_graph::{SplitMix64, UndirectedGraph, UndirectedMatching, VertexId, NIL};
+use dsmatch_scale::{symmetric_scaling, ScalingConfig, SymmetricScalingResult};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use crate::sample::sample_neighbor;
+
+/// Configuration of [`one_out_undirected`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OneOutConfig {
+    /// Symmetric-scaling stopping rule.
+    pub scaling: ScalingConfig,
+    /// PRNG seed (per-vertex streams derived from it).
+    pub seed: u64,
+}
+
+impl Default for OneOutConfig {
+    fn default() -> Self {
+        Self { scaling: ScalingConfig::default(), seed: 0x5EED }
+    }
+}
+
+/// Sample one neighbour per vertex, weights proportional to the scaled
+/// entries (`d[u]` within vertex `v`'s adjacency).
+pub fn one_out_choices(
+    g: &UndirectedGraph,
+    scaling: &SymmetricScalingResult,
+    seed: u64,
+) -> Vec<VertexId> {
+    let d = &scaling.d;
+    (0..g.n())
+        .into_par_iter()
+        .map(|v| {
+            let mut rng = SplitMix64::stream(seed, v as u64);
+            let adj = g.adj(v);
+            let total: f64 = adj.iter().map(|&u| d[u as usize]).sum();
+            sample_neighbor(adj, d, total, &mut rng)
+        })
+        .collect()
+}
+
+/// Maximum matching of the functional graph `{(v, choice[v])}`.
+///
+/// Phase 1 consumes out-one vertices in parallel exactly as
+/// [`crate::karp_sipser_mt`]; the remaining cycles are walked sequentially
+/// and matched alternately (each odd cycle necessarily leaves one vertex
+/// unmatched).
+pub fn one_out_matching(choice: &[VertexId]) -> UndirectedMatching {
+    let n = choice.len();
+    let mark: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    let deg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(1)).collect();
+    let mat: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NIL)).collect();
+
+    (0..n).into_par_iter().for_each(|u| {
+        let v = choice[u];
+        if v != NIL {
+            debug_assert_ne!(v as usize, u, "self-choices are not allowed");
+            let v = v as usize;
+            mark[v].store(false, Ordering::Relaxed);
+            if choice[v] != u as u32 {
+                deg[v].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+
+    // Phase 1 — identical chain-following to Algorithm 4.
+    (0..n).into_par_iter().for_each(|u| {
+        if !mark[u].load(Ordering::Relaxed) || choice[u] == NIL {
+            return;
+        }
+        let mut curr = u as u32;
+        while curr != NIL {
+            let nbr = choice[curr as usize];
+            if mat[nbr as usize]
+                .compare_exchange(NIL, curr, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                mat[curr as usize].store(nbr, Ordering::Release);
+                let next = choice[nbr as usize];
+                curr = NIL;
+                if next != NIL
+                    && choice[next as usize] != NIL
+                    && mat[next as usize].load(Ordering::Acquire) == NIL
+                    && deg[next as usize].fetch_sub(1, Ordering::AcqRel) == 2
+                {
+                    curr = next;
+                }
+            } else {
+                curr = NIL;
+            }
+        }
+    });
+
+    // Phase 2 — leftover components are cycles (2-cliques included). Walk
+    // each cycle once and match alternate edges; odd cycles leave exactly
+    // one vertex unmatched, which is optimal.
+    let mut mate: Vec<u32> = mat.into_iter().map(|a| a.into_inner()).collect();
+    let mut cycle: Vec<u32> = Vec::new();
+    for start in 0..n {
+        if mate[start] != NIL || choice[start] == NIL {
+            continue;
+        }
+        // Collect the unmatched chain/cycle from `start`.
+        cycle.clear();
+        let mut v = start as u32;
+        loop {
+            cycle.push(v);
+            let next = choice[v as usize];
+            if next == NIL || mate[next as usize] != NIL || next as usize == start {
+                break;
+            }
+            // Guard against re-walking (shouldn't happen on true cycles,
+            // but NIL-robust inputs can form chains into matched regions).
+            if cycle.len() > n {
+                break;
+            }
+            v = next;
+        }
+        for pair in cycle.chunks_exact(2) {
+            mate[pair[0] as usize] = pair[1];
+            mate[pair[1] as usize] = pair[0];
+        }
+    }
+    UndirectedMatching::from_mates(mate)
+}
+
+/// Full pipeline: symmetric scaling → 1-out sampling → exact matching of
+/// the sampled subgraph.
+pub fn one_out_undirected(g: &UndirectedGraph, cfg: &OneOutConfig) -> UndirectedMatching {
+    let scaling = if cfg.scaling.max_iterations == 0 {
+        SymmetricScalingResult::identity(g)
+    } else {
+        symmetric_scaling(g, &cfg.scaling)
+    };
+    let choice = one_out_choices(g, &scaling, cfg.seed);
+    one_out_matching(&choice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_graph(n: usize) -> UndirectedGraph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        UndirectedGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn mutual_pair() {
+        let m = one_out_matching(&[1, 0]);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate(0), 1);
+    }
+
+    #[test]
+    fn triangle_cycle_leaves_one_unmatched() {
+        // 0→1→2→0: odd cycle; maximum matching = 1.
+        let m = one_out_matching(&[1, 2, 0]);
+        assert_eq!(m.cardinality(), 1);
+        m.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn even_cycle_perfect() {
+        let m = one_out_matching(&[1, 2, 3, 0]);
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn chain_of_out_ones_consumed() {
+        // 0→1, 1→2, 2→3, 3→2 (mutual tail): vertices 0 is out-one.
+        let m = one_out_matching(&[1, 2, 3, 2]);
+        m.check_consistent().unwrap();
+        // Maximum here: edges {0-1, 2-3} → 2 pairs.
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn star_choices() {
+        // Everyone chooses vertex 0; 0 chooses 1. Component is a star plus
+        // the 0–1 mutual edge: maximum matching = 1.
+        let m = one_out_matching(&[1, 0, 0, 0, 0]);
+        assert_eq!(m.cardinality(), 1);
+        m.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn nil_choices_skipped() {
+        let m = one_out_matching(&[NIL, 2, 1, NIL]);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate(1), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_functional_graphs() {
+        let mut rng = SplitMix64::new(99);
+        for n in [2usize, 3, 5, 8, 12] {
+            for _ in 0..200 {
+                // choice[v] != v (no self-loops).
+                let choice: Vec<u32> = (0..n)
+                    .map(|v| {
+                        let mut c = rng.next_below(n as u64) as u32;
+                        if c as usize == v {
+                            c = (c + 1) % n as u32;
+                        }
+                        c
+                    })
+                    .collect();
+                let m = one_out_matching(&choice);
+                m.check_consistent().unwrap();
+                // Brute force on the materialized subgraph.
+                let edges: Vec<(usize, usize)> = choice
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &c)| (v, c as usize))
+                    .collect();
+                let g = UndirectedGraph::from_edges(n, &edges);
+                m.verify(&g).unwrap();
+                let opt = brute_force(&g);
+                assert_eq!(m.cardinality(), opt, "choice = {choice:?}");
+            }
+        }
+    }
+
+    /// Exponential oracle: first free vertex is skipped or matched with
+    /// each free neighbour.
+    fn brute_force(g: &UndirectedGraph) -> usize {
+        fn go(g: &UndirectedGraph, free: &mut Vec<bool>, from: usize) -> usize {
+            let Some(v) = (from..g.n()).find(|&v| free[v]) else {
+                return 0;
+            };
+            free[v] = false;
+            // Skip v entirely.
+            let mut best = go(g, free, v + 1);
+            for &u in g.adj(v) {
+                let u = u as usize;
+                if free[u] {
+                    free[u] = false;
+                    best = best.max(1 + go(g, free, v + 1));
+                    free[u] = true;
+                }
+            }
+            free[v] = true;
+            best
+        }
+        let mut free = vec![true; g.n()];
+        go(g, &mut free, 0)
+    }
+
+    #[test]
+    fn full_pipeline_on_cycle_graphs() {
+        for n in [10usize, 101, 1000] {
+            let g = cycle_graph(n);
+            let m = one_out_undirected(
+                &g,
+                &OneOutConfig { scaling: ScalingConfig::iterations(5), seed: 3 },
+            );
+            m.verify(&g).unwrap();
+            // Maximum matching of C_n is ⌊n/2⌋; the heuristic should land
+            // well above half of it.
+            assert!(m.cardinality() * 3 >= n, "n = {n}: {}", m.cardinality());
+        }
+    }
+
+    #[test]
+    fn full_pipeline_quality_on_random_regular() {
+        // A union of two random perfect matchings + cycle edges: a sparse
+        // graph with a perfect matching (n even).
+        let n = 10_000;
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let mut rng = SplitMix64::new(5);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut perm);
+        for pair in perm.chunks_exact(2) {
+            edges.push((pair[0] as usize, pair[1] as usize));
+        }
+        let g = UndirectedGraph::from_edges(n, &edges);
+        let m = one_out_undirected(
+            &g,
+            &OneOutConfig { scaling: ScalingConfig::iterations(5), seed: 11 },
+        );
+        m.verify(&g).unwrap();
+        let quality = 2.0 * m.cardinality() as f64 / n as f64;
+        assert!(quality > 0.75, "1-out quality {quality:.3}");
+    }
+
+    #[test]
+    fn deterministic_cardinality() {
+        let g = cycle_graph(500);
+        let cfg = OneOutConfig { scaling: ScalingConfig::iterations(2), seed: 9 };
+        let c0 = one_out_undirected(&g, &cfg).cardinality();
+        for _ in 0..5 {
+            assert_eq!(one_out_undirected(&g, &cfg).cardinality(), c0);
+        }
+    }
+}

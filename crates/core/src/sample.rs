@@ -1,0 +1,173 @@
+//! Random neighbour sampling from scaled entries.
+//!
+//! Algorithm 2, line 5 of the paper: row `i` picks column `j ∈ A_i*` with
+//! probability `p_i(k) = s_ik / Σ_ℓ s_iℓ` where `s_ik = dr[i]·dc[k]`.
+//! Because the matrix is a (0,1) pattern, the factor `dr[i]` is constant
+//! within the row and **cancels**: the weight of neighbour `k` is simply
+//! `dc[k]`. The same holds column-side with `dr`.
+//!
+//! The paper's implementation — "choose a random number r from a uniform
+//! distribution with range `(0, Σ_k s_ik]`, then find the smallest column
+//! index j for which the prefix sum reaches r" — is an `O(deg)` linear scan,
+//! which we reproduce in [`sample_neighbor`]. [`ChoiceSampler`] precomputes
+//! the per-vertex weight totals (one parallel pass) so repeated sampling
+//! never re-accumulates them.
+
+use dsmatch_graph::{SplitMix64, VertexId, NIL};
+use rayon::prelude::*;
+
+/// Sample one neighbour from `adj` with weights `weights[adj[k]]`.
+///
+/// `total` must equal `Σ_k weights[adj[k]]` (up to round-off). Returns
+/// [`NIL`] when `adj` is empty or the total weight is not positive.
+///
+/// The scan is robust to floating-point round-off: if accumulated error
+/// makes the scan run past the end, the last neighbour is returned.
+#[inline]
+pub fn sample_neighbor(
+    adj: &[VertexId],
+    weights: &[f64],
+    total: f64,
+    rng: &mut SplitMix64,
+) -> VertexId {
+    if adj.is_empty() || total <= 0.0 || total.is_nan() {
+        return NIL;
+    }
+    let r = rng.next_f64_open_closed(total);
+    let mut acc = 0.0f64;
+    for &k in adj {
+        acc += weights[k as usize];
+        if acc >= r {
+            return k;
+        }
+    }
+    *adj.last().unwrap()
+}
+
+/// Precomputed per-vertex sampling state for one side of the bipartite
+/// graph: for every vertex, the total weight of its adjacency list.
+#[derive(Clone, Debug)]
+pub struct ChoiceSampler {
+    totals: Vec<f64>,
+}
+
+impl ChoiceSampler {
+    /// Build from a CSR adjacency (`adj_of(v)` = neighbours of vertex `v`)
+    /// and the opposite side's scaling vector. One parallel reduction per
+    /// vertex.
+    pub fn new(csr: &dsmatch_graph::Csr, opposite_scaling: &[f64]) -> Self {
+        let totals: Vec<f64> = (0..csr.nrows())
+            .into_par_iter()
+            .map(|v| csr.row(v).iter().map(|&k| opposite_scaling[k as usize]).sum())
+            .collect();
+        Self { totals }
+    }
+
+    /// Total adjacent weight of vertex `v`.
+    #[inline]
+    pub fn total(&self, v: usize) -> f64 {
+        self.totals[v]
+    }
+
+    /// Sample a neighbour of `v`; [`NIL`] if `v` has no positive-weight
+    /// neighbour.
+    #[inline]
+    pub fn sample(
+        &self,
+        csr: &dsmatch_graph::Csr,
+        opposite_scaling: &[f64],
+        v: usize,
+        rng: &mut SplitMix64,
+    ) -> VertexId {
+        sample_neighbor(csr.row(v), opposite_scaling, self.totals[v], rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::Csr;
+
+    #[test]
+    fn empty_adjacency_gives_nil() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(sample_neighbor(&[], &[], 0.0, &mut rng), NIL);
+    }
+
+    #[test]
+    fn single_neighbor_always_chosen() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..32 {
+            assert_eq!(sample_neighbor(&[5], &[0.0; 6], 0.0, &mut rng), NIL); // zero total
+        }
+        let w = [0.0, 0.0, 0.0, 0.25];
+        for _ in 0..32 {
+            assert_eq!(sample_neighbor(&[3], &w, 0.25, &mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn zero_weight_neighbors_never_chosen() {
+        // Weight pattern [0, 1, 0]: only the middle neighbour can win.
+        let w = [0.0, 1.0, 0.0];
+        let adj = [0u32, 1, 2];
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert_eq!(sample_neighbor(&adj, &w, 1.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_weights() {
+        // Weights 1:2:5 → frequencies ~ 12.5% : 25% : 62.5%.
+        let w = [1.0, 2.0, 5.0];
+        let adj = [0u32, 1, 2];
+        let total = 8.0;
+        let mut rng = SplitMix64::new(4);
+        let mut counts = [0usize; 3];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[sample_neighbor(&adj, &w, total, &mut rng) as usize] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((freq[0] - 0.125).abs() < 0.01, "{freq:?}");
+        assert!((freq[1] - 0.250).abs() < 0.01, "{freq:?}");
+        assert!((freq[2] - 0.625).abs() < 0.01, "{freq:?}");
+    }
+
+    #[test]
+    fn sampler_totals_match_manual_sums() {
+        let a = Csr::from_dense(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        let dc = [0.5, 0.25, 2.0];
+        let s = ChoiceSampler::new(&a, &dc);
+        assert!((s.total(0) - 0.75).abs() < 1e-15);
+        assert!((s.total(1) - 2.25).abs() < 1e-15);
+        assert!((s.total(2) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampler_samples_within_adjacency() {
+        let a = Csr::from_dense(&[&[0, 1, 1], &[1, 0, 0]]);
+        let dc = [1.0, 1.0, 1.0];
+        let s = ChoiceSampler::new(&a, &dc);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            let j = s.sample(&a, &dc, 0, &mut rng);
+            assert!(j == 1 || j == 2);
+            assert_eq!(s.sample(&a, &dc, 1, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn roundoff_falls_back_to_last() {
+        // total passed slightly larger than the true sum: scan may pass the
+        // end; last neighbour must be returned, never NIL / panic.
+        let w = [1e-30, 1e-30];
+        let adj = [0u32, 1];
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..100 {
+            let j = sample_neighbor(&adj, &w, 1.0, &mut rng);
+            assert!(j == 0 || j == 1);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the heuristics crate: validity on arbitrary inputs,
+//! exactness of `KarpSipserMT` on sampled subgraphs, maximality of the
+//! greedy baselines.
+
+use dsmatch_core::{
+    cheap_random_edge, cheap_random_vertex, choice_subgraph, karp_sipser, karp_sipser_mt,
+    one_out_matching, one_sided_match, two_sided_choices, two_sided_match, KarpSipserConfig,
+    OneSidedConfig, TwoSidedConfig,
+};
+use dsmatch_exact::{brute_force_maximum, hopcroft_karp};
+use dsmatch_graph::{BipartiteGraph, TripletMatrix, UndirectedGraph, NIL};
+use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..12, 1usize..12).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..50).prop_map(move |entries| {
+            let mut t = TripletMatrix::new(m, n);
+            for (i, j) in entries {
+                t.push(i, j);
+            }
+            BipartiteGraph::from_csr(t.into_csr())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn one_sided_matching_always_valid(g in arb_graph(), seed in any::<u64>(), iters in 0usize..5) {
+        let m = one_sided_match(&g, &OneSidedConfig {
+            scaling: ScalingConfig::iterations(iters), seed });
+        m.verify(&g).unwrap();
+        // Every non-empty row makes a choice, so every column that some
+        // row can reach exclusively must be matched... weaker universal
+        // claim: cardinality ≥ 1 whenever the graph has edges.
+        if g.nnz() > 0 {
+            prop_assert!(m.cardinality() >= 1);
+        }
+    }
+
+    #[test]
+    fn two_sided_is_maximum_on_its_subgraph(g in arb_graph(), seed in any::<u64>()) {
+        let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(2));
+        let (rc, cc) = two_sided_choices(&g, &s, seed);
+        let m = karp_sipser_mt(&rc, &cc);
+        let sub = choice_subgraph(&rc, &cc);
+        m.verify(&sub).unwrap();
+        let opt = hopcroft_karp(&sub).cardinality();
+        prop_assert_eq!(m.cardinality(), opt);
+    }
+
+    #[test]
+    fn two_sided_never_exceeds_optimum(g in arb_graph(), seed in any::<u64>()) {
+        let m = two_sided_match(&g, &TwoSidedConfig {
+            scaling: ScalingConfig::iterations(2), seed });
+        m.verify(&g).unwrap();
+        prop_assert!(m.cardinality() <= brute_force_maximum(&g));
+    }
+
+    #[test]
+    fn karp_sipser_maximal_hence_half(g in arb_graph(), seed in any::<u64>()) {
+        let ks = karp_sipser(&g, &KarpSipserConfig { seed }).matching;
+        ks.verify(&g).unwrap();
+        for (i, j) in g.csr().iter_entries() {
+            prop_assert!(ks.is_row_matched(i) || ks.is_col_matched(j));
+        }
+        prop_assert!(2 * ks.cardinality() >= brute_force_maximum(&g));
+    }
+
+    #[test]
+    fn cheap_variants_maximal(g in arb_graph(), seed in any::<u64>()) {
+        for m in [cheap_random_edge(&g, seed), cheap_random_vertex(&g, seed)] {
+            m.verify(&g).unwrap();
+            for (i, j) in g.csr().iter_entries() {
+                prop_assert!(m.is_row_matched(i) || m.is_col_matched(j));
+            }
+        }
+    }
+
+    #[test]
+    fn one_out_matching_valid_and_maximum(
+        raw in proptest::collection::vec(proptest::option::of(0u32..12), 2..12),
+    ) {
+        let n = raw.len();
+        let choice: Vec<u32> = raw.iter().enumerate().map(|(v, o)| match o {
+            None => NIL,
+            Some(c) => {
+                let mut c = *c % n as u32;
+                if c as usize == v {
+                    c = (c + 1) % n as u32;
+                }
+                if c as usize == v { NIL } else { c } // n == 1 degenerate
+            }
+        }).collect();
+        let m = one_out_matching(&choice);
+        m.check_consistent().unwrap();
+        // Materialize and compare to a brute-force general matching.
+        let edges: Vec<(usize, usize)> = choice.iter().enumerate()
+            .filter(|&(_, &c)| c != NIL)
+            .map(|(v, &c)| (v, c as usize))
+            .collect();
+        let g = UndirectedGraph::from_edges(n, &edges);
+        m.verify(&g).unwrap();
+        prop_assert_eq!(m.cardinality(), brute_force_general(&g));
+    }
+}
+
+/// Exponential general-matching oracle for ≤ ~14 vertices.
+fn brute_force_general(g: &UndirectedGraph) -> usize {
+    fn go(g: &UndirectedGraph, free: &mut Vec<bool>, from: usize) -> usize {
+        let Some(v) = (from..g.n()).find(|&v| free[v]) else {
+            return 0;
+        };
+        free[v] = false;
+        let mut best = go(g, free, v + 1);
+        for &u in g.adj(v) {
+            let u = u as usize;
+            if free[u] {
+                free[u] = false;
+                best = best.max(1 + go(g, free, v + 1));
+                free[u] = true;
+            }
+        }
+        free[v] = true;
+        best
+    }
+    let mut free = vec![true; g.n()];
+    go(g, &mut free, 0)
+}

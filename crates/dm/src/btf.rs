@@ -1,0 +1,265 @@
+//! Block (upper) triangular form permutations.
+//!
+//! The paper's §3.3 displays the canonical DM block structure
+//!
+//! ```text
+//!       ⎡ H  ∗  ∗ ⎤               ⎡ S₁  ∗ ⎤
+//!   A = ⎢ O  S  ∗ ⎥     with  S = ⎣ O  S₂ ⎦  recursively,
+//!       ⎣ O  O  V ⎦
+//! ```
+//!
+//! This module turns a coarse + fine decomposition into explicit row and
+//! column permutations realizing that form — the output a sparse direct
+//! solver would consume. Fine blocks are emitted in **topological order**
+//! (Tarjan emits SCCs in reverse topological order of the pair digraph, so
+//! we reverse), which makes all inter-block entries fall strictly above the
+//! block diagonal.
+
+use dsmatch_graph::{BipartiteGraph, NIL};
+
+use crate::coarse::{CoarsePart, DmDecomposition};
+use crate::fine::{fine_decomposition, FineDecomposition};
+
+/// Row/column permutations to block upper triangular form.
+#[derive(Clone, Debug)]
+pub struct BtfPermutation {
+    /// `row_perm[k]` = original index of the row placed at position `k`.
+    pub row_perm: Vec<u32>,
+    /// `col_perm[k]` = original index of the column placed at position `k`.
+    pub col_perm: Vec<u32>,
+    /// Start offsets of each diagonal block in the square part, in
+    /// permuted coordinates relative to the start of `S` (length
+    /// `block_count + 1`).
+    pub fine_block_ptr: Vec<usize>,
+    /// `(rows, cols)` of the horizontal part (placed first).
+    pub horizontal: (usize, usize),
+    /// Size of the square part.
+    pub square: usize,
+    /// `(rows, cols)` of the vertical part (placed last).
+    pub vertical: (usize, usize),
+}
+
+/// Compute the BTF permutation from a graph and its decompositions.
+pub fn btf_permutation(
+    g: &BipartiteGraph,
+    dm: &DmDecomposition,
+    fine: &FineDecomposition,
+) -> BtfPermutation {
+    let n_r = g.nrows();
+    let n_c = g.ncols();
+
+    // Tarjan ids are in reverse topological order of the pair digraph;
+    // emit blocks in topological order so entries sit above the diagonal.
+    let order_of_block = |b: u32| fine.block_count as u32 - 1 - b;
+
+    let mut row_perm: Vec<u32> = Vec::with_capacity(n_r);
+    let mut col_perm: Vec<u32> = Vec::with_capacity(n_c);
+
+    // 1. Horizontal part.
+    for i in 0..n_r {
+        if dm.row_part[i] == CoarsePart::Horizontal {
+            row_perm.push(i as u32);
+        }
+    }
+    for j in 0..n_c {
+        if dm.col_part[j] == CoarsePart::Horizontal {
+            col_perm.push(j as u32);
+        }
+    }
+    let horizontal = (row_perm.len(), col_perm.len());
+
+    // 2. Square part, grouped by fine block in topological order, rows
+    //    aligned with their matched columns so the block diagonal is
+    //    zero-free.
+    let mut cols_by_block: Vec<Vec<u32>> = vec![Vec::new(); fine.block_count];
+    for j in 0..n_c {
+        let b = fine.block_of_col[j];
+        if b != NIL {
+            cols_by_block[order_of_block(b) as usize].push(j as u32);
+        }
+    }
+    let mut fine_block_ptr = Vec::with_capacity(fine.block_count + 1);
+    fine_block_ptr.push(0usize);
+    let mut placed = 0usize;
+    for block in &cols_by_block {
+        for &j in block {
+            col_perm.push(j);
+            let i = dm.matching.cmate(j as usize);
+            debug_assert_ne!(i, NIL);
+            row_perm.push(i);
+            placed += 1;
+        }
+        fine_block_ptr.push(placed);
+    }
+    let square = placed;
+
+    // 3. Vertical part.
+    for i in 0..n_r {
+        if dm.row_part[i] == CoarsePart::Vertical {
+            row_perm.push(i as u32);
+        }
+    }
+    for j in 0..n_c {
+        if dm.col_part[j] == CoarsePart::Vertical {
+            col_perm.push(j as u32);
+        }
+    }
+    let vertical = (n_r - horizontal.0 - square, n_c - horizontal.1 - square);
+
+    debug_assert_eq!(row_perm.len(), n_r);
+    debug_assert_eq!(col_perm.len(), n_c);
+    BtfPermutation { row_perm, col_perm, fine_block_ptr, horizontal, square, vertical }
+}
+
+/// One-call convenience: decompose and permute.
+pub fn block_triangular_form(g: &BipartiteGraph) -> BtfPermutation {
+    let dm = crate::coarse::dulmage_mendelsohn(g);
+    let fine = fine_decomposition(g, &dm);
+    btf_permutation(g, &dm, &fine)
+}
+
+impl BtfPermutation {
+    /// Inverse permutations: `position_of_row[i]` = permuted position of
+    /// original row `i`.
+    pub fn inverse(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut pr = vec![0u32; self.row_perm.len()];
+        let mut pc = vec![0u32; self.col_perm.len()];
+        for (k, &i) in self.row_perm.iter().enumerate() {
+            pr[i as usize] = k as u32;
+        }
+        for (k, &j) in self.col_perm.iter().enumerate() {
+            pc[j as usize] = k as u32;
+        }
+        (pr, pc)
+    }
+
+    /// Check the block-triangular property on `g`: in permuted
+    /// coordinates, no entry may fall below the coarse block diagonal, and
+    /// no entry of `S` may fall below its fine block diagonal.
+    pub fn verify(&self, g: &BipartiteGraph) -> bool {
+        let (pr, pc) = self.inverse();
+        let (h_r, h_c) = self.horizontal;
+        let s_end_r = h_r + self.square;
+        let s_end_c = h_c + self.square;
+        for (i, j) in g.csr().iter_entries() {
+            let r = pr[i] as usize;
+            let c = pc[j] as usize;
+            // Coarse: rows of S and V cannot touch H columns; rows of V
+            // cannot touch S columns.
+            if r >= h_r && c < h_c {
+                return false;
+            }
+            if r >= s_end_r && c < s_end_c {
+                return false;
+            }
+            // Fine: inside S, entries must lie in the block upper triangle.
+            if (h_r..s_end_r).contains(&r) && (h_c..s_end_c).contains(&c) {
+                let rb = self.fine_block_of(r - h_r);
+                let cb = self.fine_block_of(c - h_c);
+                if rb > cb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Fine block index of a permuted S-position (relative to S start).
+    fn fine_block_of(&self, pos: usize) -> usize {
+        match self.fine_block_ptr.binary_search(&pos) {
+            Ok(k) => k.min(self.fine_block_ptr.len().saturating_sub(2)),
+            Err(k) => k - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::Csr;
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    #[test]
+    fn identity_is_trivially_btf() {
+        let g = graph(&[&[1, 0], &[0, 1]]);
+        let btf = block_triangular_form(&g);
+        assert_eq!(btf.square, 2);
+        assert_eq!(btf.horizontal, (0, 0));
+        assert_eq!(btf.vertical, (0, 0));
+        assert!(btf.verify(&g));
+        assert_eq!(btf.fine_block_ptr, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn triangular_matrix_keeps_three_blocks_in_order() {
+        let g = graph(&[&[1, 1, 1], &[0, 1, 1], &[0, 0, 1]]);
+        let btf = block_triangular_form(&g);
+        assert_eq!(btf.square, 3);
+        assert_eq!(btf.fine_block_ptr.len(), 4);
+        assert!(btf.verify(&g), "permutation must realize the BTF");
+    }
+
+    #[test]
+    fn mixed_h_s_v_structure() {
+        // Row 0 spans 2 columns (H); rows 1–2 a 2-cycle with cols 2–3 (S);
+        // rows 3–4 share col 4 (V).
+        let g = graph(&[
+            &[1, 1, 0, 0, 0],
+            &[0, 0, 1, 1, 0],
+            &[0, 0, 1, 1, 0],
+            &[0, 0, 0, 0, 1],
+            &[0, 0, 0, 0, 1],
+        ]);
+        let btf = block_triangular_form(&g);
+        assert_eq!(btf.horizontal, (1, 2));
+        assert_eq!(btf.square, 2);
+        assert_eq!(btf.vertical, (2, 1));
+        assert!(btf.verify(&g));
+        // Permutations are genuine permutations.
+        let mut rp = btf.row_perm.clone();
+        rp.sort_unstable();
+        assert_eq!(rp, (0..5).collect::<Vec<u32>>());
+        let mut cp = btf.col_perm.clone();
+        cp.sort_unstable();
+        assert_eq!(cp, (0..5).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn random_instances_verify() {
+        use dsmatch_graph::{SplitMix64, TripletMatrix};
+        let mut rng = SplitMix64::new(77);
+        for trial in 0..100 {
+            let m = 2 + rng.next_index(10);
+            let n = 2 + rng.next_index(10);
+            let mut t = TripletMatrix::new(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    if rng.next_below(3) == 0 {
+                        t.push(i, j);
+                    }
+                }
+            }
+            let g = BipartiteGraph::from_csr(t.into_csr());
+            let btf = block_triangular_form(&g);
+            assert!(btf.verify(&g), "trial {trial} failed");
+            assert_eq!(btf.horizontal.0 + btf.square + btf.vertical.0, g.nrows());
+            assert_eq!(btf.horizontal.1 + btf.square + btf.vertical.1, g.ncols());
+        }
+    }
+
+    #[test]
+    fn diagonal_of_square_part_is_zero_free() {
+        let g = graph(&[&[1, 1, 0], &[1, 1, 0], &[0, 1, 1]]);
+        let btf = block_triangular_form(&g);
+        assert_eq!(btf.square, 3);
+        // Row k and column k of the permuted S are matched → entry exists.
+        for k in 0..btf.square {
+            let i = btf.row_perm[btf.horizontal.0 + k] as usize;
+            let j = btf.col_perm[btf.horizontal.1 + k] as usize;
+            assert!(g.csr().contains(i, j), "diagonal position {k} is zero");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Fine Dulmage–Mendelsohn decomposition of the square part.
+//!
+//! Contract each matched pair `(row, col)` of `S` into one node; add a
+//! directed edge `pair(col j) → pair(col j′)` whenever the row matched to
+//! `j` has an entry in column `j′ ≠ j`. The strongly connected components
+//! of this digraph are the fine blocks `S₁ … S_k`; `S` has **total
+//! support** iff every edge of `S` stays within one block (equivalently,
+//! the digraph's condensation has no cross edges carrying entries).
+//!
+//! Tarjan's algorithm, implemented iteratively so paper-scale square parts
+//! (10⁵+ pairs) cannot overflow the call stack.
+
+use dsmatch_graph::{BipartiteGraph, NIL};
+
+use crate::coarse::{CoarsePart, DmDecomposition};
+
+/// The fine decomposition of the square part.
+#[derive(Clone, Debug)]
+pub struct FineDecomposition {
+    /// For each column vertex: fine-block id, or [`NIL`] for columns
+    /// outside `S`.
+    pub block_of_col: Vec<u32>,
+    /// For each row vertex: the block of its matched column, or [`NIL`]
+    /// outside `S`.
+    pub block_of_row: Vec<u32>,
+    /// Number of fine blocks.
+    pub block_count: usize,
+    /// Size (number of matched pairs) of each block.
+    pub block_sizes: Vec<usize>,
+}
+
+impl FineDecomposition {
+    /// True iff every `S`-internal edge stays inside a single fine block —
+    /// the total-support criterion for the square part. Edges with an
+    /// endpoint outside `S` are governed by the coarse structure and
+    /// ignored here.
+    pub fn all_edges_intra_block(&self, g: &BipartiteGraph) -> bool {
+        g.csr().iter_entries().all(|(i, j)| {
+            let (bi, bj) = (self.block_of_row[i], self.block_of_col[j]);
+            bi == NIL || bj == NIL || bi == bj
+        })
+    }
+}
+
+/// Compute the fine decomposition of `dm`'s square part.
+pub fn fine_decomposition(g: &BipartiteGraph, dm: &DmDecomposition) -> FineDecomposition {
+    let n_c = g.ncols();
+    let n_r = g.nrows();
+
+    // Node set: S-columns (each represents its matched pair).
+    let mut node_of_col = vec![NIL; n_c];
+    let mut cols: Vec<u32> = Vec::with_capacity(dm.s_cols);
+    for j in 0..n_c {
+        if dm.col_part[j] == CoarsePart::Square {
+            node_of_col[j] = cols.len() as u32;
+            cols.push(j as u32);
+        }
+    }
+    let n = cols.len();
+
+    // Iterative Tarjan.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_count = 0u32;
+    let mut block_sizes: Vec<usize> = Vec::new();
+
+    // Successors of node v: entries of the row matched to cols[v].
+    let succ = |v: usize| -> &[u32] {
+        let j = cols[v] as usize;
+        let i = dm.matching.cmate(j);
+        debug_assert_ne!(i, NIL, "S columns are perfectly matched");
+        g.row_adj(i as usize)
+    };
+
+    // DFS frame: (node, next successor position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let v = v as usize;
+            let adj = succ(v);
+            let mut descended = false;
+            while *pos < adj.len() {
+                let j = adj[*pos] as usize;
+                *pos += 1;
+                let w = node_of_col[j];
+                if w == NIL {
+                    continue; // edge leaves S
+                }
+                let w = w as usize;
+                if w == v {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished.
+            if low[v] == index[v] {
+                let mut size = 0usize;
+                loop {
+                    let w = stack.pop().unwrap();
+                    on_stack[w as usize] = false;
+                    scc_of[w as usize] = scc_count;
+                    size += 1;
+                    if w as usize == v {
+                        break;
+                    }
+                }
+                block_sizes.push(size);
+                scc_count += 1;
+            }
+            frames.pop();
+            if let Some(&mut (p, _)) = frames.last_mut() {
+                let p = p as usize;
+                low[p] = low[p].min(low[v]);
+            }
+        }
+    }
+
+    let mut block_of_col = vec![NIL; n_c];
+    for (v, &j) in cols.iter().enumerate() {
+        block_of_col[j as usize] = scc_of[v];
+    }
+    let mut block_of_row = vec![NIL; n_r];
+    for j in 0..n_c {
+        if block_of_col[j] != NIL {
+            let i = dm.matching.cmate(j);
+            block_of_row[i as usize] = block_of_col[j];
+        }
+    }
+    FineDecomposition {
+        block_of_col,
+        block_of_row,
+        block_count: scc_count as usize,
+        block_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::dulmage_mendelsohn;
+    use dsmatch_graph::Csr;
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    #[test]
+    fn ring_is_one_block() {
+        let g = dsmatch_gen::ring(12);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        assert_eq!(fine.block_count, 1);
+        assert_eq!(fine.block_sizes, vec![12]);
+        assert!(fine.all_edges_intra_block(&g));
+    }
+
+    #[test]
+    fn permutation_gives_singleton_blocks() {
+        let g = dsmatch_gen::permutation(9, 2);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        assert_eq!(fine.block_count, 9);
+        assert!(fine.block_sizes.iter().all(|&s| s == 1));
+        assert!(fine.all_edges_intra_block(&g));
+    }
+
+    #[test]
+    fn triangular_blocks_and_star_entries() {
+        // Upper triangular: 3 singleton blocks; the super-diagonal entries
+        // are cross-block (`∗` entries) → no total support.
+        let g = graph(&[&[1, 1, 1], &[0, 1, 1], &[0, 0, 1]]);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        assert_eq!(fine.block_count, 3);
+        assert!(!fine.all_edges_intra_block(&g));
+    }
+
+    #[test]
+    fn block_diagonal_two_blocks() {
+        let g = graph(&[&[1, 1, 0, 0], &[1, 1, 0, 0], &[0, 0, 1, 1], &[0, 0, 1, 1]]);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        assert_eq!(fine.block_count, 2);
+        assert_eq!(fine.block_sizes, vec![2, 2]);
+        assert!(fine.all_edges_intra_block(&g));
+    }
+
+    #[test]
+    fn non_square_parts_excluded() {
+        let g = graph(&[&[1, 1, 1], &[0, 0, 1]]);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        // Columns 0–1 and row 0 are horizontal; the pair (r1, c2) is the
+        // only square block.
+        assert_eq!(dm.h_cols, 2);
+        assert_eq!(fine.block_count, 1);
+        assert_eq!(fine.block_of_col[0], NIL);
+        assert_eq!(fine.block_of_col[1], NIL);
+        assert_ne!(fine.block_of_col[2], NIL);
+        assert_eq!(fine.block_of_row[1], fine.block_of_col[2]);
+    }
+
+    #[test]
+    fn fully_horizontal_matrix_has_no_blocks() {
+        // 1 row × 3 columns: everything horizontal, no S at all.
+        let g = graph(&[&[1, 1, 1]]);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        assert_eq!(fine.block_count, 0);
+        assert!(fine.block_of_col.iter().all(|&b| b == NIL));
+    }
+
+    #[test]
+    fn rows_and_cols_share_block_through_matching() {
+        let g = dsmatch_gen::ring(6);
+        let dm = dulmage_mendelsohn(&g);
+        let fine = fine_decomposition(&g, &dm);
+        for j in 0..6 {
+            let i = dm.matching.cmate(j);
+            assert_eq!(fine.block_of_row[i as usize], fine.block_of_col[j]);
+        }
+    }
+}

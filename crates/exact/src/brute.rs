@@ -1,0 +1,79 @@
+//! Exponential brute-force matching oracle for property tests.
+//!
+//! Bitmask dynamic programming over columns: `best(i, used)` = maximum
+//! matching size among rows `i..n_r` with column set `used` unavailable.
+//! `O(2^{n_c} · n_r)` — only for graphs with at most ~20 columns; the test
+//! suites use it to certify Hopcroft–Karp, Pothen–Fan and the exactness of
+//! `KarpSipserMT` on sampled subgraphs.
+
+use dsmatch_graph::BipartiteGraph;
+
+/// Maximum matching cardinality by exhaustive search.
+///
+/// # Panics
+/// If the graph has more than 24 columns (the DP table would explode).
+pub fn brute_force_maximum(g: &BipartiteGraph) -> usize {
+    let n_c = g.ncols();
+    assert!(n_c <= 24, "brute force limited to ≤ 24 columns, got {n_c}");
+    let n_r = g.nrows();
+    // memo[i][used] with used packed; use a map keyed by (i, used) to avoid
+    // allocating 2^24 entries for small instances.
+    let mut memo = std::collections::HashMap::new();
+    fn go(
+        g: &BipartiteGraph,
+        i: usize,
+        used: u32,
+        memo: &mut std::collections::HashMap<(usize, u32), u32>,
+    ) -> u32 {
+        if i >= g.nrows() {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&(i, used)) {
+            return v;
+        }
+        // Skip row i.
+        let mut best = go(g, i + 1, used, memo);
+        // Or match it with any free neighbour.
+        for &j in g.row_adj(i) {
+            let bit = 1u32 << j;
+            if used & bit == 0 {
+                best = best.max(1 + go(g, i + 1, used | bit, memo));
+            }
+        }
+        memo.insert((i, used), best);
+        best
+    }
+    let _ = n_r;
+    go(g, 0, 0, &mut memo) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::Csr;
+
+    #[test]
+    fn tiny_cases() {
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1], &[1, 0]]));
+        assert_eq!(brute_force_maximum(&g), 2);
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 0], &[1, 0]]));
+        assert_eq!(brute_force_maximum(&g), 1);
+        let g = BipartiteGraph::from_csr(Csr::empty(3, 3));
+        assert_eq!(brute_force_maximum(&g), 0);
+    }
+
+    #[test]
+    fn rectangular() {
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 1]]));
+        assert_eq!(brute_force_maximum(&g), 1);
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1], &[1], &[1]]));
+        assert_eq!(brute_force_maximum(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn rejects_wide_graphs() {
+        let g = BipartiteGraph::from_csr(Csr::empty(1, 30));
+        let _ = brute_force_maximum(&g);
+    }
+}

@@ -1,0 +1,282 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching.
+//!
+//! The `O(√n · τ)` algorithm referenced in the paper's introduction [17]:
+//! repeat phases of (i) BFS from all free rows to build the layered
+//! shortest-alternating-path structure and (ii) a blocking set of
+//! vertex-disjoint shortest augmenting paths found by DFS. The number of
+//! phases is `O(√n)`.
+//!
+//! [`hopcroft_karp_from`] accepts a warm-start matching — the paper's
+//! motivating use of the heuristics is to jump-start exactly this kind of
+//! solver, and the `solver_jumpstart` example measures the phase/visit
+//! savings.
+
+use dsmatch_graph::{BipartiteGraph, Matching, VertexId, NIL};
+
+/// Work counters of a Hopcroft–Karp run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HopcroftKarpStats {
+    /// Number of BFS/DFS phases executed (including the final certifying
+    /// phase that finds no augmenting path).
+    pub phases: usize,
+    /// Total vertices dequeued across all BFS passes.
+    pub bfs_visits: usize,
+    /// Total augmenting paths applied.
+    pub augmentations: usize,
+}
+
+const INF: u32 = u32::MAX;
+
+struct Hk<'g> {
+    g: &'g BipartiteGraph,
+    rmate: Vec<VertexId>,
+    cmate: Vec<VertexId>,
+    dist: Vec<u32>, // distance label per row
+    queue: Vec<u32>,
+    // DFS iterator state: next adjacency offset to try per row.
+    iter: Vec<usize>,
+    stats: HopcroftKarpStats,
+}
+
+impl<'g> Hk<'g> {
+    /// BFS from all free rows; returns true if some free column is
+    /// reachable (i.e., an augmenting path exists).
+    fn bfs(&mut self) -> bool {
+        self.queue.clear();
+        for i in 0..self.g.nrows() {
+            if self.rmate[i] == NIL {
+                self.dist[i] = 0;
+                self.queue.push(i as u32);
+            } else {
+                self.dist[i] = INF;
+            }
+        }
+        let mut found = false;
+        let mut head = 0usize;
+        let mut frontier_cap = INF; // cut off layers beyond first success
+        while head < self.queue.len() {
+            let i = self.queue[head] as usize;
+            head += 1;
+            self.stats.bfs_visits += 1;
+            let d = self.dist[i];
+            if d >= frontier_cap {
+                break;
+            }
+            for &j in self.g.row_adj(i) {
+                let next = self.cmate[j as usize];
+                if next == NIL {
+                    // Free column reached: shortest augmenting length is
+                    // d+1; stop expanding deeper layers.
+                    found = true;
+                    frontier_cap = frontier_cap.min(d + 1);
+                } else if self.dist[next as usize] == INF {
+                    self.dist[next as usize] = d + 1;
+                    self.queue.push(next);
+                }
+            }
+        }
+        found
+    }
+
+    /// Iterative DFS along the layered structure from free row `root`;
+    /// augments along a shortest path if one is found. Iterative so the
+    /// paper-scale instances (10⁵–10⁷ vertices) cannot overflow the stack.
+    fn dfs(&mut self, root: usize) -> bool {
+        // `stack` holds the row path; `entry_col[k]` is the column through
+        // which `stack[k]` was entered (unused sentinel for the root).
+        let mut stack: Vec<u32> = vec![root as u32];
+        let mut entry_col: Vec<u32> = vec![NIL];
+        loop {
+            let i = *stack.last().unwrap() as usize;
+            let deg = self.g.row_degree(i);
+            let mut advanced = false;
+            while self.iter[i] < deg {
+                let j = self.g.row_adj(i)[self.iter[i]];
+                self.iter[i] += 1;
+                let next = self.cmate[j as usize];
+                if next == NIL {
+                    // Free column: augment along the whole stack.
+                    let mut col = j;
+                    while let (Some(row), Some(ec)) = (stack.pop(), entry_col.pop()) {
+                        self.rmate[row as usize] = col;
+                        self.cmate[col as usize] = row;
+                        col = ec;
+                    }
+                    return true;
+                }
+                if self.dist[next as usize] == self.dist[i] + 1 {
+                    stack.push(next);
+                    entry_col.push(j);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                // Dead end: remove `i` from the layered structure.
+                self.dist[i] = INF;
+                stack.pop();
+                entry_col.pop();
+                if stack.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Maximum-cardinality matching from scratch.
+///
+/// ```
+/// use dsmatch_exact::hopcroft_karp;
+/// use dsmatch_graph::{BipartiteGraph, Csr};
+///
+/// // Greedy would strand row 1; Hopcroft–Karp augments to the optimum.
+/// let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1], &[1, 0]]));
+/// let m = hopcroft_karp(&g);
+/// assert!(m.is_perfect());
+/// ```
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    hopcroft_karp_from(g, Matching::new(g.nrows(), g.ncols())).0
+}
+
+/// Maximum-cardinality matching warm-started from `initial`; also returns
+/// work statistics.
+///
+/// # Panics
+/// If `initial` is not a valid matching of `g` (checked with
+/// [`Matching::verify`]).
+pub fn hopcroft_karp_from(
+    g: &BipartiteGraph,
+    initial: Matching,
+) -> (Matching, HopcroftKarpStats) {
+    initial.verify(g).expect("warm-start matching must be valid");
+    let mut hk = Hk {
+        g,
+        rmate: initial.rmates().to_vec(),
+        cmate: initial.cmates().to_vec(),
+        dist: vec![INF; g.nrows()],
+        queue: Vec::with_capacity(g.nrows()),
+        iter: vec![0; g.nrows()],
+        stats: HopcroftKarpStats::default(),
+    };
+    loop {
+        hk.stats.phases += 1;
+        if !hk.bfs() {
+            break;
+        }
+        hk.iter.iter_mut().for_each(|x| *x = 0);
+        for i in 0..g.nrows() {
+            if hk.rmate[i] == NIL && hk.dfs(i) {
+                hk.stats.augmentations += 1;
+            }
+        }
+    }
+    (Matching::from_mates(hk.rmate, hk.cmate), hk.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::{Csr, SplitMix64, TripletMatrix};
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    #[test]
+    fn perfect_on_identity() {
+        let g = graph(&[&[1, 0], &[0, 1]]);
+        let m = hopcroft_karp(&g);
+        assert!(m.is_perfect());
+        m.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn classic_crown_graph() {
+        // Complete bipartite K_{3,3}: perfect matching exists.
+        let g = graph(&[&[1, 1, 1], &[1, 1, 1], &[1, 1, 1]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 3);
+    }
+
+    #[test]
+    fn deficient_instances() {
+        let g = graph(&[&[1, 1, 0], &[1, 1, 0], &[1, 1, 0]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 2);
+        let g = graph(&[&[1], &[1], &[1]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 1);
+        let g = BipartiteGraph::from_csr(Csr::empty(4, 4));
+        assert_eq!(hopcroft_karp(&g).cardinality(), 0);
+    }
+
+    #[test]
+    fn requires_augmenting_through_alternating_path() {
+        // Greedy left-to-right would match r0–c0 and then strand r1; the
+        // optimum is 2 via r0–c1, r1–c0.
+        let g = graph(&[&[1, 1], &[1, 0]]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.rmate(1), 0);
+        assert_eq!(m.rmate(0), 1);
+    }
+
+    #[test]
+    fn warm_start_preserves_and_completes() {
+        let g = graph(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 1]]);
+        let mut init = Matching::new(3, 3);
+        init.set(0, 0);
+        let (m, stats) = hopcroft_karp_from(&g, init);
+        assert_eq!(m.cardinality(), 3);
+        assert!(stats.phases >= 1);
+        assert!(stats.augmentations <= 2, "warm start saved an augmentation");
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start matching must be valid")]
+    fn warm_start_validated() {
+        let g = graph(&[&[0, 1], &[1, 0]]);
+        let mut bad = Matching::new(2, 2);
+        bad.set(0, 0); // not an edge
+        let _ = hopcroft_karp_from(&g, bad);
+    }
+
+    #[test]
+    fn random_instances_against_brute_force() {
+        let mut rng = SplitMix64::new(99);
+        for n in [2usize, 3, 4, 5, 6] {
+            for trial in 0..60 {
+                let mut t = TripletMatrix::new(n, n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if rng.next_below(3) == 0 {
+                            t.push(i, j);
+                        }
+                    }
+                }
+                let g = BipartiteGraph::from_csr(t.into_csr());
+                let hk = hopcroft_karp(&g);
+                hk.verify(&g).unwrap();
+                let opt = crate::brute::brute_force_maximum(&g);
+                assert_eq!(hk.cardinality(), opt, "n = {n}, trial = {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_graphs() {
+        let g = graph(&[&[1, 1, 1, 1]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 1);
+        let g = graph(&[&[1], &[1], &[1], &[1]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 1);
+        let g = graph(&[&[1, 0, 1], &[0, 1, 0]]);
+        assert_eq!(hopcroft_karp(&g).cardinality(), 2);
+    }
+
+    #[test]
+    fn stats_reported() {
+        let g = graph(&[&[1, 1], &[1, 1]]);
+        let (_, stats) = hopcroft_karp_from(&g, Matching::new(2, 2));
+        assert!(stats.phases >= 2); // one working phase + certifying phase
+        assert_eq!(stats.augmentations, 2);
+        assert!(stats.bfs_visits > 0);
+    }
+}

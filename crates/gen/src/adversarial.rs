@@ -1,0 +1,141 @@
+//! The Karp–Sipser adversarial family of the paper's Figure 2 / Table 1.
+//!
+//! Layout of the `n × n` matrix (`R1`/`C1` = first half, `R2`/`C2` = second
+//! half of the rows/columns):
+//!
+//! - block `R1 × C1` is **full**;
+//! - block `R2 × C2` is **empty**;
+//! - the last `k ≪ n` rows of `R1` are full, and the last `k` columns of
+//!   `C1` are full (full rows/columns across the whole matrix);
+//! - blocks `R1 × C2` and `R2 × C1` each carry a **nonzero diagonal**;
+//!   together those two diagonals form a perfect matching.
+//!
+//! For `k ≤ 1` Karp–Sipser solves the instance in Phase 1. For `k > 1`
+//! there is no degree-one vertex, so KS immediately picks random edges —
+//! mostly inside the full `R1 × C1` block, wasting `R1` rows that are the
+//! only hope for `C2` columns (and vice versa): its quality degrades toward
+//! ~0.67 as `k` grows (paper Table 1). Scaling drives the `R1 × C1` block's
+//! entries to zero because they cannot participate in any perfect matching,
+//! so `TwoSidedMatch` is unaffected.
+
+use dsmatch_graph::{BipartiteGraph, TripletMatrix};
+
+/// Build the Figure-2 adversarial matrix.
+///
+/// `n` must be even and `k ≤ n/2`. The matrix is full-sprank (a perfect
+/// matching exists).
+pub fn adversarial_ks(n: usize, k: usize) -> BipartiteGraph {
+    assert!(n >= 2 && n % 2 == 0, "n must be even, got {n}");
+    let h = n / 2;
+    assert!(k <= h, "k = {k} must be at most n/2 = {h}");
+
+    // Capacity: full R1×C1 block (h²) + 2 diagonals (n) + full row/col
+    // stripes (≈ 2·k·h, overlapping the block).
+    let mut t = TripletMatrix::with_capacity(n, n, h * h + 2 * n + 2 * k * h);
+
+    // R1 × C1 full block.
+    for i in 0..h {
+        for j in 0..h {
+            t.push(i, j);
+        }
+    }
+    // Last k rows of R1 are full rows: extend into C2.
+    for i in h.saturating_sub(k)..h {
+        for j in h..n {
+            t.push(i, j);
+        }
+    }
+    // Last k columns of C1 are full columns: extend into R2.
+    for j in h.saturating_sub(k)..h {
+        for i in h..n {
+            t.push(i, j);
+        }
+    }
+    // Diagonal of R1 × C2: (i, h + i).
+    for i in 0..h {
+        t.push(i, h + i);
+    }
+    // Diagonal of R2 × C1: (h + i, i).
+    for i in 0..h {
+        t.push(h + i, i);
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::Matching;
+
+    #[test]
+    fn shape_and_blocks() {
+        let n = 16;
+        let g = adversarial_ks(n, 2);
+        let h = n / 2;
+        // R1×C1 full.
+        for i in 0..h {
+            for j in 0..h {
+                assert!(g.csr().contains(i, j), "({i},{j}) missing in full block");
+            }
+        }
+        // R2×C2 empty.
+        for i in h..n {
+            for j in h..n {
+                assert!(!g.csr().contains(i, j), "({i},{j}) must be empty");
+            }
+        }
+        // Cross diagonals present.
+        for i in 0..h {
+            assert!(g.csr().contains(i, h + i));
+            assert!(g.csr().contains(h + i, i));
+        }
+    }
+
+    #[test]
+    fn full_rows_and_columns() {
+        let n = 12;
+        let k = 3;
+        let g = adversarial_ks(n, k);
+        let h = n / 2;
+        for i in h - k..h {
+            assert_eq!(g.row_degree(i), n, "row {i} must be full");
+        }
+        for j in h - k..h {
+            assert_eq!(g.col_degree(j), n, "col {j} must be full");
+        }
+    }
+
+    #[test]
+    fn perfect_matching_exists_via_diagonals() {
+        let n = 20;
+        let g = adversarial_ks(n, 4);
+        let h = n / 2;
+        let mut m = Matching::new(n, n);
+        for i in 0..h {
+            m.set(i, h + i);
+            m.set(h + i, i);
+        }
+        m.verify(&g).unwrap();
+        assert!(m.is_perfect());
+    }
+
+    #[test]
+    fn k_zero_and_one_are_valid() {
+        let g = adversarial_ks(8, 0);
+        assert!(g.nnz() > 0);
+        let g = adversarial_ks(8, 1);
+        assert_eq!(g.row_degree(3), 8); // row h-1 full for k = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_n_rejected() {
+        let _ = adversarial_ks(7, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at most")]
+    fn oversized_k_rejected() {
+        let _ = adversarial_ks(8, 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! R-MAT (recursive matrix) generator — the Graph500-style skewed random
+//! pattern used throughout the parallel-graph-processing literature the
+//! paper belongs to.
+//!
+//! Each edge is placed by recursively descending into one of the four
+//! quadrants of the adjacency matrix with probabilities `(a, b, c, d)`;
+//! `a > d` concentrates edges in the top-left corner, producing the
+//! power-law degree distributions and extreme load imbalance that the
+//! paper's §4.2 identifies as the enemy of static scheduling. Complements
+//! [`crate::chung_lu`] with a different (hierarchical, self-similar)
+//! skew mechanism.
+
+use dsmatch_graph::{BipartiteGraph, SplitMix64, TripletMatrix};
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters (a, b, c, d) = (.57, .19, .19, .05).
+    pub const GRAPH500: Self = Self { a: 0.57, b: 0.19, c: 0.19 };
+
+    /// Implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) {
+        assert!(self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0, "probabilities must be ≥ 0");
+        assert!(
+            self.d() >= -1e-12,
+            "a + b + c must not exceed 1 (got {})",
+            self.a + self.b + self.c
+        );
+    }
+}
+
+/// Generate a `2^scale × 2^scale` R-MAT pattern with `avg_deg · 2^scale`
+/// edge draws (duplicates collapse).
+pub fn rmat(scale: u32, avg_deg: f64, params: RmatParams, seed: u64) -> BipartiteGraph {
+    params.validate();
+    assert!(scale >= 1 && scale <= 26, "scale out of supported range");
+    let n = 1usize << scale;
+    let draws = (avg_deg * n as f64).round() as usize;
+    let mut rng = SplitMix64::new(seed);
+    let mut t = TripletMatrix::with_capacity(n, n, draws);
+    let ab = params.a + params.b;
+    let abc = ab + params.c;
+    for _ in 0..draws {
+        let mut i = 0usize;
+        let mut j = 0usize;
+        for level in (0..scale).rev() {
+            let r = rng.next_f64();
+            let bit = 1usize << level;
+            if r < params.a {
+                // top-left: nothing to add
+            } else if r < ab {
+                j |= bit;
+            } else if r < abc {
+                i |= bit;
+            } else {
+                i |= bit;
+                j |= bit;
+            }
+        }
+        t.push(i, j);
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::stats::DegreeStats;
+
+    #[test]
+    fn shape_and_density() {
+        let g = rmat(12, 8.0, RmatParams::GRAPH500, 1);
+        assert_eq!(g.nrows(), 4096);
+        assert_eq!(g.ncols(), 4096);
+        // Collisions remove a chunk at this skew, but most draws survive.
+        assert!(g.nnz() > 2048 * 8 / 2);
+        assert!(g.nnz() <= 4096 * 8);
+    }
+
+    #[test]
+    fn graph500_params_sum_to_one() {
+        let p = RmatParams::GRAPH500;
+        assert!((p.a + p.b + p.c + p.d() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_indices() {
+        let g = rmat(13, 8.0, RmatParams::GRAPH500, 3);
+        let head: usize = (0..64).map(|i| g.row_degree(i)).sum();
+        let tail: usize = (8128..8192).map(|i| g.row_degree(i)).sum();
+        assert!(head > 10 * tail.max(1), "head {head} vs tail {tail}");
+        let s = DegreeStats::rows_of(g.csr());
+        assert!(s.variance > 10.0 * s.mean, "{s}");
+    }
+
+    #[test]
+    fn uniform_params_behave_like_er() {
+        // a = b = c = d = 0.25 is an unskewed uniform distribution.
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25 };
+        let g = rmat(12, 4.0, p, 9);
+        let s = DegreeStats::rows_of(g.csr());
+        // Poisson-ish: variance ≈ mean.
+        assert!(s.variance < 3.0 * s.mean, "{s}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(10, 4.0, RmatParams::GRAPH500, 5);
+        let b = rmat(10, 4.0, RmatParams::GRAPH500, 5);
+        assert_eq!(a.csr(), b.csr());
+        let c = rmat(10, 4.0, RmatParams::GRAPH500, 6);
+        assert_ne!(a.csr(), c.csr());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn invalid_params_rejected() {
+        let _ = rmat(8, 2.0, RmatParams { a: 0.7, b: 0.3, c: 0.2 }, 1);
+    }
+}

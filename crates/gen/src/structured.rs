@@ -1,0 +1,147 @@
+//! Structured deterministic instances.
+
+use dsmatch_graph::{BipartiteGraph, SplitMix64, TripletMatrix};
+
+/// The all-ones `n × n` matrix of the Conjecture-1 discussion: its doubly
+/// stochastic scaling is uniform `1/n`, so `TwoSidedMatch`'s sampled
+/// subgraph is exactly a **random 1-out bipartite graph**, whose maximum
+/// matching is `2(1 − ρ)n ≈ 0.866n` asymptotically (Karoński–Pittel,
+/// Meir–Moon).
+///
+/// Memory is `O(n²)`; keep `n ≲ 10⁴`.
+pub fn dense_ones(n: usize) -> BipartiteGraph {
+    assert!(n > 0);
+    assert!(n <= 20_000, "dense_ones is quadratic; n = {n} is too large");
+    let mut t = TripletMatrix::with_capacity(n, n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            t.push(i, j);
+        }
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+/// 5-point-stencil mesh pattern on a `rows × cols` grid: vertex `(x, y)` is
+/// adjacent (as a matrix row) to the column vertices of itself and its 4
+/// grid neighbours. Symmetric, average degree < 5, zero-free diagonal ⇒
+/// full sprank. A stand-in for the paper's PDE matrices (`atmosmodl`,
+/// `venturiLevel3`).
+pub fn grid_mesh(rows: usize, cols: usize) -> BipartiteGraph {
+    assert!(rows > 0 && cols > 0);
+    let n = rows * cols;
+    let idx = |x: usize, y: usize| x * cols + y;
+    let mut t = TripletMatrix::with_capacity(n, n, 5 * n);
+    for x in 0..rows {
+        for y in 0..cols {
+            let u = idx(x, y);
+            t.push(u, u);
+            if x > 0 {
+                t.push(u, idx(x - 1, y));
+            }
+            if x + 1 < rows {
+                t.push(u, idx(x + 1, y));
+            }
+            if y > 0 {
+                t.push(u, idx(x, y - 1));
+            }
+            if y + 1 < cols {
+                t.push(u, idx(x, y + 1));
+            }
+        }
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+/// Ring pattern: row `i` adjacent to columns `i` and `(i+1) mod n`. The
+/// smallest fully indecomposable family; every edge is in a perfect
+/// matching, and the doubly stochastic limit is uniform `1/2`.
+pub fn ring(n: usize) -> BipartiteGraph {
+    assert!(n >= 2);
+    let mut t = TripletMatrix::with_capacity(n, n, 2 * n);
+    for i in 0..n {
+        t.push(i, i);
+        t.push(i, (i + 1) % n);
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+/// Path pattern: like [`ring`] without the wrap-around edge. A tree, so
+/// Karp–Sipser Phase 1 solves it completely.
+pub fn path_graph(n: usize) -> BipartiteGraph {
+    assert!(n >= 1);
+    let mut t = TripletMatrix::with_capacity(n, n, 2 * n);
+    for i in 0..n {
+        t.push(i, i);
+        if i + 1 < n {
+            t.push(i + 1, i);
+        }
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+/// A random permutation matrix: every row has exactly one column. Each
+/// heuristic must return the full permutation.
+pub fn permutation(n: usize, seed: u64) -> BipartiteGraph {
+    assert!(n >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    let mut t = TripletMatrix::with_capacity(n, n, n);
+    for (i, &j) in perm.iter().enumerate() {
+        t.push(i, j as usize);
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ones_is_full() {
+        let g = dense_ones(20);
+        assert_eq!(g.nnz(), 400);
+        assert_eq!(g.row_degree(7), 20);
+        assert_eq!(g.col_degree(13), 20);
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let g = grid_mesh(4, 5);
+        assert_eq!(g.nrows(), 20);
+        // Corner: self + 2 neighbours.
+        assert_eq!(g.row_degree(0), 3);
+        // Interior: self + 4.
+        assert_eq!(g.row_degree(6), 5);
+        // Symmetric pattern.
+        assert!(g.csr().is_transpose_of(g.csr()));
+    }
+
+    #[test]
+    fn ring_and_path_shapes() {
+        let r = ring(10);
+        assert_eq!(r.nnz(), 20);
+        assert!(r.has_no_isolated_vertices());
+        let p = path_graph(10);
+        assert_eq!(p.nnz(), 19);
+        assert_eq!(p.row_degree(0), 1);
+        assert_eq!(p.col_degree(9), 1);
+    }
+
+    #[test]
+    fn permutation_has_degree_one_everywhere() {
+        let g = permutation(50, 3);
+        for i in 0..50 {
+            assert_eq!(g.row_degree(i), 1);
+            assert_eq!(g.col_degree(i), 1);
+        }
+        assert_eq!(permutation(50, 3).csr(), g.csr());
+        assert_ne!(permutation(50, 4).csr(), g.csr());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn dense_ones_guard() {
+        let _ = dense_ones(100_000);
+    }
+}

@@ -1,0 +1,172 @@
+//! Two-sided bipartite graph view.
+//!
+//! Every algorithm in the paper needs both directions of the incidence
+//! structure: Sinkhorn–Knopp alternates column scans (`A_*j`) and row scans
+//! (`A_i*`); `TwoSidedMatch` samples a column for every row *and* a row for
+//! every column. [`BipartiteGraph`] bundles a row-major [`Csr`] with its
+//! transpose so both are O(1) accessible, and centralizes the size/metadata
+//! queries used by the experiment harness.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// A bipartite graph `G = (V_R ∪ V_C, E)` stored as a CSR matrix plus its
+/// transpose.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    rows: Csr, // A   : row  -> cols
+    cols: Csr, // A^T : col  -> rows
+}
+
+impl BipartiteGraph {
+    /// Build from a CSR matrix, computing the transpose.
+    pub fn from_csr(rows: Csr) -> Self {
+        let cols = rows.transpose();
+        Self { rows, cols }
+    }
+
+    /// Build from both directions; `cols` must be the exact transpose of
+    /// `rows`.
+    ///
+    /// # Panics
+    /// If the two matrices are not transposes of each other (checked in debug
+    /// builds only, since the check is `O(nnz · log)`).
+    pub fn from_parts(rows: Csr, cols: Csr) -> Self {
+        debug_assert!(cols.is_transpose_of(&rows), "cols must equal rowsᵀ");
+        assert_eq!(rows.nrows(), cols.ncols());
+        assert_eq!(rows.ncols(), cols.nrows());
+        Self { rows, cols }
+    }
+
+    /// Number of row vertices (`|V_R|`, matrix rows).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows.nrows()
+    }
+
+    /// Number of column vertices (`|V_C|`, matrix columns).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.rows.ncols()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rows.nnz()
+    }
+
+    /// True when `|V_R| == |V_C|`.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows.is_square()
+    }
+
+    /// Row-major view (`A`): neighbours of row vertices.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.rows
+    }
+
+    /// Column-major view (`Aᵀ`): neighbours of column vertices.
+    #[inline]
+    pub fn csc(&self) -> &Csr {
+        &self.cols
+    }
+
+    /// Columns adjacent to row `i` (the paper's `A_i*`).
+    #[inline]
+    pub fn row_adj(&self, i: usize) -> &[VertexId] {
+        self.rows.row(i)
+    }
+
+    /// Rows adjacent to column `j` (the paper's `A_*j`).
+    #[inline]
+    pub fn col_adj(&self, j: usize) -> &[VertexId] {
+        self.cols.row(j)
+    }
+
+    /// Degree of row vertex `i`.
+    #[inline]
+    pub fn row_degree(&self, i: usize) -> usize {
+        self.rows.row_degree(i)
+    }
+
+    /// Degree of column vertex `j` (the paper's `d_j = |A_*j|`).
+    #[inline]
+    pub fn col_degree(&self, j: usize) -> usize {
+        self.cols.row_degree(j)
+    }
+
+    /// Average degree (`nnz / nrows`), the paper's "Avg. deg." column of
+    /// Table 3.
+    pub fn avg_degree(&self) -> f64 {
+        if self.nrows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows() as f64
+        }
+    }
+
+    /// True if the graph has no vertex with degree 0 on either side.
+    pub fn has_no_isolated_vertices(&self) -> bool {
+        (0..self.nrows()).all(|i| self.row_degree(i) > 0)
+            && (0..self.ncols()).all(|j| self.col_degree(j) > 0)
+    }
+}
+
+impl From<Csr> for BipartiteGraph {
+    fn from(c: Csr) -> Self {
+        Self::from_csr(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 0], &[0, 0, 1], &[1, 0, 1]]))
+    }
+
+    #[test]
+    fn adjacency_views_agree() {
+        let g = g();
+        assert_eq!(g.row_adj(0), &[0, 1]);
+        assert_eq!(g.col_adj(0), &[0, 2]);
+        assert_eq!(g.col_adj(1), &[0]);
+        assert_eq!(g.col_adj(2), &[1, 2]);
+        for i in 0..g.nrows() {
+            for &j in g.row_adj(i) {
+                assert!(g.col_adj(j as usize).contains(&(i as VertexId)));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_metadata() {
+        let g = g();
+        assert_eq!(g.nrows(), 3);
+        assert_eq!(g.ncols(), 3);
+        assert_eq!(g.nnz(), 5);
+        assert!(g.is_square());
+        assert_eq!(g.row_degree(1), 1);
+        assert_eq!(g.col_degree(1), 1);
+        assert!((g.avg_degree() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(g.has_no_isolated_vertices());
+    }
+
+    #[test]
+    fn isolated_vertex_detected() {
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 0], &[1, 0]]));
+        assert!(!g.has_no_isolated_vertices());
+    }
+
+    #[test]
+    fn from_parts_checks_shapes() {
+        let a = Csr::from_dense(&[&[1, 0], &[1, 1]]);
+        let at = a.transpose();
+        let g = BipartiteGraph::from_parts(a.clone(), at);
+        assert_eq!(g.csr(), &a);
+    }
+}

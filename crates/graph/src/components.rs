@@ -1,0 +1,277 @@
+//! Connected components and cycle counting.
+//!
+//! Lemma 1 of the paper states that every connected component of the subgraph
+//! `G` sampled by `TwoSidedMatch` (the union of one out-edge per row and one
+//! out-edge per column) contains **at most one simple cycle** — this is what
+//! makes Karp–Sipser exact on `G`. The [`choice_graph_components`] helper
+//! computes, for such a graph given only the two choice arrays, the vertex
+//! and edge count of every component, so tests can assert
+//! `edges ≤ vertices` per component (a connected graph with `v` vertices and
+//! `v-1+c` edges has exactly `c` independent cycles).
+//!
+//! A generic disjoint-set (union–find) structure and plain BFS components on
+//! a [`BipartiteGraph`] are also provided.
+
+use crate::bipartite::BipartiteGraph;
+use crate::{VertexId, NIL};
+
+/// Disjoint-set forest with union by size and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    count: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], count: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.count -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.count
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// Summary of one connected component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of (undirected, distinct) edges.
+    pub edges: usize,
+}
+
+impl ComponentStats {
+    /// Number of independent cycles: `edges - vertices + 1` for a connected
+    /// component (0 for a tree).
+    pub fn cycle_count(&self) -> usize {
+        debug_assert!(self.edges + 1 >= self.vertices);
+        self.edges + 1 - self.vertices
+    }
+}
+
+/// Component statistics of the `TwoSidedMatch` subgraph given the two choice
+/// arrays (`rchoice[i] ∈ [0, ncols)`, `cchoice[j] ∈ [0, nrows)`).
+///
+/// Vertices are numbered rows `0..n_r`, columns `n_r..n_r+n_c`. A mutual
+/// choice (`rchoice[i] = j` and `cchoice[j] = i`) is a single edge, exactly
+/// as in line 8 of the paper's Algorithm 3.
+pub fn choice_graph_components(rchoice: &[VertexId], cchoice: &[VertexId]) -> Vec<ComponentStats> {
+    let n_r = rchoice.len();
+    let n_c = cchoice.len();
+    let total = n_r + n_c;
+    let mut uf = UnionFind::new(total);
+    // Count distinct edges per component root at the end; first collect the
+    // distinct edge list.
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(total);
+    for (i, &j) in rchoice.iter().enumerate() {
+        if j == NIL {
+            continue; // empty adjacency (sprank-deficient input)
+        }
+        debug_assert!((j as usize) < n_c);
+        edges.push((i, n_r + j as usize));
+    }
+    for (j, &i) in cchoice.iter().enumerate() {
+        if i == NIL {
+            continue;
+        }
+        debug_assert!((i as usize) < n_r);
+        // Skip the duplicate of a mutual choice.
+        if rchoice[i as usize] != j as VertexId {
+            edges.push((i as usize, n_r + j));
+        }
+    }
+    for &(a, b) in &edges {
+        uf.union(a, b);
+    }
+    // Aggregate per root.
+    let mut root_of = vec![0u32; total];
+    for v in 0..total {
+        root_of[v] = uf.find(v) as u32;
+    }
+    let mut vcount = vec![0usize; total];
+    let mut ecount = vec![0usize; total];
+    for v in 0..total {
+        vcount[root_of[v] as usize] += 1;
+    }
+    for &(a, _) in &edges {
+        ecount[root_of[a] as usize] += 1;
+    }
+    (0..total)
+        .filter(|&v| root_of[v] as usize == v)
+        .map(|v| ComponentStats { vertices: vcount[v], edges: ecount[v] })
+        .collect()
+}
+
+/// Connected components of a general bipartite graph via BFS.
+///
+/// Returns `(labels_rows, labels_cols, component_count)`; isolated vertices
+/// get their own components. Labels are in `0..count`.
+pub fn connected_components(g: &BipartiteGraph) -> (Vec<u32>, Vec<u32>, usize) {
+    let (n_r, n_c) = (g.nrows(), g.ncols());
+    let mut lr = vec![NIL; n_r];
+    let mut lc = vec![NIL; n_c];
+    let mut next = 0u32;
+    let mut queue: Vec<(bool, usize)> = Vec::new();
+    for start in 0..n_r {
+        if lr[start] != NIL {
+            continue;
+        }
+        lr[start] = next;
+        queue.push((true, start));
+        while let Some((is_row, v)) = queue.pop() {
+            if is_row {
+                for &j in g.row_adj(v) {
+                    let j = j as usize;
+                    if lc[j] == NIL {
+                        lc[j] = next;
+                        queue.push((false, j));
+                    }
+                }
+            } else {
+                for &i in g.col_adj(v) {
+                    let i = i as usize;
+                    if lr[i] == NIL {
+                        lr[i] = next;
+                        queue.push((true, i));
+                    }
+                }
+            }
+        }
+        next += 1;
+    }
+    for j in 0..n_c {
+        if lc[j] == NIL {
+            lc[j] = next;
+            next += 1;
+        }
+    }
+    (lr, lc, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.size_of(2), 3);
+        assert_eq!(uf.size_of(3), 1);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(4));
+    }
+
+    #[test]
+    fn choice_components_mutual_pair_is_single_edge() {
+        // 1 row, 1 col choosing each other: one component, 2 vertices, 1 edge,
+        // zero cycles (a 2-clique in the paper's terminology is the cycle
+        // case handled by Phase 2, structurally it is a single edge).
+        let stats = choice_graph_components(&[0], &[0]);
+        assert_eq!(stats, vec![ComponentStats { vertices: 2, edges: 1 }]);
+        assert_eq!(stats[0].cycle_count(), 0);
+    }
+
+    #[test]
+    fn choice_components_four_cycle() {
+        // rows 0,1; cols 0,1. r0→c0, r1→c1, c0→r1, c1→r0: a 4-cycle.
+        let stats = choice_graph_components(&[0, 1], &[1, 0]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0], ComponentStats { vertices: 4, edges: 4 });
+        assert_eq!(stats[0].cycle_count(), 1);
+    }
+
+    #[test]
+    fn choice_components_skip_nil() {
+        // Row 0 chooses nothing; column 0 chooses row 0: a single edge.
+        let stats = choice_graph_components(&[NIL], &[0]);
+        assert_eq!(stats, vec![ComponentStats { vertices: 2, edges: 1 }]);
+        // Everything NIL: two isolated vertices.
+        let stats = choice_graph_components(&[NIL], &[NIL]);
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.edges == 0 && s.vertices == 1));
+    }
+
+    #[test]
+    fn choice_components_never_exceed_one_cycle() {
+        // Lemma 1 check on a brute-forced ensemble of random choice arrays.
+        let mut rng = crate::rng::SplitMix64::new(123);
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            for _ in 0..200 {
+                let rchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+                let cchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+                for s in choice_graph_components(&rchoice, &cchoice) {
+                    assert!(
+                        s.cycle_count() <= 1,
+                        "Lemma 1 violated: {s:?} (n = {n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_components_on_two_blocks() {
+        // Block diagonal: rows {0,1} × cols {0,1} and rows {2} × cols {2}.
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
+            &[1, 1, 0],
+            &[1, 0, 0],
+            &[0, 0, 1],
+        ]));
+        let (lr, lc, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(lr[0], lr[1]);
+        assert_eq!(lr[0], lc[0]);
+        assert_eq!(lr[0], lc[1]);
+        assert_ne!(lr[0], lr[2]);
+        assert_eq!(lr[2], lc[2]);
+    }
+
+    #[test]
+    fn bfs_components_isolated_column() {
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 0]]));
+        let (lr, lc, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(lr[0], lc[0]);
+        assert_ne!(lc[1], lc[0]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Compressed sparse row (CSR) pattern matrix.
+//!
+//! The canonical storage for the paper's algorithms: `row_ptr` (offsets,
+//! `usize`) and `col_idx` (column ids, `u32`). Because all matrices are
+//! (0,1) patterns, no value array exists — the doubly-stochastic values
+//! `s_ij = dr[i]·dc[j]` are recomputed on the fly from the scaling vectors.
+//!
+//! The transpose (i.e., CSC of the same matrix) is produced by a
+//! histogram-based counting transpose, optionally parallelized over rows for
+//! the counting pass.
+
+use rayon::prelude::*;
+
+use crate::VertexId;
+
+/// An immutable `m × n` sparse pattern matrix in CSR form.
+///
+/// Invariants (enforced by [`Csr::from_parts`]):
+/// - `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[nrows] == col_idx.len()`;
+/// - within each row, column indices are strictly increasing (sorted, no
+///   duplicates) and `< ncols`.
+///
+/// ```
+/// use dsmatch_graph::Csr;
+///
+/// let a = Csr::from_dense(&[&[1, 0, 1], &[0, 1, 0]]);
+/// assert_eq!(a.nnz(), 3);
+/// assert_eq!(a.row(0), &[0, 2]);
+/// assert!(a.contains(1, 1));
+/// assert_eq!(a.transpose().row(2), &[0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    /// If any invariant listed on [`Csr`] is violated.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<VertexId>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length must be nrows+1");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        for i in 0..nrows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be non-decreasing");
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {i} not strictly increasing: {w:?}");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < ncols, "row {i} has column {last} ≥ ncols {ncols}");
+            }
+        }
+        Self { nrows, ncols, row_ptr, col_idx }
+    }
+
+    /// Build an empty `nrows × ncols` matrix (no nonzeros).
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new() }
+    }
+
+    /// Build from a dense 0/1 array given row-by-row.
+    ///
+    /// Intended for tests and tiny examples.
+    pub fn from_dense(rows: &[&[u8]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged dense input");
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0 {
+                    col_idx.push(j as VertexId);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { nrows, ncols, row_ptr, col_idx }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (edges of the bipartite graph).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Column indices of row `i` (sorted ascending).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Degree (number of nonzeros) of row `i`.
+    #[inline]
+    pub fn row_degree(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// The offset array.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[VertexId] {
+        &self.col_idx
+    }
+
+    /// Iterate over `(row, col)` coordinates in row-major order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.nrows)
+            .flat_map(move |i| self.row(i).iter().map(move |&j| (i, j as usize)))
+    }
+
+    /// Membership test via binary search within the row.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.row(i).binary_search(&(j as VertexId)).is_ok()
+    }
+
+    /// Transpose (the CSC view of the same matrix, itself stored as CSR of
+    /// `Aᵀ`). Counting transpose, `O(nnz + n)`.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &j in &self.col_idx {
+            counts[j as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr_t = counts.clone();
+        let mut col_idx_t = vec![0 as VertexId; self.nnz()];
+        let mut cursor = counts;
+        for i in 0..self.nrows {
+            for &j in self.row(i) {
+                let slot = &mut cursor[j as usize];
+                col_idx_t[*slot] = i as VertexId;
+                *slot += 1;
+            }
+        }
+        // Rows of the transpose are filled in increasing original-row order,
+        // so they are already sorted — the invariant holds by construction.
+        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr: row_ptr_t, col_idx: col_idx_t }
+    }
+
+    /// Degree of every row, computed in parallel.
+    pub fn row_degrees(&self) -> Vec<u32> {
+        (0..self.nrows)
+            .into_par_iter()
+            .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as u32)
+            .collect()
+    }
+
+    /// Degree of every column (one counting pass over `col_idx`).
+    pub fn col_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.ncols];
+        for &j in &self.col_idx {
+            deg[j as usize] += 1;
+        }
+        deg
+    }
+
+    /// Check structural equality with the transpose of another matrix —
+    /// `self == other.transpose()` without materializing the transpose.
+    pub fn is_transpose_of(&self, other: &Csr) -> bool {
+        if self.nrows != other.ncols || self.ncols != other.nrows || self.nnz() != other.nnz() {
+            return false;
+        }
+        self.iter_entries().all(|(i, j)| other.contains(j, i))
+    }
+
+    /// Apply row and column permutations: entry `(i, j)` of the result is
+    /// entry `(row_perm[i], col_perm[j])` of `self` — i.e. `row_perm[k]`
+    /// is the original index of the row placed at position `k`, matching
+    /// the convention of `dsmatch-dm`'s block-triangular-form output.
+    ///
+    /// # Panics
+    /// If either argument is not a permutation of the matching dimension.
+    pub fn permuted(&self, row_perm: &[u32], col_perm: &[u32]) -> Csr {
+        assert_eq!(row_perm.len(), self.nrows, "row permutation length");
+        assert_eq!(col_perm.len(), self.ncols, "col permutation length");
+        // Inverse column permutation: old column -> new position.
+        let mut col_pos = vec![u32::MAX; self.ncols];
+        for (new, &old) in col_perm.iter().enumerate() {
+            assert!(
+                col_pos[old as usize] == u32::MAX,
+                "col_perm repeats index {old}"
+            );
+            col_pos[old as usize] = new as u32;
+        }
+        let mut seen_row = vec![false; self.nrows];
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<VertexId> = Vec::new();
+        row_ptr.push(0usize);
+        for &old_row in row_perm {
+            let old_row = old_row as usize;
+            assert!(!seen_row[old_row], "row_perm repeats index {old_row}");
+            seen_row[old_row] = true;
+            scratch.clear();
+            scratch.extend(self.row(old_row).iter().map(|&j| col_pos[j as usize]));
+            scratch.sort_unstable();
+            col_idx.extend_from_slice(&scratch);
+            row_ptr.push(col_idx.len());
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx }
+    }
+
+    /// Extract the submatrix with the given (sorted, unique) rows and columns,
+    /// relabelling indices to `0..`.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Csr {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let mut col_map = vec![VertexId::MAX; self.ncols];
+        for (new, &old) in cols.iter().enumerate() {
+            col_map[old] = new as VertexId;
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0usize);
+        for &i in rows {
+            for &j in self.row(i) {
+                let nj = col_map[j as usize];
+                if nj != VertexId::MAX {
+                    col_idx.push(nj);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { nrows: rows.len(), ncols: cols.len(), row_ptr, col_idx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn small() -> Csr {
+        // 1 1 0
+        // 0 0 1
+        // 1 0 1
+        Csr::from_dense(&[&[1, 1, 0], &[0, 0, 1], &[1, 0, 1]])
+    }
+
+    #[test]
+    fn from_dense_basic() {
+        let a = small();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.row(0), &[0, 1]);
+        assert_eq!(a.row(1), &[2]);
+        assert_eq!(a.row(2), &[0, 2]);
+        assert!(a.is_square());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.row(0), &[0, 2]);
+        assert_eq!(t.row(1), &[0]);
+        assert_eq!(t.row(2), &[1, 2]);
+        assert_eq!(t.transpose(), a);
+        assert!(t.is_transpose_of(&a));
+        assert!(a.is_transpose_of(&t));
+    }
+
+    #[test]
+    fn contains_works() {
+        let a = small();
+        assert!(a.contains(0, 1));
+        assert!(!a.contains(0, 2));
+        assert!(a.contains(2, 2));
+    }
+
+    #[test]
+    fn degrees() {
+        let a = small();
+        assert_eq!(a.row_degrees(), vec![2, 1, 2]);
+        assert_eq!(a.col_degrees(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn rectangular_transpose() {
+        let mut t = TripletMatrix::new(2, 5);
+        t.push(0, 4);
+        t.push(1, 0);
+        t.push(1, 4);
+        let a = t.into_csr();
+        let at = a.transpose();
+        assert_eq!(at.nrows(), 5);
+        assert_eq!(at.ncols(), 2);
+        assert_eq!(at.row(4), &[0, 1]);
+        assert_eq!(at.row(0), &[1]);
+        assert_eq!(at.row(1), &[] as &[VertexId]);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn iter_entries_row_major() {
+        let a = small();
+        let entries: Vec<_> = a.iter_entries().collect();
+        assert_eq!(entries, vec![(0, 0), (0, 1), (1, 2), (2, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn submatrix_extracts_and_relabels() {
+        let a = small();
+        let s = a.submatrix(&[0, 2], &[0, 2]);
+        // Rows 0,2 and cols 0,2 of `small` →
+        // 1 0
+        // 1 1
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.row(0), &[0]);
+        assert_eq!(s.row(1), &[0, 1]);
+    }
+
+    #[test]
+    fn permuted_identity_is_noop() {
+        let a = small();
+        let id: Vec<u32> = (0..3).collect();
+        assert_eq!(a.permuted(&id, &id), a);
+    }
+
+    #[test]
+    fn permuted_moves_entries() {
+        let a = small();
+        // Reverse rows and columns: entry (i,j) ↦ (2-i, 2-j).
+        let rev: Vec<u32> = vec![2, 1, 0];
+        let p = a.permuted(&rev, &rev);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p.contains(i, j), a.contains(2 - i, 2 - j), "({i},{j})");
+            }
+        }
+        assert_eq!(p.nnz(), a.nnz());
+        // Double reversal restores the original.
+        assert_eq!(p.permuted(&rev, &rev), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats index")]
+    fn permuted_rejects_non_permutation() {
+        let a = small();
+        let _ = a.permuted(&[0, 0, 1], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::empty(3, 2);
+        assert_eq!(a.nnz(), 0);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn invariant_sorted_rows() {
+        let _ = Csr::from_parts(1, 3, vec![0, 2], vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn invariant_ptr_end() {
+        let _ = Csr::from_parts(1, 3, vec![0, 5], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invariant_col_bound() {
+        let _ = Csr::from_parts(1, 2, vec![0, 1], vec![7]);
+    }
+}

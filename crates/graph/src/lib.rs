@@ -1,0 +1,62 @@
+//! # dsmatch-graph — sparse bipartite-graph substrate
+//!
+//! This crate provides the data structures shared by every other crate in the
+//! `dsmatch` workspace, which reproduces the system of
+//!
+//! > F. Dufossé, K. Kaya, B. Uçar, *Bipartite matching heuristics with quality
+//! > guarantees on shared memory parallel computers*, Inria RR-8386, 2013
+//! > (IPPS/IPDPS 2014).
+//!
+//! The paper works with the standard correspondence between an `m × n`
+//! (0,1)-matrix `A` and a bipartite graph `G = (V_R ∪ V_C, E)`: row vertex `i`
+//! and column vertex `j` are adjacent iff `a_ij = 1`. All algorithms in the
+//! paper touch the matrix from both sides (row scans for scaling/row-sampling,
+//! column scans for column-sampling), so the central type, [`BipartiteGraph`],
+//! stores both a row-major [`Csr`] and its transpose.
+//!
+//! ## Contents
+//!
+//! - [`csr`]: compressed sparse row storage with parallel transpose.
+//! - [`triplet`]: coordinate-format builder (dedup + sort) used by generators
+//!   and the Matrix Market reader.
+//! - [`bipartite`]: the two-sided graph view used by the heuristics.
+//! - [`matching`]: matching representation, validation, cardinality.
+//! - [`components`]: connected components and per-component cycle counts —
+//!   used to verify Lemma 1 of the paper (each component of the sampled
+//!   subgraph contains at most one simple cycle).
+//! - [`io`]: Matrix Market (pattern) reader/writer.
+//! - [`rng`]: tiny deterministic SplitMix64/Xoshiro PRNG with per-index
+//!   stream derivation, so parallel randomized algorithms are reproducible
+//!   independently of thread scheduling.
+//! - [`stats`]: degree statistics (average, variance, maximum) used when
+//!   reporting experiment instances (paper Table 3 discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod components;
+pub mod csr;
+pub mod io;
+pub mod matching;
+pub mod rng;
+pub mod stats;
+pub mod triplet;
+pub mod undirected;
+
+pub use bipartite::BipartiteGraph;
+pub use csr::Csr;
+pub use matching::Matching;
+pub use rng::SplitMix64;
+pub use triplet::TripletMatrix;
+pub use undirected::{UndirectedGraph, UndirectedMatching};
+
+/// Vertex / index type used throughout the workspace.
+///
+/// The paper's largest instance (`europe_osm`) has ~50.9M vertices; `u32`
+/// comfortably covers everything we generate while halving index-memory
+/// traffic relative to `usize` — the dominant cost in sparse kernels.
+pub type VertexId = u32;
+
+/// Sentinel meaning "no vertex" / "unmatched" (paper's `NIL`).
+pub const NIL: VertexId = u32::MAX;

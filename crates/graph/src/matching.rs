@@ -1,0 +1,365 @@
+//! Matching representation and validation.
+//!
+//! A matching is stored as two mate arrays — `rmate[i]` is the column matched
+//! to row `i` (or [`NIL`]), `cmate[j]` the row matched to column `j` — the
+//! same representation as the paper's `match[·]` array split by side.
+//!
+//! [`Matching::verify`] checks the two structural properties every algorithm
+//! in the workspace must preserve: mutual consistency of the two arrays, and
+//! that each matched pair is an actual edge of the graph. Tests throughout
+//! the workspace call it after every heuristic and exact run.
+
+use crate::bipartite::BipartiteGraph;
+use crate::{VertexId, NIL};
+
+/// A (partial) matching of a bipartite graph.
+///
+/// ```
+/// use dsmatch_graph::{BipartiteGraph, Csr, Matching};
+///
+/// let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1], &[1, 0]]));
+/// let mut m = Matching::new(2, 2);
+/// m.set(0, 1);
+/// m.set(1, 0);
+/// m.verify(&g).unwrap();
+/// assert!(m.is_perfect());
+/// assert_eq!(m.quality(2), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    rmate: Vec<VertexId>,
+    cmate: Vec<VertexId>,
+}
+
+/// Errors found by [`Matching::verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchingError {
+    /// `rmate[row] = col` but `cmate[col] != row`.
+    InconsistentPair {
+        /// Offending row vertex.
+        row: usize,
+        /// Column it claims.
+        col: usize,
+        /// What the column claims back.
+        cmate_of_col: VertexId,
+    },
+    /// A matched pair is not an edge of the graph.
+    NotAnEdge {
+        /// Row endpoint.
+        row: usize,
+        /// Column endpoint.
+        col: usize,
+    },
+    /// A mate index is out of bounds.
+    OutOfBounds {
+        /// `true` when the offending array is `rmate`.
+        on_row_side: bool,
+        /// Index holding the bad value.
+        index: usize,
+        /// The out-of-range value.
+        value: VertexId,
+    },
+}
+
+impl std::fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchingError::InconsistentPair { row, col, cmate_of_col } => write!(
+                f,
+                "rmate[{row}] = {col} but cmate[{col}] = {cmate_of_col}"
+            ),
+            MatchingError::NotAnEdge { row, col } => {
+                write!(f, "matched pair ({row}, {col}) is not an edge")
+            }
+            MatchingError::OutOfBounds { on_row_side, index, value } => write!(
+                f,
+                "{}mate[{index}] = {value} is out of bounds",
+                if *on_row_side { "r" } else { "c" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+impl Matching {
+    /// An empty matching for an `nrows × ncols` graph.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { rmate: vec![NIL; nrows], cmate: vec![NIL; ncols] }
+    }
+
+    /// Build from both mate arrays (must already be mutually consistent;
+    /// verified in debug builds).
+    pub fn from_mates(rmate: Vec<VertexId>, cmate: Vec<VertexId>) -> Self {
+        let m = Self { rmate, cmate };
+        debug_assert!(m.check_consistent().is_ok());
+        m
+    }
+
+    /// Build from a `cmate`-only array (the output shape of the paper's
+    /// `OneSidedMatch`, Algorithm 2): `cmate[j]` is the row that won column
+    /// `j`, or `NIL`. The row-side array is reconstructed.
+    ///
+    /// If several columns claim the same row (cannot happen in Algorithm 2,
+    /// where each row picks one column, but can in hand-built inputs), the
+    /// first-seen pair wins and later claims are dropped.
+    pub fn from_cmate(cmate: Vec<VertexId>, nrows: usize) -> Self {
+        let mut rmate = vec![NIL; nrows];
+        let mut cmate = cmate;
+        for j in 0..cmate.len() {
+            let i = cmate[j];
+            if i != NIL {
+                if rmate[i as usize] == NIL {
+                    rmate[i as usize] = j as VertexId;
+                } else {
+                    cmate[j] = NIL; // row already taken by an earlier column
+                }
+            }
+        }
+        Self { rmate, cmate }
+    }
+
+    /// Number of row vertices.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rmate.len()
+    }
+
+    /// Number of column vertices.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cmate.len()
+    }
+
+    /// Mate of row `i`, or [`NIL`].
+    #[inline]
+    pub fn rmate(&self, i: usize) -> VertexId {
+        self.rmate[i]
+    }
+
+    /// Mate of column `j`, or [`NIL`].
+    #[inline]
+    pub fn cmate(&self, j: usize) -> VertexId {
+        self.cmate[j]
+    }
+
+    /// The row-side mate array.
+    #[inline]
+    pub fn rmates(&self) -> &[VertexId] {
+        &self.rmate
+    }
+
+    /// The column-side mate array.
+    #[inline]
+    pub fn cmates(&self) -> &[VertexId] {
+        &self.cmate
+    }
+
+    /// Match row `i` with column `j`, unmatching any previous partners.
+    pub fn set(&mut self, i: usize, j: usize) {
+        let old_c = self.rmate[i];
+        if old_c != NIL {
+            self.cmate[old_c as usize] = NIL;
+        }
+        let old_r = self.cmate[j];
+        if old_r != NIL {
+            self.rmate[old_r as usize] = NIL;
+        }
+        self.rmate[i] = j as VertexId;
+        self.cmate[j] = i as VertexId;
+    }
+
+    /// True if row `i` is matched.
+    #[inline]
+    pub fn is_row_matched(&self, i: usize) -> bool {
+        self.rmate[i] != NIL
+    }
+
+    /// True if column `j` is matched.
+    #[inline]
+    pub fn is_col_matched(&self, j: usize) -> bool {
+        self.cmate[j] != NIL
+    }
+
+    /// Cardinality `|M|` (number of matched pairs).
+    pub fn cardinality(&self) -> usize {
+        self.rmate.iter().filter(|&&c| c != NIL).count()
+    }
+
+    /// True when every vertex of both sides is matched (requires a square
+    /// graph).
+    pub fn is_perfect(&self) -> bool {
+        self.rmate.iter().all(|&c| c != NIL) && self.cmate.iter().all(|&r| r != NIL)
+    }
+
+    /// Iterate over matched `(row, col)` pairs.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rmate
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != NIL)
+            .map(|(i, &c)| (i, c as usize))
+    }
+
+    /// Check mutual consistency of the two mate arrays (no graph needed).
+    pub fn check_consistent(&self) -> Result<(), MatchingError> {
+        for (i, &c) in self.rmate.iter().enumerate() {
+            if c == NIL {
+                continue;
+            }
+            if c as usize >= self.cmate.len() {
+                return Err(MatchingError::OutOfBounds { on_row_side: true, index: i, value: c });
+            }
+            let back = self.cmate[c as usize];
+            if back != i as VertexId {
+                return Err(MatchingError::InconsistentPair {
+                    row: i,
+                    col: c as usize,
+                    cmate_of_col: back,
+                });
+            }
+        }
+        for (j, &r) in self.cmate.iter().enumerate() {
+            if r == NIL {
+                continue;
+            }
+            if r as usize >= self.rmate.len() {
+                return Err(MatchingError::OutOfBounds { on_row_side: false, index: j, value: r });
+            }
+            let back = self.rmate[r as usize];
+            if back != j as VertexId {
+                return Err(MatchingError::InconsistentPair {
+                    row: r as usize,
+                    col: j,
+                    cmate_of_col: r,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full validation against a graph: consistency plus every matched pair
+    /// being an edge.
+    pub fn verify(&self, g: &BipartiteGraph) -> Result<(), MatchingError> {
+        assert_eq!(self.nrows(), g.nrows());
+        assert_eq!(self.ncols(), g.ncols());
+        self.check_consistent()?;
+        for (i, j) in self.iter_pairs() {
+            if !g.csr().contains(i, j) {
+                return Err(MatchingError::NotAnEdge { row: i, col: j });
+            }
+        }
+        Ok(())
+    }
+
+    /// Quality ratio `|M| / opt`, the measure reported throughout §4 of the
+    /// paper.
+    pub fn quality(&self, opt: usize) -> f64 {
+        if opt == 0 {
+            1.0
+        } else {
+            self.cardinality() as f64 / opt as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    fn g() -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 0], &[0, 0, 1], &[1, 0, 1]]))
+    }
+
+    #[test]
+    fn set_and_cardinality() {
+        let mut m = Matching::new(3, 3);
+        assert_eq!(m.cardinality(), 0);
+        m.set(0, 1);
+        m.set(1, 2);
+        assert_eq!(m.cardinality(), 2);
+        assert!(m.is_row_matched(0));
+        assert!(m.is_col_matched(2));
+        assert!(!m.is_row_matched(2));
+        m.verify(&g()).unwrap();
+    }
+
+    #[test]
+    fn set_overwrites_cleanly() {
+        let mut m = Matching::new(3, 3);
+        m.set(0, 1);
+        m.set(0, 0); // row 0 re-matched to col 0
+        assert_eq!(m.rmate(0), 0);
+        assert_eq!(m.cmate(1), NIL);
+        assert_eq!(m.cardinality(), 1);
+        m.check_consistent().unwrap();
+        // steal a column
+        m.set(2, 0);
+        assert_eq!(m.rmate(0), NIL);
+        assert_eq!(m.cmate(0), 2);
+        m.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn from_cmate_reconstructs() {
+        // Columns 0 and 2 claimed by rows 2 and 1.
+        let m = Matching::from_cmate(vec![2, NIL, 1], 3);
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.rmate(2), 0);
+        assert_eq!(m.rmate(1), 2);
+        m.verify(&g()).unwrap();
+    }
+
+    #[test]
+    fn from_cmate_drops_duplicate_row_claims() {
+        // Both columns claim row 0; only the first survives.
+        let m = Matching::from_cmate(vec![0, 0], 1);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.cmate(0), 0);
+        assert_eq!(m.cmate(1), NIL);
+        m.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_non_edges() {
+        let mut m = Matching::new(3, 3);
+        m.set(1, 0); // (1,0) is not an edge of `g`
+        assert_eq!(m.verify(&g()), Err(MatchingError::NotAnEdge { row: 1, col: 0 }));
+    }
+
+    #[test]
+    fn consistency_detects_mismatch() {
+        let m = Matching { rmate: vec![1, NIL], cmate: vec![NIL, 1] };
+        assert!(matches!(
+            m.check_consistent(),
+            Err(MatchingError::InconsistentPair { row: 0, col: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn perfect_matching_detection() {
+        let mut m = Matching::new(2, 2);
+        m.set(0, 1);
+        assert!(!m.is_perfect());
+        m.set(1, 0);
+        assert!(m.is_perfect());
+        assert_eq!(m.quality(2), 1.0);
+    }
+
+    #[test]
+    fn quality_zero_opt() {
+        let m = Matching::new(0, 0);
+        assert_eq!(m.quality(0), 1.0);
+    }
+
+    #[test]
+    fn iter_pairs_matches_cardinality() {
+        let mut m = Matching::new(4, 4);
+        m.set(3, 1);
+        m.set(0, 2);
+        let pairs: Vec<_> = m.iter_pairs().collect();
+        assert_eq!(pairs, vec![(0, 2), (3, 1)]);
+        assert_eq!(pairs.len(), m.cardinality());
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! The heuristics of the paper are randomized: every row (and, for
+//! `TwoSidedMatch`, every column) draws an independent random neighbour. Run
+//! in parallel with a single shared RNG this would be both a bottleneck and
+//! non-reproducible. Instead we derive an independent stream per vertex with
+//! [`SplitMix64`]: `stream(seed, i)` seeds a generator from `seed ⊕ φ(i)`,
+//! which makes the sampled subgraph a pure function of `(seed, input)` —
+//! identical for any thread count, matching the paper's observation that the
+//! quality guarantees are independent of the degree of parallelism.
+//!
+//! SplitMix64 is the canonical seeding generator (Steele, Lea, Flood 2014,
+//! "Fast splittable pseudorandom number generators"); it passes BigCrush when
+//! used as a stream and is 3 instructions per 64-bit output.
+
+/// A SplitMix64 generator.
+///
+/// Not cryptographic. Used for neighbour sampling and generator shuffles.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-ratio increment used by SplitMix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Create the `index`-th independent stream of a base seed.
+    ///
+    /// Streams for distinct indices are decorrelated by pre-mixing the index
+    /// with one SplitMix64 round before xoring into the seed.
+    #[inline]
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mixed = mix64(index.wrapping_mul(GAMMA).wrapping_add(0xD1B5_4A32_D192_ED03));
+        Self::new(seed ^ mixed)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix64(self.state)
+    }
+
+    /// Next `f64` uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next `f64` uniform in the half-open interval `(0, hi]`.
+    ///
+    /// This is the distribution the paper's sampling step needs: it draws
+    /// `r ∈ (0, Σ s_ik]` and finds the first prefix-sum exceeding `r`; using a
+    /// half-open-from-zero interval would make weight-0 prefixes selectable.
+    #[inline]
+    pub fn next_f64_open_closed(&mut self, hi: f64) -> f64 {
+        debug_assert!(hi > 0.0);
+        let u = self.next_f64(); // [0,1)
+        (1.0 - u) * hi // (0, hi]
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift method
+    /// (unbiased via rejection).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling on the high bits; bias is eliminated by retrying
+        // when the low product lands in the truncated zone.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        for i in (1..n).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// The 64-bit finalizer of SplitMix64 (a strong bijective mixer).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = SplitMix64::stream(42, 0);
+        let mut b = SplitMix64::stream(42, 1);
+        let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn open_closed_interval_respected() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = g.next_f64_open_closed(3.5);
+            assert!(x > 0.0 && x <= 3.5, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut g = SplitMix64::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = g.next_below(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut g = SplitMix64::new(13);
+        let mut counts = [0usize; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[g.next_below(8) as usize] += 1;
+        }
+        let expected = trials / 8;
+        for &c in &counts {
+            // 5-sigma-ish bound for a binomial with p = 1/8.
+            assert!((c as isize - expected as isize).unsigned_abs() < 600, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mix64_bijective_smoke() {
+        // Distinct inputs map to distinct outputs on a sample.
+        let outs: Vec<u64> = (0..1000u64).map(mix64).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+    }
+}

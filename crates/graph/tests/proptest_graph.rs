@@ -1,0 +1,140 @@
+//! Property tests for the graph substrate.
+
+use dsmatch_graph::components::{choice_graph_components, connected_components, UnionFind};
+use dsmatch_graph::{BipartiteGraph, Matching, TripletMatrix, NIL};
+use proptest::prelude::*;
+
+fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..40)
+            .prop_map(move |entries| (m, n, entries))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn csr_construction_preserves_entries((m, n, entries) in arb_triplets()) {
+        let mut t = TripletMatrix::new(m, n);
+        for &(i, j) in &entries {
+            t.push(i, j);
+        }
+        let a = t.into_csr();
+        // Every pushed entry present; nothing else.
+        for &(i, j) in &entries {
+            prop_assert!(a.contains(i, j));
+        }
+        let mut uniq: Vec<(usize, usize)> = entries.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(a.nnz(), uniq.len());
+        // Rows sorted strictly increasing.
+        for i in 0..m {
+            let row = a.row(i);
+            for w in row.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_entrywise_correct((m, n, entries) in arb_triplets()) {
+        let mut t = TripletMatrix::new(m, n);
+        for &(i, j) in &entries {
+            t.push(i, j);
+        }
+        let a = t.into_csr();
+        let at = a.transpose();
+        prop_assert_eq!(&at.transpose(), &a);
+        prop_assert!(at.is_transpose_of(&a));
+        for (i, j) in a.iter_entries() {
+            prop_assert!(at.contains(j, i));
+        }
+        // Degree sums agree with nnz.
+        let row_sum: u32 = a.row_degrees().iter().sum();
+        let col_sum: u32 = a.col_degrees().iter().sum();
+        prop_assert_eq!(row_sum as usize, a.nnz());
+        prop_assert_eq!(col_sum as usize, a.nnz());
+    }
+
+    #[test]
+    fn union_find_agrees_with_bfs_components((m, n, entries) in arb_triplets()) {
+        let mut t = TripletMatrix::new(m, n);
+        for &(i, j) in &entries {
+            t.push(i, j);
+        }
+        let g = BipartiteGraph::from_csr(t.into_csr());
+        // Union-find over rows ∪ cols.
+        let mut uf = UnionFind::new(m + n);
+        for (i, j) in g.csr().iter_entries() {
+            uf.union(i, m + j);
+        }
+        let (lr, lc, k) = connected_components(&g);
+        prop_assert_eq!(k, uf.set_count());
+        // Same-component relations agree.
+        for i in 0..m {
+            for j in 0..n {
+                let same_bfs = lr[i] == lc[j];
+                let same_uf = uf.find(i) == uf.find(m + j);
+                prop_assert_eq!(same_bfs, same_uf, "row {} / col {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_holds_for_arbitrary_choice_arrays(
+        rc in proptest::collection::vec(proptest::option::of(0u32..10), 1..12),
+        cc in proptest::collection::vec(proptest::option::of(0u32..10), 1..12),
+    ) {
+        let n_r = rc.len();
+        let n_c = cc.len();
+        let rc: Vec<u32> = rc.into_iter()
+            .map(|o| o.map_or(NIL, |v| v % n_c as u32)).collect();
+        let cc: Vec<u32> = cc.into_iter()
+            .map(|o| o.map_or(NIL, |v| v % n_r as u32)).collect();
+        let mut vertices = 0usize;
+        let mut edges = 0usize;
+        for s in choice_graph_components(&rc, &cc) {
+            prop_assert!(s.cycle_count() <= 1, "{:?}", s);
+            vertices += s.vertices;
+            edges += s.edges;
+        }
+        prop_assert_eq!(vertices, n_r + n_c);
+        prop_assert!(edges <= n_r + n_c);
+    }
+
+    #[test]
+    fn matching_set_maintains_invariants(ops in proptest::collection::vec((0usize..8, 0usize..8), 0..30)) {
+        let mut m = Matching::new(8, 8);
+        for (i, j) in ops {
+            m.set(i, j);
+            m.check_consistent().unwrap();
+            prop_assert_eq!(m.rmate(i), j as u32);
+            prop_assert_eq!(m.cmate(j), i as u32);
+        }
+        prop_assert!(m.cardinality() <= 8);
+    }
+
+    #[test]
+    fn matrix_market_roundtrips((m, n, entries) in arb_triplets()) {
+        let mut t = TripletMatrix::new(m, n);
+        for &(i, j) in &entries {
+            t.push(i, j);
+        }
+        let a = t.into_csr();
+        let mut buf = Vec::new();
+        dsmatch_graph::io::write_matrix_market(&mut buf, &a).unwrap();
+        let b = dsmatch_graph::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splitmix_streams_are_stable(seed in any::<u64>(), idx in 0u64..1000) {
+        let mut a = dsmatch_graph::SplitMix64::stream(seed, idx);
+        let mut b = dsmatch_graph::SplitMix64::stream(seed, idx);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

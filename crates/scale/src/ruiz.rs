@@ -1,0 +1,178 @@
+//! Ruiz equilibration (1-norm variant).
+//!
+//! The paper's §2.2 reviews Ruiz's algorithm as the alternative to
+//! Sinkhorn–Knopp: instead of alternating exact column/row normalization,
+//! each iteration scales **both** sides simultaneously by the inverse square
+//! roots of the current row and column sums, converging to the same doubly
+//! stochastic limit but — per Knight, Ruiz & Uçar — more slowly on
+//! unsymmetric matrices. We implement it so the ablation benchmark can
+//! reproduce that comparison (`ablation_bench`, and the quality impact in
+//! EXPERIMENTS.md).
+
+use dsmatch_graph::BipartiteGraph;
+use rayon::prelude::*;
+
+use crate::sinkhorn::max_col_sum_error;
+use crate::{ScalingConfig, ScalingResult};
+
+/// Parallel Ruiz equilibration in the 1-norm.
+///
+/// One iteration:
+/// ```text
+/// r_i = Σ_j s_ij,  c_j = Σ_i s_ij          (current scaled sums)
+/// dr[i] ← dr[i] / √r_i,  dc[j] ← dc[j] / √c_j
+/// ```
+pub fn ruiz(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
+    let mut dr = vec![1.0f64; g.nrows()];
+    let mut dc = vec![1.0f64; g.ncols()];
+    let mut history = Vec::with_capacity(cfg.max_iterations);
+    let mut error = f64::INFINITY;
+    let mut done = 0usize;
+    for _ in 0..cfg.max_iterations {
+        let rsums: Vec<f64> = (0..g.nrows())
+            .into_par_iter()
+            .map(|i| {
+                let s: f64 = g.row_adj(i).iter().map(|&j| dc[j as usize]).sum();
+                s * dr[i]
+            })
+            .collect();
+        let csums: Vec<f64> = (0..g.ncols())
+            .into_par_iter()
+            .map(|j| {
+                let s: f64 = g.col_adj(j).iter().map(|&i| dr[i as usize]).sum();
+                s * dc[j]
+            })
+            .collect();
+        dr.par_iter_mut().zip(rsums.par_iter()).for_each(|(d, &r)| {
+            if r > 0.0 {
+                *d /= r.sqrt();
+            }
+        });
+        dc.par_iter_mut().zip(csums.par_iter()).for_each(|(d, &c)| {
+            if c > 0.0 {
+                *d /= c.sqrt();
+            }
+        });
+        done += 1;
+        error = max_col_sum_error(g, &dr, &dc);
+        history.push(error);
+        if cfg.tolerance > 0.0 && error <= cfg.tolerance {
+            break;
+        }
+    }
+    if done == 0 {
+        error = max_col_sum_error(g, &dr, &dc);
+    }
+    ScalingResult { dr, dc, iterations: done, error, history }
+}
+
+/// Sequential Ruiz — identical arithmetic to [`ruiz`].
+pub fn ruiz_seq(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
+    let mut dr = vec![1.0f64; g.nrows()];
+    let mut dc = vec![1.0f64; g.ncols()];
+    let mut history = Vec::with_capacity(cfg.max_iterations);
+    let mut error = f64::INFINITY;
+    let mut done = 0usize;
+    for _ in 0..cfg.max_iterations {
+        let rsums: Vec<f64> = (0..g.nrows())
+            .map(|i| dr[i] * g.row_adj(i).iter().map(|&j| dc[j as usize]).sum::<f64>())
+            .collect();
+        let csums: Vec<f64> = (0..g.ncols())
+            .map(|j| dc[j] * g.col_adj(j).iter().map(|&i| dr[i as usize]).sum::<f64>())
+            .collect();
+        for (d, &r) in dr.iter_mut().zip(&rsums) {
+            if r > 0.0 {
+                *d /= r.sqrt();
+            }
+        }
+        for (d, &c) in dc.iter_mut().zip(&csums) {
+            if c > 0.0 {
+                *d /= c.sqrt();
+            }
+        }
+        done += 1;
+        error = (0..g.ncols())
+            .map(|j| {
+                let s: f64 = g.col_adj(j).iter().map(|&i| dr[i as usize]).sum();
+                (s * dc[j] - 1.0).abs()
+            })
+            .fold(0.0, f64::max);
+        history.push(error);
+        if cfg.tolerance > 0.0 && error <= cfg.tolerance {
+            break;
+        }
+    }
+    if done == 0 {
+        error = max_col_sum_error(g, &dr, &dc);
+    }
+    ScalingResult { dr, dc, iterations: done, error, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_graph::Csr;
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    #[test]
+    fn symmetric_all_ones_converges_fast() {
+        let g = graph(&[&[1, 1], &[1, 1]]);
+        let r = ruiz(&g, &ScalingConfig::until(1e-10, 200));
+        assert!(r.error <= 1e-10);
+        assert!((r.entry(0, 0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn converges_to_doubly_stochastic() {
+        let g = graph(&[&[1, 1, 0], &[1, 1, 1], &[0, 1, 1]]);
+        let r = ruiz(&g, &ScalingConfig::until(1e-9, 2000));
+        assert!(r.error <= 1e-9, "error = {}", r.error);
+        for i in 0..3 {
+            assert!((r.row_sum(&g, i) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn seq_and_par_agree() {
+        let g = graph(&[&[1, 0, 1, 1], &[1, 1, 0, 0], &[0, 1, 1, 0], &[1, 0, 0, 1]]);
+        let a = ruiz(&g, &ScalingConfig::iterations(10));
+        let b = ruiz_seq(&g, &ScalingConfig::iterations(10));
+        for (x, y) in a.dr.iter().zip(&b.dr) {
+            assert!((x - y).abs() < 1e-14);
+        }
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn slower_than_sinkhorn_on_unsymmetric_pattern() {
+        // Knight–Ruiz–Uçar observation the paper cites: for unsymmetric
+        // matrices SK converges faster. Compare errors after equal
+        // iteration counts.
+        let g = graph(&[
+            &[1, 1, 1, 1, 1],
+            &[1, 1, 0, 0, 0],
+            &[0, 1, 1, 0, 0],
+            &[0, 0, 1, 1, 0],
+            &[0, 0, 0, 1, 1],
+        ]);
+        let sk = crate::sinkhorn_knopp(&g, &ScalingConfig::iterations(12));
+        let rz = ruiz(&g, &ScalingConfig::iterations(12));
+        assert!(
+            sk.error <= rz.error + 1e-12,
+            "SK error {} should not exceed Ruiz error {}",
+            sk.error,
+            rz.error
+        );
+    }
+
+    #[test]
+    fn handles_empty_vectors_gracefully() {
+        let g = graph(&[&[0, 0], &[1, 0]]);
+        let r = ruiz(&g, &ScalingConfig::iterations(3));
+        assert!(r.dr.iter().all(|d| d.is_finite()));
+        assert!(r.dc.iter().all(|d| d.is_finite()));
+    }
+}

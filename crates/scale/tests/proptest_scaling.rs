@@ -1,0 +1,100 @@
+//! Property tests for the scaling crate.
+
+use dsmatch_graph::{BipartiteGraph, TripletMatrix, UndirectedGraph};
+use dsmatch_scale::{
+    ruiz, sinkhorn_knopp, sinkhorn_knopp_seq, sinkhorn_knopp_weighted, symmetric_scaling,
+    ScalingConfig,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..10, 1usize..10).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..40).prop_map(move |entries| {
+            let mut t = TripletMatrix::new(m, n);
+            for (i, j) in entries {
+                t.push(i, j);
+            }
+            BipartiteGraph::from_csr(t.into_csr())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn sk_row_sums_one_and_factors_positive(g in arb_graph(), iters in 1usize..8) {
+        let r = sinkhorn_knopp(&g, &ScalingConfig::iterations(iters));
+        prop_assert_eq!(r.iterations, iters);
+        prop_assert_eq!(r.history.len(), iters);
+        for i in 0..g.nrows() {
+            if g.row_degree(i) > 0 {
+                prop_assert!((r.row_sum(&g, i) - 1.0).abs() < 1e-9);
+            }
+        }
+        prop_assert!(r.dr.iter().all(|d| d.is_finite() && *d > 0.0));
+        prop_assert!(r.dc.iter().all(|d| d.is_finite() && *d > 0.0));
+        prop_assert!(r.error.is_finite());
+    }
+
+    #[test]
+    fn sk_seq_equals_par(g in arb_graph(), iters in 0usize..6) {
+        let a = sinkhorn_knopp(&g, &ScalingConfig::iterations(iters));
+        let b = sinkhorn_knopp_seq(&g, &ScalingConfig::iterations(iters));
+        prop_assert_eq!(a.dr, b.dr);
+        prop_assert_eq!(a.dc, b.dc);
+    }
+
+    #[test]
+    fn weighted_with_unit_values_equals_pattern(g in arb_graph(), iters in 1usize..5) {
+        let vals = vec![1.0; g.nnz()];
+        let a = sinkhorn_knopp(&g, &ScalingConfig::iterations(iters));
+        let b = sinkhorn_knopp_weighted(&g, &vals, &ScalingConfig::iterations(iters));
+        for (x, y) in a.dr.iter().zip(&b.dr) {
+            prop_assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0));
+        }
+        for (x, y) in a.dc.iter().zip(&b.dc) {
+            prop_assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn ruiz_factors_stay_finite_and_positive(g in arb_graph()) {
+        // On sprank-deficient patterns Ruiz's column-sum error need not
+        // decrease monotonically (the doubly stochastic limit does not
+        // exist), so the universal property is only well-posedness.
+        let many = ruiz(&g, &ScalingConfig::iterations(30));
+        prop_assert!(many.dr.iter().all(|d| d.is_finite() && *d > 0.0));
+        prop_assert!(many.dc.iter().all(|d| d.is_finite() && *d > 0.0));
+        prop_assert!(many.error.is_finite());
+        prop_assert_eq!(many.iterations, 30);
+    }
+
+    #[test]
+    fn ruiz_converges_on_regular_square_patterns(k in 2usize..20) {
+        // Ring patterns (2-regular, total support): Ruiz must converge.
+        let n = 2 * k;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i);
+            t.push(i, (i + 1) % n);
+        }
+        let g = BipartiteGraph::from_csr(t.into_csr());
+        let r = ruiz(&g, &ScalingConfig::until(1e-9, 500));
+        prop_assert!(r.error <= 1e-9);
+        for i in 0..n {
+            prop_assert!((r.row_sum(&g, i) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn symmetric_scaling_row_sums_converge_on_regular_patterns(k in 2usize..30) {
+        // Cycle graphs are 2-regular: must converge to 1/2 per edge.
+        let n = 2 * k;
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = UndirectedGraph::from_edges(n, &edges);
+        let r = symmetric_scaling(&g, &ScalingConfig::until(1e-10, 200));
+        prop_assert!(r.error <= 1e-10);
+        prop_assert!((r.entry(0, 1) - 0.5).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,283 @@
+//! The Suitor algorithm for ½-approximate maximum weight matching
+//! (Manne & Halappanavar, IPDPS 2014 — the same venue and hardware class
+//! as the paper; reference [16]'s lineage).
+//!
+//! Every vertex *proposes* to the heaviest neighbour whose standing offer
+//! it can beat; a displaced suitor immediately re-proposes elsewhere. With
+//! a total order on edges the fixed point is unique and **identical to the
+//! matching found by the global greedy algorithm**, but the computation is
+//! local per vertex — which is what makes the lock-free parallel version
+//! correct: conflicting proposals are resolved with a single
+//! compare-and-swap per slot, the loser simply retries, exactly the
+//! conflict-resolution pattern of the paper's `KarpSipserMT`.
+//!
+//! Edges are ordered by `(weight, −min(u,v), −max(u,v))` — heavier first,
+//! then lexicographically smaller endpoints — matching
+//! [`crate::greedy_weighted`]'s sort, so the two agree bitwise (tested).
+
+use dsmatch_graph::{UndirectedMatching, VertexId, NIL};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+
+use crate::graph::WeightedGraph;
+
+/// Total order on edges `(w1, {a1,b1})` vs `(w2, {a2,b2})`: heavier wins;
+/// ties prefer the lexicographically smaller endpoint pair.
+#[inline]
+fn edge_cmp(w1: f64, u1: usize, v1: usize, w2: f64, u2: usize, v2: usize) -> Ordering {
+    match w1.partial_cmp(&w2).unwrap() {
+        Ordering::Equal => {
+            let k1 = (u1.min(v1), u1.max(v1));
+            let k2 = (u2.min(v2), u2.max(v2));
+            // Smaller endpoints rank HIGHER (greedy takes them first).
+            k2.cmp(&k1)
+        }
+        ord => ord,
+    }
+}
+
+/// Key of the standing offer at `p` (−∞ when no suitor).
+#[inline]
+fn beats_offer(g: &WeightedGraph, cand: usize, p: usize, w: f64, holder: VertexId) -> bool {
+    if holder == NIL {
+        return true;
+    }
+    let hw = g.weight(p, holder as usize).expect("suitor must be a neighbour");
+    edge_cmp(w, cand, p, hw, holder as usize, p) == Ordering::Greater
+}
+
+/// Sequential Suitor.
+///
+/// ```
+/// use dsmatch_weighted::{suitor, matching_weight, WeightedGraph};
+///
+/// // Path 0 -2- 1 -3- 2 -2- 3: greedy/Suitor take the heavy middle edge.
+/// let g = WeightedGraph::from_weighted_edges(
+///     4,
+///     &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)],
+/// );
+/// let m = suitor(&g);
+/// assert_eq!(m.mate(1), 2);
+/// assert_eq!(matching_weight(&g, &m), 3.0);
+/// ```
+pub fn suitor(g: &WeightedGraph) -> UndirectedMatching {
+    let n = g.n();
+    let mut suitor_of: Vec<VertexId> = vec![NIL; n];
+    for start in 0..n {
+        let mut current = start as u32;
+        loop {
+            // Heaviest neighbour whose standing offer `current` beats.
+            let mut best: Option<(VertexId, f64)> = None;
+            for (p, w) in g.adj(current as usize) {
+                if !beats_offer(g, current as usize, p as usize, w, suitor_of[p as usize]) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bp, bw)) => {
+                        edge_cmp(w, current as usize, p as usize, bw, current as usize, bp as usize)
+                            == Ordering::Greater
+                    }
+                };
+                if better {
+                    best = Some((p, w));
+                }
+            }
+            let Some((p, _)) = best else { break };
+            let prev = suitor_of[p as usize];
+            suitor_of[p as usize] = current;
+            if prev == NIL {
+                break;
+            }
+            current = prev; // displaced vertex re-proposes
+        }
+    }
+    extract(&suitor_of)
+}
+
+/// Lock-free parallel Suitor: proposals land with compare-and-swap; a
+/// losing CAS re-evaluates and retries. Produces the same matching as
+/// [`suitor`] (the fixed point is unique under the total edge order).
+pub fn suitor_parallel(g: &WeightedGraph) -> UndirectedMatching {
+    let n = g.n();
+    let suitor_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NIL)).collect();
+    (0..n as u32).into_par_iter().for_each(|start| {
+        let mut current = start;
+        'propose: loop {
+            let mut best: Option<(VertexId, f64)> = None;
+            for (p, w) in g.adj(current as usize) {
+                let holder = suitor_of[p as usize].load(AtOrd::Acquire);
+                if !beats_offer(g, current as usize, p as usize, w, holder) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bp, bw)) => {
+                        edge_cmp(w, current as usize, p as usize, bw, current as usize, bp as usize)
+                            == Ordering::Greater
+                    }
+                };
+                if better {
+                    best = Some((p, w));
+                }
+            }
+            let Some((p, w)) = best else { break };
+            // Claim the slot; retry the whole selection if the offer at p
+            // improved concurrently.
+            let mut observed = suitor_of[p as usize].load(AtOrd::Acquire);
+            loop {
+                if !beats_offer(g, current as usize, p as usize, w, observed) {
+                    continue 'propose; // lost the race; pick another target
+                }
+                match suitor_of[p as usize].compare_exchange_weak(
+                    observed,
+                    current,
+                    AtOrd::AcqRel,
+                    AtOrd::Acquire,
+                ) {
+                    Ok(_) => {
+                        if observed == NIL {
+                            break 'propose;
+                        }
+                        current = observed; // displaced vertex re-proposes
+                        continue 'propose;
+                    }
+                    Err(now) => observed = now,
+                }
+            }
+        }
+    });
+    let suitor_of: Vec<VertexId> = suitor_of.into_iter().map(|a| a.into_inner()).collect();
+    extract(&suitor_of)
+}
+
+/// Mutual suitors form the matching.
+fn extract(suitor_of: &[VertexId]) -> UndirectedMatching {
+    let n = suitor_of.len();
+    let mut m = UndirectedMatching::new(n);
+    for v in 0..n {
+        let s = suitor_of[v];
+        if s != NIL && (s as usize) < v && suitor_of[s as usize] == v as u32 {
+            m.set(v, s as usize);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_weighted;
+    use crate::{brute_force_max_weight, matching_weight};
+    use dsmatch_graph::SplitMix64;
+
+    fn random_weighted(n: usize, density: u64, seed: u64) -> WeightedGraph {
+        let mut rng = SplitMix64::new(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.next_below(density) == 0 {
+                    edges.push((u, v, 1.0 + rng.next_f64() * 9.0));
+                }
+            }
+        }
+        WeightedGraph::from_weighted_edges(n, &edges)
+    }
+
+    #[test]
+    fn matches_greedy_on_small_path() {
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)],
+        );
+        let s = suitor(&g);
+        let gr = greedy_weighted(&g);
+        assert_eq!(s, gr);
+        assert_eq!(s.mate(1), 2);
+    }
+
+    #[test]
+    fn equals_greedy_on_random_instances() {
+        for trial in 0..100 {
+            let g = random_weighted(12, 3, trial);
+            let s = suitor(&g);
+            let gr = greedy_weighted(&g);
+            assert_eq!(s, gr, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        for trial in 0..30 {
+            let g = random_weighted(60, 4, 1000 + trial);
+            let seq = suitor(&g);
+            let par = suitor_parallel(&g);
+            assert_eq!(seq, par, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn half_approximation_guarantee() {
+        for trial in 0..50 {
+            let g = random_weighted(10, 2, 5000 + trial);
+            if g.edge_count() == 0 {
+                continue;
+            }
+            let m = suitor(&g);
+            m.verify(g.topology()).unwrap();
+            let w = matching_weight(&g, &m);
+            let opt = brute_force_max_weight(&g);
+            assert!(2.0 * w + 1e-9 >= opt, "trial {trial}: {w} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn equal_weights_resolved_deterministically() {
+        // All weights equal: tie-breaking must still make seq == par == greedy.
+        let mut edges = Vec::new();
+        for u in 0..8usize {
+            for v in (u + 1)..8 {
+                edges.push((u, v, 1.0));
+            }
+        }
+        let g = WeightedGraph::from_weighted_edges(8, &edges);
+        let s = suitor(&g);
+        let gr = greedy_weighted(&g);
+        let par = suitor_parallel(&g);
+        assert_eq!(s, gr);
+        assert_eq!(s, par);
+        assert_eq!(s.cardinality(), 4);
+    }
+
+    #[test]
+    fn isolated_vertices_unmatched() {
+        let g = WeightedGraph::from_weighted_edges(5, &[(1, 3, 2.0)]);
+        let m = suitor(&g);
+        assert_eq!(m.cardinality(), 1);
+        assert!(!m.is_matched(0));
+        assert!(!m.is_matched(4));
+    }
+
+    #[test]
+    fn larger_parallel_stress() {
+        // Ring + chords, 20k vertices: parallel must agree with sequential.
+        let n = 20_000;
+        let mut rng = SplitMix64::new(9);
+        let mut edges: Vec<(usize, usize, f64)> = (0..n)
+            .map(|v| (v, (v + 1) % n, 1.0 + rng.next_f64()))
+            .collect();
+        for _ in 0..n / 2 {
+            let u = rng.next_index(n);
+            let v = rng.next_index(n);
+            if u != v {
+                edges.push((u, v, 1.0 + rng.next_f64()));
+            }
+        }
+        let g = WeightedGraph::from_weighted_edges(n, &edges);
+        let seq = suitor(&g);
+        let par = suitor_parallel(&g);
+        assert_eq!(seq.cardinality(), par.cardinality());
+        assert!((matching_weight(&g, &seq) - matching_weight(&g, &par)).abs() < 1e-9);
+    }
+}

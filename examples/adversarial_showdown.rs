@@ -1,0 +1,74 @@
+//! The Figure-2 showdown: why scaling-guided sampling beats the classic
+//! Karp–Sipser on engineered instances.
+//!
+//! Reconstructs the paper's §4.1.2 narrative step by step: the adversarial
+//! matrix has a full `R1 × C1` block that *looks* attractive to a uniform
+//! random edge pick but contains no edge of any perfect matching, while
+//! the cross diagonals that form the perfect matching are statistically
+//! invisible. Sinkhorn–Knopp scaling redistributes the probability mass
+//! onto exactly those diagonals; the example prints the mass migration
+//! iteration by iteration, then the resulting matching qualities.
+//!
+//! ```text
+//! cargo run --release --example adversarial_showdown [n] [k]
+//! ```
+
+use dsmatch::heur::{karp_sipser, two_sided_match_with_scaling, KarpSipserConfig};
+use dsmatch::prelude::*;
+use dsmatch::scale::sinkhorn_knopp;
+
+fn diagonal_mass(g: &BipartiteGraph, s: &ScalingResult) -> f64 {
+    // Probability mass the row-sampling places on the perfect-matching
+    // diagonals ((i, h+i) and (h+i, i)), averaged over rows.
+    let n = g.nrows();
+    let h = n / 2;
+    let mut total = 0.0;
+    for i in 0..n {
+        let target = if i < h { (h + i) as u32 } else { (i - h) as u32 };
+        let row_sum: f64 = g.row_adj(i).iter().map(|&j| s.dc[j as usize]).sum();
+        let mass = s.dc[target as usize] / row_sum;
+        total += mass;
+    }
+    total / n as f64
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3200);
+    let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+
+    let g = dsmatch::gen::adversarial_ks(n, k);
+    println!(
+        "adversarial instance: n = {n}, k = {k}, {} edges, perfect matching exists",
+        g.nnz()
+    );
+    println!();
+    println!("probability mass on the perfect-matching diagonals (average per row):");
+    for iters in [0usize, 1, 2, 5, 10] {
+        let s = if iters == 0 {
+            ScalingResult::identity(&g)
+        } else {
+            sinkhorn_knopp(&g, &ScalingConfig::iterations(iters))
+        };
+        println!(
+            "  {iters:>2} scaling iterations: {:.4}  (scaling error {:.3})",
+            diagonal_mass(&g, &s),
+            s.error
+        );
+    }
+
+    println!();
+    println!("matching quality (|M| / n), 5 runs each:");
+    for seed in 0..5u64 {
+        let ks = karp_sipser(&g, &KarpSipserConfig { seed });
+        let s5 = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
+        let two = two_sided_match_with_scaling(&g, &s5, seed);
+        println!(
+            "  seed {seed}: karp_sipser = {:.3}   two_sided(5it) = {:.3}",
+            ks.matching.cardinality() as f64 / n as f64,
+            two.cardinality() as f64 / n as f64
+        );
+    }
+    println!();
+    println!("expected: KS stuck near 0.67–0.70 for large k; TwoSided ≥ 0.97.");
+}

@@ -1,0 +1,119 @@
+//! Block-triangular-form preprocessing for a sparse direct solver — the
+//! §3.3 structure of the paper made executable.
+//!
+//! A structurally singular or reducible system should be permuted to block
+//! upper triangular form before factorization: the solver then works block
+//! by block and the `∗` entries never fill in. This example builds a
+//! reducible matrix, computes the Dulmage–Mendelsohn decomposition and the
+//! BTF permutation, and shows (a) the coarse H/S/V sizes, (b) the fine
+//! block-size distribution, (c) that the permuted matrix verifies block
+//! upper triangular, and (d) how the heuristics' sampling mass aligns with
+//! the relevant blocks.
+//!
+//! ```text
+//! cargo run --release --example btf_preprocessing
+//! ```
+
+use dsmatch::dm::{block_triangular_form, dulmage_mendelsohn, fine_decomposition};
+use dsmatch::prelude::*;
+use dsmatch::scale::sinkhorn_knopp;
+
+/// A reducible system: a chain of diagonal blocks with one-way coupling,
+/// plus an underdetermined head and an overdetermined tail.
+fn reducible_system(blocks: usize, block_size: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = SplitMix64::new(seed);
+    let ncore = blocks * block_size;
+    // Layout: 3 head rows (horizontal part) + core + 3 tail rows (vertical
+    // part); 4 head columns + core + 1 shared tail column.
+    let n_r = 3 + ncore + 3;
+    let n_c = 4 + ncore + 1;
+    let mut t = dsmatch::graph::TripletMatrix::new(n_r, n_c);
+    // Core blocks at offset (3, 4): strongly connected rings with one-way
+    // coupling to the next block.
+    for b in 0..blocks {
+        let r0 = 3 + b * block_size;
+        let c0 = 4 + b * block_size;
+        for k in 0..block_size {
+            t.push(r0 + k, c0 + k);
+            t.push(r0 + k, c0 + (k + 1) % block_size);
+        }
+        if b + 1 < blocks {
+            for _ in 0..3 {
+                let i = r0 + rng.next_index(block_size);
+                let j = 4 + (b + 1) * block_size + rng.next_index(block_size);
+                t.push(i, j);
+            }
+        }
+    }
+    // Horizontal head: 3 rows over the 4 head columns (more columns than
+    // rows ⇒ underdetermined).
+    for i in 0..3 {
+        t.push(i, i);
+        t.push(i, i + 1);
+    }
+    // Vertical tail: 3 rows all competing for the single tail column.
+    for k in 0..3 {
+        t.push(3 + ncore + k, n_c - 1);
+    }
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+fn main() {
+    let g = reducible_system(8, 25, 0xB7F);
+    println!(
+        "system: {} × {} with {} nonzeros",
+        g.nrows(),
+        g.ncols(),
+        g.nnz()
+    );
+
+    let dm = dulmage_mendelsohn(&g);
+    println!(
+        "coarse DM: H = {}×{}, S = {}×{}, V = {}×{}; sprank = {}",
+        dm.h_rows, dm.h_cols, dm.s_rows, dm.s_cols, dm.v_rows, dm.v_cols, dm.sprank()
+    );
+
+    let fine = fine_decomposition(&g, &dm);
+    let mut sizes = fine.block_sizes.clone();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "fine blocks: {} total; largest sizes: {:?}",
+        fine.block_count,
+        &sizes[..sizes.len().min(10)]
+    );
+
+    let btf = block_triangular_form(&g);
+    assert!(btf.verify(&g), "permutation must realize block upper triangular form");
+    println!(
+        "BTF verified: H({}×{}) then {} square blocks then V({}×{})",
+        btf.horizontal.0,
+        btf.horizontal.1,
+        btf.fine_block_ptr.len() - 1,
+        btf.vertical.0,
+        btf.vertical.1
+    );
+    let permuted = g.csr().permuted(&btf.row_perm, &btf.col_perm);
+    println!(
+        "permuted matrix rebuilt: {} nonzeros (unchanged: {})",
+        permuted.nnz(),
+        permuted.nnz() == g.nnz()
+    );
+
+    // §3.3: scaling concentrates sampling mass inside the diagonal blocks.
+    let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(30));
+    let (mut intra, mut total) = (0.0f64, 0.0f64);
+    for i in 0..g.nrows() {
+        for &j in g.row_adj(i) {
+            let w = s.entry(i, j as usize);
+            total += w;
+            let (bi, bj) = (fine.block_of_row[i], fine.block_of_col[j as usize]);
+            if bi != NIL && bi == bj {
+                intra += w;
+            }
+        }
+    }
+    println!(
+        "scaled mass inside fine diagonal blocks: {:.1}% (the ∗ blocks decay, paper §3.3)",
+        100.0 * intra / total
+    );
+}

@@ -1,0 +1,70 @@
+//! Jump-starting exact matching solvers — the paper's motivating use case
+//! ("such cheap algorithms are used as a jump-start routine by the current
+//! state of the art matching algorithms", §1).
+//!
+//! A sparse direct solver needs a zero-free diagonal (a maximum
+//! *transversal*) before factorization. This example measures how much
+//! augmentation work each initializer saves for both exact engines
+//! (Hopcroft–Karp and Pothen–Fan) on a suite of structurally different
+//! matrices.
+//!
+//! ```text
+//! cargo run --release --example solver_jumpstart
+//! ```
+
+use dsmatch::heur::{
+    cheap_random_edge, karp_sipser_matching, one_sided_match, two_sided_match, OneSidedConfig,
+    TwoSidedConfig,
+};
+use dsmatch::exact::{hopcroft_karp_from, pothen_fan_from};
+use dsmatch::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let instances: Vec<(&str, BipartiteGraph)> = vec![
+        ("er_d4_100k", dsmatch::gen::erdos_renyi_square(100_000, 4.0, 1)),
+        ("mesh_100k", dsmatch::gen::grid_mesh(316, 316)),
+        ("adversarial_3200_k32", dsmatch::gen::adversarial_ks(3200, 32)),
+    ];
+
+    for (name, g) in instances {
+        println!("== {name}: {} × {}, {} edges", g.nrows(), g.ncols(), g.nnz());
+        let scaling5 = ScalingConfig::iterations(5);
+
+        let initializers: Vec<(&str, Matching)> = vec![
+            ("none", Matching::new(g.nrows(), g.ncols())),
+            ("cheap_random_edge", cheap_random_edge(&g, 7)),
+            ("karp_sipser", karp_sipser_matching(&g, 7)),
+            (
+                "one_sided(5it)",
+                one_sided_match(&g, &OneSidedConfig { scaling: scaling5, seed: 7 }),
+            ),
+            (
+                "two_sided(5it)",
+                two_sided_match(&g, &TwoSidedConfig { scaling: scaling5, seed: 7 }),
+            ),
+        ];
+
+        println!(
+            "{:>20} | {:>8} | {:>12} {:>9} | {:>12} {:>9}",
+            "initializer", "|M0|", "HK augment", "HK time", "PF augment", "PF time"
+        );
+        for (init_name, m0) in initializers {
+            let card0 = m0.cardinality();
+            let t0 = Instant::now();
+            let (hk, hk_stats) = hopcroft_karp_from(&g, m0.clone());
+            let t_hk = t0.elapsed();
+            let t0 = Instant::now();
+            let (pf, pf_stats) = pothen_fan_from(&g, m0);
+            let t_pf = t0.elapsed();
+            assert_eq!(hk.cardinality(), pf.cardinality(), "both engines are exact");
+            println!(
+                "{:>20} | {:>8} | {:>12} {:>8.1?} | {:>12} {:>8.1?}",
+                init_name, card0, hk_stats.augmentations, t_hk, pf_stats.augmentations, t_pf
+            );
+        }
+        println!();
+    }
+    println!("expected: two_sided leaves ~13% of the rows to augment, one_sided ~37%,");
+    println!("and the adversarial instance ruins karp_sipser but not the scaled heuristics.");
+}

@@ -1,0 +1,65 @@
+//! Peer pairing in an undirected network — the paper's §5 extension in
+//! action.
+//!
+//! Scenario: a mentoring program wants to pair up participants who share a
+//! connection in a social graph (general, non-bipartite). The undirected
+//! 1-out heuristic scales the symmetric adjacency, lets every participant
+//! nominate one contact, and matches the nomination graph optimally.
+//!
+//! ```text
+//! cargo run --release --example undirected_pairing [n]
+//! ```
+
+use dsmatch::heur::{one_out_undirected, OneOutConfig};
+use dsmatch::prelude::*;
+use dsmatch::graph::UndirectedGraph;
+
+/// Small-world-ish social graph: a ring of acquaintances plus random
+/// long-range friendships.
+fn social_graph(n: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(3 * n);
+    for v in 0..n {
+        edges.push((v, (v + 1) % n));
+        edges.push((v, (v + 2) % n));
+    }
+    for _ in 0..n {
+        let u = rng.next_index(n);
+        let v = rng.next_index(n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let g = social_graph(n, 0x50C1A1);
+    println!(
+        "social graph: {} participants, {} connections",
+        g.n(),
+        g.edge_count()
+    );
+
+    for iters in [0usize, 1, 5] {
+        let m = one_out_undirected(
+            &g,
+            &OneOutConfig { scaling: ScalingConfig::iterations(iters), seed: 42 },
+        );
+        m.verify(&g).expect("pairs must be real connections");
+        let paired = 2 * m.cardinality();
+        println!(
+            "{iters} scaling iterations: {} of {} participants paired ({:.1}%)",
+            paired,
+            g.n(),
+            100.0 * paired as f64 / g.n() as f64
+        );
+    }
+    println!();
+    println!("expected: ≥ 86% of participants paired with scaling, mirroring the");
+    println!("bipartite TwoSidedMatch behaviour the paper conjectures (§5 extension).");
+}

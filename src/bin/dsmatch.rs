@@ -1,0 +1,116 @@
+//! `dsmatch` command-line tool: run any of the workspace's matching
+//! algorithms on a Matrix Market file.
+//!
+//! ```text
+//! dsmatch <matrix.mtx> [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs]
+//!                      [--iters N] [--seed S] [--threads T]
+//!                      [--quality] [--output pairs.txt]
+//! ```
+//!
+//! `--quality` additionally computes the exact optimum (Hopcroft–Karp) and
+//! reports the quality ratio — the measurement protocol of the paper's §4.
+//! `--output` writes the matched `(row, col)` pairs (1-based) to a file.
+
+use dsmatch::driver::{run, Algorithm, RunConfig};
+use dsmatch::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|k| args.get(k + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("--{name}=")).map(String::from))
+        })
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: dsmatch <matrix.mtx> [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs] \
+             [--iters N] [--seed S] [--threads T] [--quality] [--output pairs.txt]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let algo: Algorithm = match arg_value("algo").unwrap_or_else(|| "two".into()).parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = RunConfig {
+        scaling_iterations: arg_value("iters").and_then(|v| v.parse().ok()).unwrap_or(5),
+        seed: arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(1),
+    };
+    let want_quality = std::env::args().any(|a| a == "--quality");
+
+    if let Some(t) = arg_value("threads").and_then(|v| v.parse::<usize>().ok()) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("thread pool already initialized");
+    }
+
+    let t0 = Instant::now();
+    let csr = match dsmatch::graph::io::read_matrix_market_file(&path) {
+        Ok(csr) => csr,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = BipartiteGraph::from_csr(csr);
+    eprintln!(
+        "loaded {} × {} with {} entries in {:.2?}",
+        g.nrows(),
+        g.ncols(),
+        g.nnz(),
+        t0.elapsed()
+    );
+
+    let t0 = Instant::now();
+    let m = run(algo, &g, &cfg);
+    let dt = t0.elapsed();
+    if let Err(e) = m.verify(&g) {
+        eprintln!("INTERNAL ERROR: produced an invalid matching: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "algorithm     : {algo}{}",
+        if algo.is_exact() {
+            " (exact)".to_string()
+        } else {
+            format!(" (scaling iterations: {}, seed: {})", cfg.scaling_iterations, cfg.seed)
+        }
+    );
+    println!("cardinality   : {}", m.cardinality());
+    println!("time          : {dt:.3?}");
+    if want_quality {
+        let opt = sprank(&g);
+        println!("optimum       : {opt}");
+        println!("quality       : {:.4}", m.quality(opt));
+    }
+    if let Some(out) = arg_value("output") {
+        let mut f = match std::fs::File::create(&out) {
+            Ok(f) => std::io::BufWriter::new(f),
+            Err(e) => {
+                eprintln!("cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, j) in m.iter_pairs() {
+            if writeln!(f, "{} {}", i + 1, j + 1).is_err() {
+                eprintln!("write to {out} failed");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("wrote {} pairs to {out}", m.cardinality());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,62 @@
+//! # dsmatch — bipartite matching heuristics with quality guarantees
+//!
+//! A faithful, production-quality Rust reproduction of
+//!
+//! > F. Dufossé, K. Kaya, B. Uçar, *Bipartite matching heuristics with
+//! > quality guarantees on shared memory parallel computers*,
+//! > Inria Research Report RR-8386 (2013), IPPS/IPDPS 2014.
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! - [`graph`] — sparse bipartite-graph substrate (CSR/CSC, matchings,
+//!   components, Matrix Market I/O, deterministic PRNG);
+//! - [`scale`] — doubly-stochastic scaling (parallel Sinkhorn–Knopp,
+//!   paper Algorithm 1; Ruiz equilibration as an alternative);
+//! - [`heur`] — the paper's heuristics: `OneSidedMatch` (Alg. 2, ≥ 0.632
+//!   guarantee), `TwoSidedMatch` (Alg. 3, conjectured 0.866),
+//!   `KarpSipserMT` (Alg. 4), plus the classic Karp–Sipser and cheap-matching
+//!   baselines;
+//! - [`exact`] — exact maximum-cardinality matching (Hopcroft–Karp,
+//!   Pothen–Fan) and `sprank`;
+//! - [`dm`] — Dulmage–Mendelsohn decomposition;
+//! - [`gen`] — instance generators, including surrogates for the paper's
+//!   test matrices.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dsmatch::prelude::*;
+//!
+//! // An Erdős–Rényi bipartite graph with ~4 nonzeros per row.
+//! let graph = dsmatch::gen::erdos_renyi_square(1_000, 4.0, 42);
+//!
+//! // OneSidedMatch: scale, then let every row sample one column.
+//! let cfg = OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 7 };
+//! let matching = one_sided_match(&graph, &cfg);
+//! matching.verify(&graph).unwrap();
+//!
+//! // Guarantee: at least (1 - 1/e) of the maximum cardinality, in expectation.
+//! let optimum = dsmatch::exact::hopcroft_karp(&graph).cardinality();
+//! assert!(matching.cardinality() as f64 >= 0.55 * optimum as f64);
+//! ```
+
+pub mod driver;
+
+pub use dsmatch_core as heur;
+pub use dsmatch_dm as dm;
+pub use dsmatch_exact as exact;
+pub use dsmatch_gen as gen;
+pub use dsmatch_graph as graph;
+pub use dsmatch_scale as scale;
+pub use dsmatch_weighted as weighted;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use dsmatch_core::{
+        karp_sipser, karp_sipser_mt, one_sided_match, two_sided_match, KarpSipserConfig,
+        OneSidedConfig, TwoSidedConfig,
+    };
+    pub use dsmatch_exact::{hopcroft_karp, sprank};
+    pub use dsmatch_graph::{BipartiteGraph, Csr, Matching, SplitMix64, TripletMatrix, NIL};
+    pub use dsmatch_scale::{sinkhorn_knopp, ScalingConfig, ScalingResult};
+}

@@ -1,0 +1,75 @@
+//! Thread-count independence: the paper stresses that the approximation
+//! guarantees "do not deteriorate with the increased degree of
+//! parallelization". Our implementation goes further — the sampled subgraph
+//! is a pure function of the seed, so cardinalities are *identical* across
+//! thread counts.
+
+use dsmatch::heur::{one_sided_match, two_sided_match, OneSidedConfig, TwoSidedConfig};
+use dsmatch::prelude::*;
+
+fn pool(t: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap()
+}
+
+#[test]
+fn one_sided_identical_across_thread_counts() {
+    let g = dsmatch::gen::erdos_renyi_square(20_000, 4.0, 77);
+    let cfg = OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 123 };
+    let reference = pool(1).install(|| one_sided_match(&g, &cfg));
+    for t in [2usize, 4, 8] {
+        let m = pool(t).install(|| one_sided_match(&g, &cfg));
+        assert_eq!(m.cardinality(), reference.cardinality(), "threads = {t}");
+        for j in 0..g.ncols() {
+            assert_eq!(
+                m.is_col_matched(j),
+                reference.is_col_matched(j),
+                "column {j} differs at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_sided_identical_cardinality_across_thread_counts() {
+    let g = dsmatch::gen::erdos_renyi_square(20_000, 4.0, 78);
+    let cfg = TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 321 };
+    let reference = pool(1).install(|| two_sided_match(&g, &cfg)).cardinality();
+    for t in [2usize, 4, 8, 16] {
+        let card = pool(t).install(|| two_sided_match(&g, &cfg)).cardinality();
+        assert_eq!(card, reference, "threads = {t}");
+    }
+}
+
+#[test]
+fn scaling_vectors_bitwise_identical_across_thread_counts() {
+    use dsmatch::scale::sinkhorn_knopp;
+    let g = dsmatch::gen::chung_lu(10_000, 8.0, 2.2, 5);
+    let a = pool(1).install(|| sinkhorn_knopp(&g, &ScalingConfig::iterations(8)));
+    let b = pool(8).install(|| sinkhorn_knopp(&g, &ScalingConfig::iterations(8)));
+    // Each dr/dc entry is an independent reduction over the same values in
+    // the same order, so even floating point results agree bitwise.
+    assert_eq!(a.dr, b.dr);
+    assert_eq!(a.dc, b.dc);
+    assert_eq!(a.error, b.error);
+}
+
+#[test]
+fn seeds_change_results_thread_counts_do_not() {
+    let g = dsmatch::gen::erdos_renyi_square(10_000, 3.0, 79);
+    let cfg_a = TwoSidedConfig { scaling: ScalingConfig::iterations(3), seed: 1 };
+    let cfg_b = TwoSidedConfig { scaling: ScalingConfig::iterations(3), seed: 2 };
+    let a1 = pool(2).install(|| two_sided_match(&g, &cfg_a)).cardinality();
+    let a2 = pool(7).install(|| two_sided_match(&g, &cfg_a)).cardinality();
+    let b = pool(2).install(|| two_sided_match(&g, &cfg_b)).cardinality();
+    assert_eq!(a1, a2);
+    // Different seeds differing in cardinality is not guaranteed but holds
+    // for this instance (checked when the test was written); the important
+    // half of the assertion is a1 == a2 above. Allow equality but require
+    // the sampled matchings to differ somewhere.
+    let ma = pool(3).install(|| two_sided_match(&g, &cfg_a));
+    let mb = pool(3).install(|| two_sided_match(&g, &cfg_b));
+    assert!(
+        b != a1 || ma.rmates() != mb.rmates(),
+        "two seeds produced identical matchings"
+    );
+}

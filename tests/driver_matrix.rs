@@ -1,0 +1,103 @@
+//! Cross-product test: every algorithm × every generator family, checking
+//! validity, exactness of the exact engines against each other, and the
+//! paper's quality ordering where it is deterministic enough to assert.
+
+use dsmatch::driver::{run, Algorithm, RunConfig};
+use dsmatch::prelude::*;
+
+fn families() -> Vec<(&'static str, BipartiteGraph)> {
+    vec![
+        ("er_d4", dsmatch::gen::erdos_renyi_square(1_500, 4.0, 21)),
+        ("mesh", dsmatch::gen::grid_mesh(38, 38)),
+        ("rmat", dsmatch::gen::rmat(10, 6.0, dsmatch::gen::RmatParams::GRAPH500, 3)),
+        ("adversarial", dsmatch::gen::adversarial_ks(400, 8)),
+        ("rect", dsmatch::gen::erdos_renyi_rect(1_000, 1_300, 3.0, 4)),
+        ("permutation", dsmatch::gen::permutation(1_000, 5)),
+    ]
+}
+
+#[test]
+fn all_algorithms_valid_on_all_families() {
+    let cfg = RunConfig { scaling_iterations: 5, seed: 11 };
+    for (name, g) in families() {
+        let exact_cards: Vec<usize> = Algorithm::all()
+            .into_iter()
+            .filter(|a| a.is_exact())
+            .map(|a| {
+                let m = run(a, &g, &cfg);
+                m.verify(&g).unwrap_or_else(|e| panic!("{a} invalid on {name}: {e}"));
+                m.cardinality()
+            })
+            .collect();
+        // All four exact engines agree.
+        assert!(
+            exact_cards.windows(2).all(|w| w[0] == w[1]),
+            "{name}: exact engines disagree: {exact_cards:?}"
+        );
+        let opt = exact_cards[0];
+        for a in Algorithm::all() {
+            if a.is_exact() {
+                continue;
+            }
+            let m = run(a, &g, &cfg);
+            m.verify(&g).unwrap_or_else(|e| panic!("{a} invalid on {name}: {e}"));
+            assert!(m.cardinality() <= opt, "{a} above optimum on {name}");
+        }
+    }
+}
+
+#[test]
+fn two_sided_beats_cheap_on_full_sprank_families() {
+    let cfg = RunConfig { scaling_iterations: 10, seed: 2 };
+    for (name, g) in families() {
+        if !g.is_square() {
+            continue;
+        }
+        let opt = run(Algorithm::HopcroftKarp, &g, &cfg).cardinality();
+        if opt < g.nrows() {
+            continue;
+        }
+        let two = run(Algorithm::TwoSided, &g, &cfg).cardinality();
+        // Worst-case cheap baseline is its guarantee 1/2; TwoSided's
+        // conjecture is 0.866. Assert a comfortable separation from 1/2.
+        assert!(
+            two as f64 >= 0.80 * opt as f64,
+            "{name}: two_sided at {:.3} of optimum",
+            two as f64 / opt as f64
+        );
+    }
+}
+
+#[test]
+fn permutation_family_is_trivial_for_everyone() {
+    // Degree-one everywhere: every algorithm must return the permutation.
+    let g = dsmatch::gen::permutation(2_000, 9);
+    let cfg = RunConfig::default();
+    for a in Algorithm::all() {
+        let m = run(a, &g, &cfg);
+        assert!(m.is_perfect(), "{a} missed the forced perfect matching");
+    }
+}
+
+#[test]
+fn driver_respects_scaling_iterations() {
+    // On the adversarial family, 0-iteration TwoSided must be much worse
+    // than 10-iteration TwoSided (Table 1's central contrast).
+    let g = dsmatch::gen::adversarial_ks(800, 16);
+    let m0 = run(
+        Algorithm::TwoSided,
+        &g,
+        &RunConfig { scaling_iterations: 0, seed: 3 },
+    );
+    let m10 = run(
+        Algorithm::TwoSided,
+        &g,
+        &RunConfig { scaling_iterations: 10, seed: 3 },
+    );
+    assert!(
+        m10.cardinality() as f64 >= m0.cardinality() as f64 * 1.5,
+        "scaling should roughly double quality here: {} vs {}",
+        m0.cardinality(),
+        m10.cardinality()
+    );
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the paper's structural lemmas, exercised through
+//! the real pipeline (scaling → sampling → subgraph) rather than synthetic
+//! choice arrays.
+
+use dsmatch::heur::{karp_sipser_mt, two_sided_choices};
+use dsmatch::graph::components::choice_graph_components;
+use dsmatch::prelude::*;
+use dsmatch::scale::sinkhorn_knopp;
+
+fn sampled_choices(g: &BipartiteGraph, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let s = sinkhorn_knopp(g, &ScalingConfig::iterations(3));
+    two_sided_choices(g, &s, seed)
+}
+
+/// Materialize the sampled subgraph (line 8 of Algorithm 3).
+fn subgraph(g: &BipartiteGraph, rc: &[u32], cc: &[u32]) -> BipartiteGraph {
+    let mut t = dsmatch::graph::TripletMatrix::new(rc.len(), cc.len());
+    for (i, &j) in rc.iter().enumerate() {
+        if j != NIL {
+            t.push(i, j as usize);
+        }
+    }
+    for (j, &i) in cc.iter().enumerate() {
+        if i != NIL {
+            t.push(i as usize, j);
+        }
+    }
+    let _ = g;
+    BipartiteGraph::from_csr(t.into_csr())
+}
+
+#[test]
+fn lemma1_at_most_one_cycle_per_component() {
+    for (gname, g) in [
+        ("er_d4", dsmatch::gen::erdos_renyi_square(5_000, 4.0, 2)),
+        ("ring", dsmatch::gen::ring(5_000)),
+        ("mesh", dsmatch::gen::grid_mesh(70, 70)),
+        ("adversarial", dsmatch::gen::adversarial_ks(1_000, 8)),
+    ] {
+        for seed in 0..5 {
+            let (rc, cc) = sampled_choices(&g, seed);
+            for stats in choice_graph_components(&rc, &cc) {
+                assert!(
+                    stats.cycle_count() <= 1,
+                    "Lemma 1 violated on {gname} (seed {seed}): {stats:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn karp_sipser_mt_is_exact_on_sampled_subgraphs() {
+    // The main correctness claim behind Algorithm 4: KS-MT's matching is a
+    // *maximum* matching of the sampled subgraph. Cross-check against
+    // Hopcroft–Karp on the materialized subgraph.
+    for (gname, g) in [
+        ("er_d3", dsmatch::gen::erdos_renyi_square(3_000, 3.0, 5)),
+        ("er_d8", dsmatch::gen::erdos_renyi_square(3_000, 8.0, 6)),
+        ("mesh", dsmatch::gen::grid_mesh(55, 55)),
+        ("regular_d2", dsmatch::gen::random_regular(3_000, 2, 7)),
+        ("rect", dsmatch::gen::erdos_renyi_rect(2_000, 2_500, 3.0, 8)),
+    ] {
+        for seed in 0..5 {
+            let (rc, cc) = sampled_choices(&g, seed);
+            let m = karp_sipser_mt(&rc, &cc);
+            let sub = subgraph(&g, &rc, &cc);
+            m.verify(&sub)
+                .unwrap_or_else(|e| panic!("invalid on {gname} subgraph: {e}"));
+            let opt = hopcroft_karp(&sub).cardinality();
+            assert_eq!(
+                m.cardinality(),
+                opt,
+                "KS-MT not exact on {gname} sampled subgraph (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_subgraph_edges_exist_in_original() {
+    let g = dsmatch::gen::erdos_renyi_square(4_000, 5.0, 3);
+    let (rc, cc) = sampled_choices(&g, 1);
+    for (i, &j) in rc.iter().enumerate() {
+        if j != NIL {
+            assert!(g.csr().contains(i, j as usize));
+        }
+    }
+    for (j, &i) in cc.iter().enumerate() {
+        if i != NIL {
+            assert!(g.csr().contains(i as usize, j));
+        }
+    }
+}
+
+#[test]
+fn subgraph_has_at_most_2n_edges() {
+    // "at most 2n edges (if i chooses j and j chooses i, we have one edge)"
+    let g = dsmatch::gen::erdos_renyi_square(4_000, 6.0, 9);
+    let (rc, cc) = sampled_choices(&g, 4);
+    let sub = subgraph(&g, &rc, &cc);
+    assert!(sub.nnz() <= rc.len() + cc.len());
+    assert!(sub.nnz() >= rc.len().max(cc.len())); // no NIL here: full support
+}
+
+#[test]
+fn theorem1_expectation_on_dense_ones() {
+    // For the all-ones matrix the per-column unmatched probability is
+    // (1 − 1/n)^n → 1/e exactly; the matching size concentrates sharply
+    // around n(1 − 1/e) ≈ 0.632 n.
+    use dsmatch::heur::{one_sided_match, OneSidedConfig};
+    let n = 4_000;
+    let g = dsmatch::gen::dense_ones(n);
+    let m = one_sided_match(
+        &g,
+        &OneSidedConfig { scaling: ScalingConfig::iterations(1), seed: 31 },
+    );
+    let q = m.cardinality() as f64 / n as f64;
+    assert!(
+        (q - (1.0 - 1.0 / std::f64::consts::E)).abs() < 0.02,
+        "one-sided on all-ones should sit at 1 − 1/e, got {q:.4}"
+    );
+}

@@ -1,0 +1,114 @@
+//! Property-based tests on the workspace-wide invariants, using proptest to
+//! explore the input space of random bipartite patterns.
+
+use dsmatch::heur::{
+    karp_sipser, karp_sipser_mt, karp_sipser_mt_seq, one_sided_match, two_sided_match,
+    KarpSipserConfig, OneSidedConfig, TwoSidedConfig,
+};
+use dsmatch::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random pattern as (nrows, ncols, entry bitmap).
+fn small_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..10, 1usize..10).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::bool::weighted(0.3), m * n).prop_map(
+            move |bits| {
+                let mut t = dsmatch::graph::TripletMatrix::new(m, n);
+                for (k, &b) in bits.iter().enumerate() {
+                    if b {
+                        t.push(k / n, k % n);
+                    }
+                }
+                BipartiteGraph::from_csr(t.into_csr())
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn hopcroft_karp_matches_brute_force(g in small_graph()) {
+        let hk = hopcroft_karp(&g);
+        hk.verify(&g).unwrap();
+        prop_assert_eq!(hk.cardinality(), dsmatch::exact::brute_force_maximum(&g));
+    }
+
+    #[test]
+    fn pothen_fan_matches_hopcroft_karp(g in small_graph()) {
+        let pf = dsmatch::exact::pothen_fan(&g);
+        pf.verify(&g).unwrap();
+        prop_assert_eq!(pf.cardinality(), hopcroft_karp(&g).cardinality());
+    }
+
+    #[test]
+    fn heuristics_always_valid_and_bounded(g in small_graph(), seed in 0u64..1000) {
+        let opt = hopcroft_karp(&g).cardinality();
+        let one = one_sided_match(&g, &OneSidedConfig {
+            scaling: ScalingConfig::iterations(3), seed });
+        let two = two_sided_match(&g, &TwoSidedConfig {
+            scaling: ScalingConfig::iterations(3), seed });
+        let ks = karp_sipser(&g, &KarpSipserConfig { seed }).matching;
+        for m in [&one, &two, &ks] {
+            m.verify(&g).unwrap();
+            prop_assert!(m.cardinality() <= opt);
+        }
+        // Karp–Sipser is maximal ⇒ at least half the optimum.
+        prop_assert!(2 * ks.cardinality() >= opt);
+    }
+
+    #[test]
+    fn ks_mt_equals_reference_on_arbitrary_choices(
+        rc in proptest::collection::vec(0u32..8, 1..8),
+        cc in proptest::collection::vec(0u32..8, 1..8),
+    ) {
+        let n_r = rc.len();
+        let n_c = cc.len();
+        let rc: Vec<u32> = rc.into_iter().map(|v| v % n_c as u32).collect();
+        let cc: Vec<u32> = cc.into_iter().map(|v| v % n_r as u32).collect();
+        let par = karp_sipser_mt(&rc, &cc);
+        let seq = karp_sipser_mt_seq(&rc, &cc);
+        prop_assert_eq!(par.cardinality(), seq.cardinality());
+        par.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn scaling_row_sums_are_one(g in small_graph(), iters in 1usize..6) {
+        let s = dsmatch::scale::sinkhorn_knopp(&g, &ScalingConfig::iterations(iters));
+        for i in 0..g.nrows() {
+            if g.row_degree(i) > 0 {
+                let rs = s.row_sum(&g, i);
+                prop_assert!((rs - 1.0).abs() < 1e-9, "row {} sums to {}", i, rs);
+            }
+        }
+        prop_assert!(s.dr.iter().all(|d| d.is_finite() && *d > 0.0));
+        prop_assert!(s.dc.iter().all(|d| d.is_finite() && *d > 0.0));
+    }
+
+    #[test]
+    fn dm_partition_is_consistent(g in small_graph()) {
+        let dm = dsmatch::dm::dulmage_mendelsohn(&g);
+        prop_assert_eq!(dm.sprank(), hopcroft_karp(&g).cardinality());
+        prop_assert!(dm.verify_zero_blocks(&g));
+        prop_assert_eq!(dm.s_rows, dm.s_cols);
+        prop_assert_eq!(dm.h_rows + dm.s_rows + dm.v_rows, g.nrows());
+        prop_assert_eq!(dm.h_cols + dm.s_cols + dm.v_cols, g.ncols());
+        // H rows and V columns are all matched.
+        prop_assert!(dm.h_rows <= dm.h_cols);
+        prop_assert!(dm.v_cols <= dm.v_rows);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(g in small_graph()) {
+        let mut buf = Vec::new();
+        dsmatch::graph::io::write_matrix_market(&mut buf, g.csr()).unwrap();
+        let back = dsmatch::graph::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(g.csr(), &back);
+    }
+
+    #[test]
+    fn transpose_involution(g in small_graph()) {
+        prop_assert_eq!(&g.csr().transpose().transpose(), g.csr());
+    }
+}

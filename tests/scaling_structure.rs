@@ -1,0 +1,112 @@
+//! Integration tests for §3.3 of the paper: the interaction between
+//! scaling and the Dulmage–Mendelsohn structure. "The scaling algorithms
+//! applied to bipartite graphs without perfect matchings will zero out the
+//! entries in the irrelevant parts and identify the entries that can be put
+//! into a maximum cardinality matching."
+
+use dsmatch::dm::{dulmage_mendelsohn, fine_decomposition};
+use dsmatch::prelude::*;
+use dsmatch::scale::sinkhorn_knopp;
+use dsmatch_graph::Csr;
+
+#[test]
+fn star_entries_of_triangular_matrix_decay() {
+    // Upper triangular: only the diagonal is in the (unique) perfect
+    // matching. After scaling, the sampling probability of off-diagonal
+    // entries must collapse.
+    let n = 64;
+    let mut rows: Vec<Vec<u8>> = vec![vec![0; n]; n];
+    for (i, row) in rows.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if j >= i {
+                *v = 1;
+            }
+        }
+    }
+    let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+    let g = BipartiteGraph::from_csr(Csr::from_dense(&refs));
+
+    // Without total support, Sinkhorn–Knopp converges only sublinearly
+    // (Sinkhorn's classical result, recalled in the paper's §3.3), so we
+    // assert the *trend*: the worst-row diagonal mass grows monotonically
+    // with the iteration count and far exceeds the uniform baseline.
+    let min_diag_mass = |iters: usize| -> f64 {
+        let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(iters));
+        (0..n)
+            .map(|i| {
+                let row_sum: f64 = g.row_adj(i).iter().map(|&j| s.dc[j as usize]).sum();
+                s.dc[i] / row_sum
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let m2 = min_diag_mass(2);
+    let m20 = min_diag_mass(20);
+    let m200 = min_diag_mass(200);
+    assert!(m2 < m20 && m20 < m200, "mass must grow: {m2:.3} → {m20:.3} → {m200:.3}");
+    // Uniform sampling would put ~1/32 on the worst row's diagonal.
+    assert!(m200 > 0.45, "after 200 iterations, worst row has {m200:.3}");
+}
+
+#[test]
+fn adversarial_full_block_mass_vanishes() {
+    // Figure-2 matrices: the full R1 × C1 block contains no entry of any
+    // perfect matching except in the stripe rows/cols; scaling must move
+    // essentially all sampling mass of a generic R1 row onto its C2
+    // diagonal partner.
+    let n = 400;
+    let k = 8;
+    let g = dsmatch::gen::adversarial_ks(n, k);
+    let h = n / 2;
+    let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(50));
+    // A generic R1 row (not in the full stripe): adjacency = C1 block plus
+    // its diagonal partner h+i.
+    let i = 3;
+    let row_sum: f64 = g.row_adj(i).iter().map(|&j| s.dc[j as usize]).sum();
+    let diag_mass = s.dc[h + i] / row_sum;
+    assert!(
+        diag_mass > 0.90,
+        "diagonal partner should dominate after scaling, got {diag_mass:.3}"
+    );
+}
+
+#[test]
+fn dm_identifies_relevant_blocks_of_deficient_er() {
+    let g = dsmatch::gen::erdos_renyi_square(2_000, 2.0, 123);
+    let dm = dulmage_mendelsohn(&g);
+    assert!(dm.sprank() < 2_000, "d = 2 should be deficient");
+    assert_eq!(dm.sprank(), sprank(&g));
+    assert!(dm.verify_zero_blocks(&g));
+    // Square part is perfectly matched by the DM matching.
+    let fine = fine_decomposition(&g, &dm);
+    let matched_pairs: usize = fine.block_sizes.iter().sum();
+    assert_eq!(matched_pairs, dm.s_rows);
+}
+
+#[test]
+fn heuristics_respect_sprank_bound_on_dm_structured_input() {
+    use dsmatch::heur::{two_sided_match, TwoSidedConfig};
+    // Horizontal + square + vertical blocks glued together.
+    let mut t = dsmatch::graph::TripletMatrix::new(30, 30);
+    // H: row 0 over columns 0..=4.
+    for j in 0..5 {
+        t.push(0, j);
+    }
+    // S: rows 1..=24 a ring over columns 5..=28.
+    for i in 0..24 {
+        t.push(1 + i, 5 + i);
+        t.push(1 + i, 5 + (i + 1) % 24);
+    }
+    // V: rows 25..=29 all over column 29.
+    for i in 25..30 {
+        t.push(i, 29);
+    }
+    let g = BipartiteGraph::from_csr(t.into_csr());
+    let opt = sprank(&g);
+    assert_eq!(opt, 1 + 24 + 1);
+    let m = two_sided_match(
+        &g,
+        &TwoSidedConfig { scaling: ScalingConfig::iterations(20), seed: 2 },
+    );
+    m.verify(&g).unwrap();
+    assert!(m.quality(opt) >= 0.85, "quality {:.3}", m.quality(opt));
+}

@@ -1,0 +1,124 @@
+//! Stress and failure-injection tests: pathological inputs, contention
+//! hotspots, and schedule-independence under explicit thread sweeps.
+
+use dsmatch::heur::{karp_sipser_mt, karp_sipser_mt_seq, ks_mt_chain_stats, one_out_matching};
+use dsmatch::prelude::*;
+
+fn pool(t: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap()
+}
+
+/// The worst case for chain-following: one maximal chain through the whole
+/// graph. rchoice[i] = i, cchoice[j] = j + 1 builds the path
+/// c_{n-1} → r_{n-1} → c_{n-2}? — construct explicitly: row i chooses
+/// column i; column j chooses row j+1. Then column n−1 is the only
+/// out-one and the chain walks the entire instance.
+#[test]
+fn single_maximal_chain_does_not_blow_up() {
+    let n: usize = 200_000;
+    let rchoice: Vec<u32> = (0..n as u32).collect(); // r_i → c_i
+    let cchoice: Vec<u32> = (0..n as u32).map(|j| (j + 1) % n as u32).collect(); // c_j → r_{j+1}
+    // This is a single giant cycle (2n vertices) — Phase 1 has no out-one,
+    // Phase 2 matches perfectly. Break the cycle to force one giant chain:
+    let mut cchoice_broken = cchoice.clone();
+    cchoice_broken[n - 1] = NIL;
+    let m_cycle = karp_sipser_mt(&rchoice, &cchoice);
+    assert_eq!(m_cycle.cardinality(), n, "giant cycle must match perfectly");
+    let m_chain = karp_sipser_mt(&rchoice, &cchoice_broken);
+    let seq = karp_sipser_mt_seq(&rchoice, &cchoice_broken);
+    assert_eq!(m_chain.cardinality(), seq.cardinality());
+    // Chain stats must report one giant chain without overflow.
+    let st = ks_mt_chain_stats(&rchoice, &cchoice_broken);
+    assert!(st.max_chain >= n / 2, "expected a giant chain, got {}", st.max_chain);
+}
+
+#[test]
+fn all_vertices_choose_one_hotspot() {
+    // Maximum CAS contention: every row chooses column 0, every column
+    // chooses row 0. Maximum matching of that double star is 2.
+    let n = 100_000;
+    let rchoice = vec![0u32; n];
+    let cchoice = vec![0u32; n];
+    for t in [1usize, 4, 16] {
+        let m = pool(t).install(|| karp_sipser_mt(&rchoice, &cchoice));
+        assert_eq!(m.cardinality(), 2, "threads = {t}");
+    }
+}
+
+#[test]
+fn mutual_pairs_only() {
+    // n disjoint 2-cliques: Phase 2 must match all of them, in parallel,
+    // at any thread count.
+    let n = 100_000;
+    let rchoice: Vec<u32> = (0..n as u32).collect();
+    let cchoice: Vec<u32> = (0..n as u32).collect();
+    for t in [1usize, 8] {
+        let m = pool(t).install(|| karp_sipser_mt(&rchoice, &cchoice));
+        assert_eq!(m.cardinality(), n, "threads = {t}");
+    }
+}
+
+#[test]
+fn ks_mt_thread_sweep_identical_cardinality() {
+    // Fixed choice arrays: the matching cardinality is the maximum of the
+    // sampled subgraph, hence identical for every schedule.
+    let n = 50_000;
+    let mut rng = SplitMix64::new(77);
+    let rchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+    let cchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+    let expected = karp_sipser_mt_seq(&rchoice, &cchoice).cardinality();
+    for t in [1usize, 2, 3, 4, 8, 16] {
+        for rep in 0..3 {
+            let card = pool(t).install(|| karp_sipser_mt(&rchoice, &cchoice)).cardinality();
+            assert_eq!(card, expected, "threads = {t}, rep = {rep}");
+        }
+    }
+}
+
+#[test]
+fn one_out_long_cycle_and_long_chain() {
+    let n = 200_000;
+    // Giant undirected cycle of choices: 0→1→2→…→0.
+    let cycle: Vec<u32> = (0..n as u32).map(|v| (v + 1) % n as u32).collect();
+    let m = one_out_matching(&cycle);
+    m.check_consistent().unwrap();
+    assert_eq!(m.cardinality(), n / 2, "even cycle matches perfectly");
+    // Break it into a giant path.
+    let mut path = cycle.clone();
+    path[n - 1] = NIL;
+    let m = one_out_matching(&path);
+    m.check_consistent().unwrap();
+    assert_eq!(m.cardinality(), n / 2);
+}
+
+#[test]
+fn empty_and_degenerate_inputs() {
+    assert_eq!(karp_sipser_mt(&[], &[]).cardinality(), 0);
+    assert_eq!(karp_sipser_mt(&[NIL], &[]).cardinality(), 0);
+    assert_eq!(one_out_matching(&[]).cardinality(), 0);
+    let g = BipartiteGraph::from_csr(dsmatch::graph::Csr::empty(0, 0));
+    assert_eq!(hopcroft_karp(&g).cardinality(), 0);
+    let m = dsmatch::heur::one_sided_match(&g, &Default::default());
+    assert_eq!(m.cardinality(), 0);
+}
+
+#[test]
+fn heuristics_on_star_forests() {
+    // Extreme skew: k stars of size s. Optimal matching = k.
+    let (k, s) = (200usize, 500usize);
+    let mut t = dsmatch::graph::TripletMatrix::new(k, k * s);
+    for hub in 0..k {
+        for leaf in 0..s {
+            t.push(hub, hub * s + leaf);
+        }
+    }
+    let g = BipartiteGraph::from_csr(t.into_csr());
+    let opt = sprank(&g);
+    assert_eq!(opt, k);
+    let m = dsmatch::heur::two_sided_match(
+        &g,
+        &dsmatch::heur::TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 },
+    );
+    m.verify(&g).unwrap();
+    assert_eq!(m.cardinality(), k, "every hub must be matched");
+}
