@@ -2,9 +2,7 @@
 //! `OneSided` column and Figure 3b).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dsmatch_core::{
-    cheap_random_edge, cheap_random_vertex, one_sided_match_with_scaling,
-};
+use dsmatch_core::{cheap_random_edge, cheap_random_vertex, one_sided_match_with_scaling};
 use dsmatch_gen::{erdos_renyi_square, random_regular};
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
 

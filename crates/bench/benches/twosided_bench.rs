@@ -2,17 +2,18 @@
 //! Table 3's `TwoSided` column and Figure 4b).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dsmatch_core::{two_sided_choices, two_sided_match, two_sided_match_with_scaling, TwoSidedConfig};
+use dsmatch_core::{
+    two_sided_choices, two_sided_match, two_sided_match_with_scaling, TwoSidedConfig,
+};
 use dsmatch_gen::{erdos_renyi_square, grid_mesh};
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("two_sided_full_pipeline");
     group.sample_size(20);
-    for (name, g) in [
-        ("er_d4_100k", erdos_renyi_square(100_000, 4.0, 1)),
-        ("mesh_100k", grid_mesh(316, 316)),
-    ] {
+    for (name, g) in
+        [("er_d4_100k", erdos_renyi_square(100_000, 4.0, 1)), ("mesh_100k", grid_mesh(316, 316))]
+    {
         group.throughput(Throughput::Elements(g.nnz() as u64));
         let cfg = TwoSidedConfig { scaling: ScalingConfig::iterations(1), seed: 7 };
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {

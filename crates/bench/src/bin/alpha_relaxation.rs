@@ -30,7 +30,12 @@ fn main() {
         ("chung_lu+diag".into(), gen::suite::instances()[7].build(n, 5)),
     ];
     let mut table = Table::new(vec![
-        "instance", "iters", "α", "bound 1−e^{−α}", "measured quality", "bound met",
+        "instance",
+        "iters",
+        "α",
+        "bound 1−e^{−α}",
+        "measured quality",
+        "bound met",
     ]);
     for (name, g) in instances {
         let opt = sprank(&g);

@@ -21,7 +21,13 @@ fn main() {
 
     println!("# KarpSipserMT Phase-1 chain lengths (shrink = {shrink})");
     let mut table = Table::new(vec![
-        "name", "chains", "mean len", "max len", "P1 matches", "P2 matches", "≥15 (tail)",
+        "name",
+        "chains",
+        "mean len",
+        "max len",
+        "P1 matches",
+        "P2 matches",
+        "≥15 (tail)",
     ]);
     for (k, entry) in suite::instances().into_iter().enumerate() {
         let g = entry.build_scaled(shrink, seed.wrapping_add(k as u64));

@@ -84,5 +84,7 @@ fn main() {
         "guarantee lines: OneSided {ONE_SIDED_GUARANTEE:.3} (met @5it on {one_ok}/{total}), \
          TwoSided {TWO_SIDED_CONJECTURE:.3} (met @5it on {two_ok}/{total})"
     );
-    println!("paper reference: all instances clear the lines with 5 iterations (nlpkkt240 needs 15).");
+    println!(
+        "paper reference: all instances clear the lines with 5 iterations (nlpkkt240 needs 15)."
+    );
 }

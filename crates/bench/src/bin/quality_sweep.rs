@@ -27,9 +27,8 @@ use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
 
 fn ensemble(count: usize, nmax: usize) -> Vec<(String, BipartiteGraph)> {
     let mut out: Vec<(String, BipartiteGraph)> = Vec::new();
-    let sizes: Vec<usize> = (0..count)
-        .map(|k| 1000 + (k * 9973) % (nmax.saturating_sub(1000).max(1)))
-        .collect();
+    let sizes: Vec<usize> =
+        (0..count).map(|k| 1000 + (k * 9973) % (nmax.saturating_sub(1000).max(1))).collect();
     for (k, &n) in sizes.iter().enumerate() {
         let g = match k % 5 {
             0 => ("ring", gen::ring(n)),

@@ -44,14 +44,8 @@ fn main() {
     for (name, g) in instances {
         let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(100));
         let sigma = second_singular_value(&g, &s, 150, 11);
-        let iters = iterations_to_conjecture(&g, 60)
-            .map_or("> 60".to_string(), |k| k.to_string());
-        table.push(vec![
-            name,
-            format!("{sigma:.4}"),
-            format!("{:.4}", sigma * sigma),
-            iters,
-        ]);
+        let iters = iterations_to_conjecture(&g, 60).map_or("> 60".to_string(), |k| k.to_string());
+        table.push(vec![name, format!("{sigma:.4}"), format!("{:.4}", sigma * sigma), iters]);
     }
     table.print();
     println!();

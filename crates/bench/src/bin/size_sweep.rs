@@ -17,10 +17,8 @@ use dsmatch_gen::erdos_renyi_square;
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig};
 
 fn main() {
-    let threads: usize = arg(
-        "threads",
-        std::thread::available_parallelism().map_or(8, |n| n.get().min(16)),
-    );
+    let threads: usize =
+        arg("threads", std::thread::available_parallelism().map_or(8, |n| n.get().min(16)));
     let runs: usize = arg("runs", 6);
     let warmup: usize = arg("warmup", 2);
 

@@ -25,7 +25,9 @@ fn main() {
     let ks_values: Vec<usize> = vec![2, 4, 8, 16, 32];
     let iter_counts: Vec<usize> = vec![0, 1, 5, 10];
 
-    println!("# Table 1 — KS vs TwoSidedMatch on adversarial matrices (n = {n}, min of {runs} runs)");
+    println!(
+        "# Table 1 — KS vs TwoSidedMatch on adversarial matrices (n = {n}, min of {runs} runs)"
+    );
     let mut header: Vec<String> = vec!["k".into(), "KarpSipser".into()];
     for it in &iter_counts {
         header.push(format!("{it} it: Err"));

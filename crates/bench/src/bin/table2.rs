@@ -27,7 +27,9 @@ fn main() {
     let degrees = [2.0f64, 3.0, 4.0, 5.0];
     let iter_counts = [0usize, 1, 5, 10];
 
-    println!("# Table 2 — quality on sprank-deficient random matrices (n = {n}, min of {runs} runs)");
+    println!(
+        "# Table 2 — quality on sprank-deficient random matrices (n = {n}, min of {runs} runs)"
+    );
     let mut table = Table::new(vec!["d", "iter", "sprank", "OneSidedMatch", "TwoSidedMatch"]);
     for &d in &degrees {
         let g = erdos_renyi_square(n, d, 0xE5 + d as u64);
@@ -61,12 +63,10 @@ fn main() {
     let g = erdos_renyi_rect(m, n2, 3.0, 0xBEEF);
     let opt = sprank(&g);
     let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
-    let one = min_of(runs, |r| {
-        one_sided_match_with_scaling(&g, &scaling, 77 + r as u64).quality(opt)
-    });
-    let two = min_of(runs, |r| {
-        two_sided_match_with_scaling(&g, &scaling, 997 + r as u64).quality(opt)
-    });
+    let one =
+        min_of(runs, |r| one_sided_match_with_scaling(&g, &scaling, 77 + r as u64).quality(opt));
+    let two =
+        min_of(runs, |r| two_sided_match_with_scaling(&g, &scaling, 997 + r as u64).quality(opt));
     println!();
     println!(
         "rectangular {m}×{n2}, 5 iterations: OneSided = {one:.3}, TwoSided = {two:.3} \

@@ -33,8 +33,18 @@ fn main() {
 
     println!("# Table 3 — suite properties and sequential times (shrink = {shrink}, geo-mean of {} timed runs)", runs - warmup);
     let mut table = Table::new(vec![
-        "name", "n", "edges", "avg.deg", "sprank/n", "err@1", "err@5", "err@10", "ScaleSK(s)",
-        "OneSided(s)", "KarpSipserMT(s)", "TwoSided(s)",
+        "name",
+        "n",
+        "edges",
+        "avg.deg",
+        "sprank/n",
+        "err@1",
+        "err@5",
+        "err@10",
+        "ScaleSK(s)",
+        "OneSided(s)",
+        "KarpSipserMT(s)",
+        "TwoSided(s)",
     ]);
 
     for (k, entry) in suite::instances().into_iter().enumerate() {

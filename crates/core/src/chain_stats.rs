@@ -88,10 +88,7 @@ pub fn ks_mt_chain_stats(rchoice: &[VertexId], cchoice: &[VertexId]) -> ChainSta
             len += 1;
             let next = choice[nbr as usize];
             curr = NIL;
-            if next != NIL
-                && choice[next as usize] != NIL
-                && mate[next as usize] == NIL
-            {
+            if next != NIL && choice[next as usize] != NIL && mate[next as usize] == NIL {
                 deg[next as usize] -= 1;
                 if deg[next as usize] == 1 {
                     curr = next;
@@ -163,10 +160,7 @@ mod tests {
         let stats = ks_mt_chain_stats(&[0, 0], &[1, 0]);
         assert_eq!(stats.cardinality(), 2);
         assert!(stats.chains >= 1);
-        assert_eq!(
-            stats.histogram.iter().sum::<usize>(),
-            stats.chains
-        );
+        assert_eq!(stats.histogram.iter().sum::<usize>(), stats.chains);
     }
 
     #[test]

@@ -18,11 +18,8 @@ use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
 /// Random-edge greedy matching (first cheap variant of §2.1).
 pub fn cheap_random_edge(g: &BipartiteGraph, seed: u64) -> Matching {
     let mut rng = SplitMix64::new(seed);
-    let mut edges: Vec<(VertexId, VertexId)> = g
-        .csr()
-        .iter_entries()
-        .map(|(i, j)| (i as VertexId, j as VertexId))
-        .collect();
+    let mut edges: Vec<(VertexId, VertexId)> =
+        g.csr().iter_entries().map(|(i, j)| (i as VertexId, j as VertexId)).collect();
     rng.shuffle(&mut edges);
     let mut m = Matching::new(g.nrows(), g.ncols());
     for (i, j) in edges {

@@ -163,11 +163,8 @@ pub fn karp_sipser(g: &BipartiteGraph, cfg: &KarpSipserConfig) -> KarpSipserStat
     st.drain();
 
     // Phase 2: uniformly random alive edges, re-draining after each match.
-    let mut pool: Vec<(VertexId, VertexId)> = g
-        .csr()
-        .iter_entries()
-        .map(|(i, j)| (i as VertexId, j as VertexId))
-        .collect();
+    let mut pool: Vec<(VertexId, VertexId)> =
+        g.csr().iter_entries().map(|(i, j)| (i as VertexId, j as VertexId)).collect();
     let mut random_matches = 0usize;
     while !pool.is_empty() {
         let k = rng.next_index(pool.len());
@@ -235,12 +232,7 @@ mod tests {
     #[test]
     fn maximal_matching_always() {
         // KS always returns a *maximal* matching: no alive edge remains.
-        let g = graph(&[
-            &[1, 1, 1, 0],
-            &[1, 1, 0, 1],
-            &[0, 1, 1, 1],
-            &[1, 0, 1, 1],
-        ]);
+        let g = graph(&[&[1, 1, 1, 0], &[1, 1, 0, 1], &[0, 1, 1, 1], &[1, 0, 1, 1]]);
         for seed in 0..20 {
             let s = karp_sipser(&g, &KarpSipserConfig { seed });
             let m = &s.matching;
@@ -265,21 +257,13 @@ mod tests {
     fn stats_add_up() {
         let g = graph(&[&[1, 1], &[1, 1]]);
         let s = karp_sipser(&g, &KarpSipserConfig { seed: 3 });
-        assert_eq!(
-            s.matching.cardinality(),
-            s.degree_one_matches + s.random_matches
-        );
+        assert_eq!(s.matching.cardinality(), s.degree_one_matches + s.random_matches);
         assert_eq!(s.matching.cardinality(), 2);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let g = graph(&[
-            &[1, 1, 0, 1],
-            &[1, 0, 1, 1],
-            &[0, 1, 1, 0],
-            &[1, 1, 0, 1],
-        ]);
+        let g = graph(&[&[1, 1, 0, 1], &[1, 0, 1, 1], &[0, 1, 1, 0], &[1, 1, 0, 1]]);
         let a = karp_sipser(&g, &KarpSipserConfig { seed: 11 });
         let b = karp_sipser(&g, &KarpSipserConfig { seed: 11 });
         assert_eq!(a.matching, b.matching);

@@ -157,10 +157,8 @@ pub fn karp_sipser_mt(rchoice: &[VertexId], cchoice: &[VertexId]) -> Matching {
             }
         })
         .collect();
-    let cmate: Vec<u32> = (n_r..total)
-        .into_par_iter()
-        .map(|u| mat[u].load(Ordering::Acquire))
-        .collect();
+    let cmate: Vec<u32> =
+        (n_r..total).into_par_iter().map(|u| mat[u].load(Ordering::Acquire)).collect();
     Matching::from_mates(rmate, cmate)
 }
 
@@ -175,11 +173,8 @@ pub fn karp_sipser_mt_seq(rchoice: &[VertexId], cchoice: &[VertexId]) -> Matchin
 /// Materialize the 1-out ∪ 1-in subgraph as a [`BipartiteGraph`] (line 8 of
 /// Algorithm 3 — the explicit construction the parallel code avoids).
 pub fn choice_subgraph(rchoice: &[VertexId], cchoice: &[VertexId]) -> BipartiteGraph {
-    let mut t = TripletMatrix::with_capacity(
-        rchoice.len(),
-        cchoice.len(),
-        rchoice.len() + cchoice.len(),
-    );
+    let mut t =
+        TripletMatrix::with_capacity(rchoice.len(), cchoice.len(), rchoice.len() + cchoice.len());
     for (i, &j) in rchoice.iter().enumerate() {
         if j != NIL {
             t.push(i, j as usize);
@@ -205,10 +200,8 @@ mod tests {
         let mut rng = SplitMix64::new(2024);
         for n in [1usize, 2, 3, 4, 7, 16, 33, 100] {
             for _ in 0..50 {
-                let rchoice: Vec<u32> =
-                    (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
-                let cchoice: Vec<u32> =
-                    (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+                let rchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
+                let cchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
                 let par = karp_sipser_mt(&rchoice, &cchoice);
                 let seq = karp_sipser_mt_seq(&rchoice, &cchoice);
                 let g = choice_subgraph(&rchoice, &cchoice);
@@ -288,10 +281,8 @@ mod tests {
         let mut rng = SplitMix64::new(7);
         for (nr, nc) in [(3usize, 8usize), (8, 3), (1, 5), (5, 1)] {
             for _ in 0..50 {
-                let rchoice: Vec<u32> =
-                    (0..nr).map(|_| rng.next_below(nc as u64) as u32).collect();
-                let cchoice: Vec<u32> =
-                    (0..nc).map(|_| rng.next_below(nr as u64) as u32).collect();
+                let rchoice: Vec<u32> = (0..nr).map(|_| rng.next_below(nc as u64) as u32).collect();
+                let cchoice: Vec<u32> = (0..nc).map(|_| rng.next_below(nr as u64) as u32).collect();
                 let par = karp_sipser_mt(&rchoice, &cchoice);
                 let seq = karp_sipser_mt_seq(&rchoice, &cchoice);
                 let g = choice_subgraph(&rchoice, &cchoice);

@@ -38,7 +38,9 @@ pub use cheap::{cheap_random_edge, cheap_random_vertex};
 pub use karp_sipser::{karp_sipser, karp_sipser_matching, KarpSipserConfig, KarpSipserStats};
 pub use ks_mt::{choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq};
 pub use one_out_undirected::{one_out_choices, one_out_matching, one_out_undirected, OneOutConfig};
-pub use one_sided::{one_sided_match, one_sided_match_seq, one_sided_match_with_scaling, OneSidedConfig};
+pub use one_sided::{
+    one_sided_match, one_sided_match_seq, one_sided_match_with_scaling, OneSidedConfig,
+};
 pub use sample::{sample_neighbor, ChoiceSampler};
 pub use two_sided::{
     two_sided_choices, two_sided_match, two_sided_match_seq, two_sided_match_with_scaling,

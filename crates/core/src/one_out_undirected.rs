@@ -228,11 +228,8 @@ mod tests {
                 let m = one_out_matching(&choice);
                 m.check_consistent().unwrap();
                 // Brute force on the materialized subgraph.
-                let edges: Vec<(usize, usize)> = choice
-                    .iter()
-                    .enumerate()
-                    .map(|(v, &c)| (v, c as usize))
-                    .collect();
+                let edges: Vec<(usize, usize)> =
+                    choice.iter().enumerate().map(|(v, &c)| (v, c as usize)).collect();
                 let g = UndirectedGraph::from_edges(n, &edges);
                 m.verify(&g).unwrap();
                 let opt = brute_force(&g);

@@ -219,11 +219,7 @@ mod tests {
     fn perfect_on_permutation_matrix() {
         // With a permutation pattern every row has exactly one choice:
         // the heuristic must return the full permutation.
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[0, 1, 0],
-            &[0, 0, 1],
-            &[1, 0, 0],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]]));
         let m = one_sided_match(&g, &OneSidedConfig::default());
         assert!(m.is_perfect());
         assert_eq!(m.rmate(0), 1);

@@ -191,16 +191,11 @@ mod tests {
         // Both heuristics on the same graph; TwoSided should do better
         // (0.866 vs 0.632 expectations).
         let g = ring(4000);
-        let two = two_sided_match(
-            &g,
-            &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 },
-        );
+        let two =
+            two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 });
         let one = crate::one_sided::one_sided_match(
             &g,
-            &crate::one_sided::OneSidedConfig {
-                scaling: ScalingConfig::iterations(5),
-                seed: 1,
-            },
+            &crate::one_sided::OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 },
         );
         assert!(
             two.cardinality() > one.cardinality(),
@@ -223,11 +218,7 @@ mod tests {
 
     #[test]
     fn handles_empty_rows_and_cols() {
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[1, 0, 1],
-            &[0, 0, 0],
-            &[1, 0, 0],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 0, 1], &[0, 0, 0], &[1, 0, 0]]));
         let m = two_sided_match(&g, &TwoSidedConfig::default());
         m.verify(&g).unwrap();
         // Max matching here is 2 (rows 0 & 2 to cols 2 & 0, say).
@@ -236,11 +227,7 @@ mod tests {
 
     #[test]
     fn perfect_on_permutation() {
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[0, 0, 1],
-            &[1, 0, 0],
-            &[0, 1, 0],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[0, 0, 1], &[1, 0, 0], &[0, 1, 0]]));
         let m = two_sided_match(&g, &TwoSidedConfig::default());
         assert!(m.is_perfect());
     }

@@ -84,9 +84,8 @@ pub fn dulmage_mendelsohn_with(g: &BipartiteGraph, matching: Matching) -> DmDeco
     let mut row_h = vec![false; n_r];
     let mut col_h = vec![false; n_c];
     // BFS from unmatched columns: col --any edge--> row --matching--> col.
-    let mut queue: Vec<u32> = (0..n_c as u32)
-        .filter(|&j| matching.cmate(j as usize) == NIL)
-        .collect();
+    let mut queue: Vec<u32> =
+        (0..n_c as u32).filter(|&j| matching.cmate(j as usize) == NIL).collect();
     for &j in &queue {
         col_h[j as usize] = true;
     }
@@ -112,9 +111,8 @@ pub fn dulmage_mendelsohn_with(g: &BipartiteGraph, matching: Matching) -> DmDeco
     let mut row_v = vec![false; n_r];
     let mut col_v = vec![false; n_c];
     // BFS from unmatched rows: row --any edge--> col --matching--> row.
-    let mut queue: Vec<u32> = (0..n_r as u32)
-        .filter(|&i| matching.rmate(i as usize) == NIL)
-        .collect();
+    let mut queue: Vec<u32> =
+        (0..n_r as u32).filter(|&i| matching.rmate(i as usize) == NIL).collect();
     for &i in &queue {
         row_v[i as usize] = true;
     }
@@ -139,10 +137,7 @@ pub fn dulmage_mendelsohn_with(g: &BipartiteGraph, matching: Matching) -> DmDeco
 
     let mut row_part = Vec::with_capacity(n_r);
     for i in 0..n_r {
-        debug_assert!(
-            !(row_h[i] && row_v[i]),
-            "H ∩ V non-empty: matching was not maximum"
-        );
+        debug_assert!(!(row_h[i] && row_v[i]), "H ∩ V non-empty: matching was not maximum");
         row_part.push(if row_h[i] {
             CoarsePart::Horizontal
         } else if row_v[i] {
@@ -188,12 +183,12 @@ impl DmDecomposition {
     /// row to an `H` column, nor from a `V` row to an `S` column.
     pub fn verify_zero_blocks(&self, g: &BipartiteGraph) -> bool {
         g.csr().iter_entries().all(|(i, j)| {
-            match (self.row_part[i], self.col_part[j]) {
-                (CoarsePart::Square, CoarsePart::Horizontal) => false,
-                (CoarsePart::Vertical, CoarsePart::Horizontal) => false,
-                (CoarsePart::Vertical, CoarsePart::Square) => false,
-                _ => true,
-            }
+            !matches!(
+                (self.row_part[i], self.col_part[j]),
+                (CoarsePart::Square, CoarsePart::Horizontal)
+                    | (CoarsePart::Vertical, CoarsePart::Horizontal)
+                    | (CoarsePart::Vertical, CoarsePart::Square)
+            )
         })
     }
 }

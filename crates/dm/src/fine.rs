@@ -155,12 +155,7 @@ pub fn fine_decomposition(g: &BipartiteGraph, dm: &DmDecomposition) -> FineDecom
             block_of_row[i as usize] = block_of_col[j];
         }
     }
-    FineDecomposition {
-        block_of_col,
-        block_of_row,
-        block_count: scc_count as usize,
-        block_sizes,
-    }
+    FineDecomposition { block_of_col, block_of_row, block_count: scc_count as usize, block_sizes }
 }
 
 #[cfg(test)]

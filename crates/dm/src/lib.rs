@@ -87,11 +87,7 @@ mod tests {
     fn triangular_lacks_total_support() {
         // Upper triangular 3×3: unique perfect matching (diagonal); the
         // off-diagonal entries are in no perfect matching.
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[1, 1, 1],
-            &[0, 1, 1],
-            &[0, 0, 1],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 1], &[0, 1, 1], &[0, 0, 1]]));
         assert!(!has_total_support(&g));
         assert!(!is_fully_indecomposable(&g));
     }

@@ -145,10 +145,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
 /// # Panics
 /// If `initial` is not a valid matching of `g` (checked with
 /// [`Matching::verify`]).
-pub fn hopcroft_karp_from(
-    g: &BipartiteGraph,
-    initial: Matching,
-) -> (Matching, HopcroftKarpStats) {
+pub fn hopcroft_karp_from(g: &BipartiteGraph, initial: Matching) -> (Matching, HopcroftKarpStats) {
     initial.verify(g).expect("warm-start matching must be valid");
     let mut hk = Hk {
         g,

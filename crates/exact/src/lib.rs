@@ -48,11 +48,7 @@ mod tests {
 
     #[test]
     fn sprank_of_identity() {
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[1, 0, 0],
-            &[0, 1, 0],
-            &[0, 0, 1],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]));
         assert_eq!(sprank(&g), 3);
     }
 

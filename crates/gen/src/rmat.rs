@@ -46,7 +46,7 @@ impl RmatParams {
 /// edge draws (duplicates collapse).
 pub fn rmat(scale: u32, avg_deg: f64, params: RmatParams, seed: u64) -> BipartiteGraph {
     params.validate();
-    assert!(scale >= 1 && scale <= 26, "scale out of supported range");
+    assert!((1..=26).contains(&scale), "scale out of supported range");
     let n = 1usize << scale;
     let draws = (avg_deg * n as f64).round() as usize;
     let mut rng = SplitMix64::new(seed);

@@ -262,10 +262,7 @@ mod tests {
         let e = instances()[10];
         let g = e.build(8_000, 7);
         let s = DegreeStats::rows_of(g.csr());
-        assert!(
-            s.variance > 50.0 * s.mean,
-            "torso1 surrogate should be heavy-tailed: {s}"
-        );
+        assert!(s.variance > 50.0 * s.mean, "torso1 surrogate should be heavy-tailed: {s}");
     }
 
     #[test]

@@ -240,10 +240,7 @@ mod tests {
                 let rchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
                 let cchoice: Vec<u32> = (0..n).map(|_| rng.next_below(n as u64) as u32).collect();
                 for s in choice_graph_components(&rchoice, &cchoice) {
-                    assert!(
-                        s.cycle_count() <= 1,
-                        "Lemma 1 violated: {s:?} (n = {n})"
-                    );
+                    assert!(s.cycle_count() <= 1, "Lemma 1 violated: {s:?} (n = {n})");
                 }
             }
         }
@@ -252,11 +249,7 @@ mod tests {
     #[test]
     fn bfs_components_on_two_blocks() {
         // Block diagonal: rows {0,1} × cols {0,1} and rows {2} × cols {2}.
-        let g = BipartiteGraph::from_csr(Csr::from_dense(&[
-            &[1, 1, 0],
-            &[1, 0, 0],
-            &[0, 0, 1],
-        ]));
+        let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 0], &[1, 0, 0], &[0, 0, 1]]));
         let (lr, lc, k) = connected_components(&g);
         assert_eq!(k, 2);
         assert_eq!(lr[0], lr[1]);

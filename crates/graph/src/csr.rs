@@ -141,8 +141,7 @@ impl Csr {
 
     /// Iterate over `(row, col)` coordinates in row-major order.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.nrows)
-            .flat_map(move |i| self.row(i).iter().map(move |&j| (i, j as usize)))
+        (0..self.nrows).flat_map(move |i| self.row(i).iter().map(move |&j| (i, j as usize)))
     }
 
     /// Membership test via binary search within the row.
@@ -214,10 +213,7 @@ impl Csr {
         // Inverse column permutation: old column -> new position.
         let mut col_pos = vec![u32::MAX; self.ncols];
         for (new, &old) in col_perm.iter().enumerate() {
-            assert!(
-                col_pos[old as usize] == u32::MAX,
-                "col_perm repeats index {old}"
-            );
+            assert!(col_pos[old as usize] == u32::MAX, "col_perm repeats index {old}");
             col_pos[old as usize] = new as u32;
         }
         let mut seen_row = vec![false; self.nrows];

@@ -51,9 +51,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let tokens: Vec<&str> = header.split_whitespace().collect();
     if tokens.len() < 5 || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err(format!("bad header line: {header:?}")));
@@ -76,9 +74,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
 
     // Skip comments, find the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;

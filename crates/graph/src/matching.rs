@@ -64,10 +64,9 @@ pub enum MatchingError {
 impl std::fmt::Display for MatchingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MatchingError::InconsistentPair { row, col, cmate_of_col } => write!(
-                f,
-                "rmate[{row}] = {col} but cmate[{col}] = {cmate_of_col}"
-            ),
+            MatchingError::InconsistentPair { row, col, cmate_of_col } => {
+                write!(f, "rmate[{row}] = {col} but cmate[{col}] = {cmate_of_col}")
+            }
             MatchingError::NotAnEdge { row, col } => {
                 write!(f, "matched pair ({row}, {col}) is not an edge")
             }
@@ -194,11 +193,7 @@ impl Matching {
 
     /// Iterate over matched `(row, col)` pairs.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.rmate
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != NIL)
-            .map(|(i, &c)| (i, c as usize))
+        self.rmate.iter().enumerate().filter(|(_, &c)| c != NIL).map(|(i, &c)| (i, c as usize))
     }
 
     /// Check mutual consistency of the two mate arrays (no graph needed).

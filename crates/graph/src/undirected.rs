@@ -25,15 +25,9 @@ impl UndirectedGraph {
     /// entries.
     pub fn from_symmetric_csr(adj: Csr) -> Self {
         assert!(adj.is_square(), "undirected graphs need a square pattern");
-        assert!(
-            adj.is_transpose_of(&adj),
-            "undirected graphs need a symmetric pattern"
-        );
+        assert!(adj.is_transpose_of(&adj), "undirected graphs need a symmetric pattern");
         for v in 0..adj.nrows() {
-            assert!(
-                !adj.contains(v, v),
-                "self-loop at vertex {v}: matchings cannot use them"
-            );
+            assert!(!adj.contains(v, v), "self-loop at vertex {v}: matchings cannot use them");
         }
         Self { adj }
     }

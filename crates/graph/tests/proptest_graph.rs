@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
     (1usize..12, 1usize..12).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 0..40)
-            .prop_map(move |entries| (m, n, entries))
+        proptest::collection::vec((0..m, 0..n), 0..40).prop_map(move |entries| (m, n, entries))
     })
 }
 

@@ -138,10 +138,7 @@ mod tests {
         let s = sinkhorn_knopp(&g, &ScalingConfig::until(1e-12, 500));
         let sigma = second_singular_value(&g, &s, 300, 7);
         let expected = (std::f64::consts::PI / n as f64).cos();
-        assert!(
-            (sigma - expected).abs() < 1e-3,
-            "σ₂ = {sigma}, expected {expected}"
-        );
+        assert!((sigma - expected).abs() < 1e-3, "σ₂ = {sigma}, expected {expected}");
     }
 
     #[test]

@@ -186,21 +186,16 @@ pub fn sinkhorn_knopp_weighted(
 
     for _ in 0..cfg.max_iterations {
         dc.par_iter_mut().enumerate().for_each(|(j, dcj)| {
-            let csum: f64 = (csc_ptr[j]..csc_ptr[j + 1])
-                .map(|k| dr[rows_csc[k] as usize] * vals_csc[k])
-                .sum();
+            let csum: f64 =
+                (csc_ptr[j]..csc_ptr[j + 1]).map(|k| dr[rows_csc[k] as usize] * vals_csc[k]).sum();
             if csum > 0.0 {
                 *dcj = 1.0 / csum;
             }
         });
         dr.par_iter_mut().enumerate().for_each(|(i, dri)| {
             let start = csr.row_ptr()[i];
-            let rsum: f64 = csr
-                .row(i)
-                .iter()
-                .enumerate()
-                .map(|(k, &j)| vals[start + k] * dc[j as usize])
-                .sum();
+            let rsum: f64 =
+                csr.row(i).iter().enumerate().map(|(k, &j)| vals[start + k] * dc[j as usize]).sum();
             if rsum > 0.0 {
                 *dri = 1.0 / rsum;
             }

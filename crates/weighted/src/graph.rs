@@ -63,7 +63,7 @@ impl WeightedGraph {
     fn check_symmetric(&self) -> bool {
         (0..self.n()).all(|u| {
             self.adj(u).all(|(v, w)| {
-                self.weight(v as usize, u).map_or(false, |back| (back - w).abs() < 1e-12)
+                self.weight(v as usize, u).is_some_and(|back| (back - w).abs() < 1e-12)
             })
         })
     }
@@ -89,11 +89,7 @@ impl WeightedGraph {
     /// Weighted adjacency of `u`: `(neighbour, weight)` pairs.
     pub fn adj(&self, u: usize) -> impl Iterator<Item = (VertexId, f64)> + '_ {
         let start = self.topo.csr().row_ptr()[u];
-        self.topo
-            .adj(u)
-            .iter()
-            .enumerate()
-            .map(move |(k, &v)| (v, self.weights[start + k]))
+        self.topo.adj(u).iter().enumerate().map(move |(k, &v)| (v, self.weights[start + k]))
     }
 
     /// Weight of edge `(u, v)`, if present.
@@ -107,9 +103,7 @@ impl WeightedGraph {
     /// All undirected edges as `(u, v, w)` with `u < v`.
     pub fn iter_weighted_edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n()).flat_map(move |u| {
-            self.adj(u)
-                .filter(move |&(v, _)| u < v as usize)
-                .map(move |(v, w)| (u, v as usize, w))
+            self.adj(u).filter(move |&(v, _)| u < v as usize).map(move |(v, w)| (u, v as usize, w))
         })
     }
 

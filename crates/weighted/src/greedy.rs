@@ -11,16 +11,9 @@ use crate::graph::WeightedGraph;
 /// then smaller endpoints) — the same rule [`crate::suitor`] uses, which
 /// makes the two algorithms produce identical matchings.
 pub fn greedy_weighted(g: &WeightedGraph) -> UndirectedMatching {
-    let mut edges: Vec<(f64, u32, u32)> = g
-        .iter_weighted_edges()
-        .map(|(u, v, w)| (w, u as u32, v as u32))
-        .collect();
-    edges.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap()
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    let mut edges: Vec<(f64, u32, u32)> =
+        g.iter_weighted_edges().map(|(u, v, w)| (w, u as u32, v as u32)).collect();
+    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut m = UndirectedMatching::new(g.n());
     for (_, u, v) in edges {
         if !m.is_matched(u as usize) && !m.is_matched(v as usize) {
@@ -55,7 +48,7 @@ pub fn path_growing(g: &WeightedGraph) -> UndirectedMatching {
             // Heaviest edge to an unused neighbour.
             let mut best: Option<(u32, f64)> = None;
             for (u, w) in g.adj(v) {
-                if !used[u as usize] && best.map_or(true, |(_, bw)| w > bw) {
+                if !used[u as usize] && best.is_none_or(|(_, bw)| w > bw) {
                     best = Some((u, w));
                 }
             }
@@ -130,10 +123,7 @@ mod tests {
             for m in [greedy_weighted(&g), path_growing(&g)] {
                 m.verify(g.topology()).unwrap();
                 let w = matching_weight(&g, &m);
-                assert!(
-                    2.0 * w + 1e-9 >= opt,
-                    "trial {trial}: weight {w} < half of {opt}"
-                );
+                assert!(2.0 * w + 1e-9 >= opt, "trial {trial}: weight {w} < half of {opt}");
             }
         }
     }

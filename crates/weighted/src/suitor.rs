@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn matches_greedy_on_small_path() {
-        let g = WeightedGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)],
-        );
+        let g = WeightedGraph::from_weighted_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)]);
         let s = suitor(&g);
         let gr = greedy_weighted(&g);
         assert_eq!(s, gr);
@@ -264,9 +261,8 @@ mod tests {
         // Ring + chords, 20k vertices: parallel must agree with sequential.
         let n = 20_000;
         let mut rng = SplitMix64::new(9);
-        let mut edges: Vec<(usize, usize, f64)> = (0..n)
-            .map(|v| (v, (v + 1) % n, 1.0 + rng.next_f64()))
-            .collect();
+        let mut edges: Vec<(usize, usize, f64)> =
+            (0..n).map(|v| (v, (v + 1) % n, 1.0 + rng.next_f64())).collect();
         for _ in 0..n / 2 {
             let u = rng.next_index(n);
             let v = rng.next_index(n);

@@ -38,10 +38,7 @@ fn main() {
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
 
     let g = dsmatch::gen::adversarial_ks(n, k);
-    println!(
-        "adversarial instance: n = {n}, k = {k}, {} edges, perfect matching exists",
-        g.nnz()
-    );
+    println!("adversarial instance: n = {n}, k = {k}, {} edges, perfect matching exists", g.nnz());
     println!();
     println!("probability mass on the perfect-matching diagonals (average per row):");
     for iters in [0usize, 1, 2, 5, 10] {

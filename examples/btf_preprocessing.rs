@@ -60,17 +60,18 @@ fn reducible_system(blocks: usize, block_size: usize, seed: u64) -> BipartiteGra
 
 fn main() {
     let g = reducible_system(8, 25, 0xB7F);
-    println!(
-        "system: {} × {} with {} nonzeros",
-        g.nrows(),
-        g.ncols(),
-        g.nnz()
-    );
+    println!("system: {} × {} with {} nonzeros", g.nrows(), g.ncols(), g.nnz());
 
     let dm = dulmage_mendelsohn(&g);
     println!(
         "coarse DM: H = {}×{}, S = {}×{}, V = {}×{}; sprank = {}",
-        dm.h_rows, dm.h_cols, dm.s_rows, dm.s_cols, dm.v_rows, dm.v_cols, dm.sprank()
+        dm.h_rows,
+        dm.h_cols,
+        dm.s_rows,
+        dm.s_cols,
+        dm.v_rows,
+        dm.v_cols,
+        dm.sprank()
     );
 
     let fine = fine_decomposition(&g, &dm);

@@ -23,11 +23,7 @@ fn main() {
     let cfg = OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 7 };
     let one = one_sided_match(&g, &cfg);
     one.verify(&g).expect("valid matching");
-    println!(
-        "OneSidedMatch:  |M| = {:>6}  quality = {:.3}",
-        one.cardinality(),
-        one.quality(opt)
-    );
+    println!("OneSidedMatch:  |M| = {:>6}  quality = {:.3}", one.cardinality(), one.quality(opt));
 
     // TwoSidedMatch — Algorithm 3: both sides sample, then the specialized
     // parallel Karp–Sipser matches the sampled subgraph exactly.
@@ -35,11 +31,7 @@ fn main() {
     let cfg = TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 7 };
     let two = two_sided_match(&g, &cfg);
     two.verify(&g).expect("valid matching");
-    println!(
-        "TwoSidedMatch:  |M| = {:>6}  quality = {:.3}",
-        two.cardinality(),
-        two.quality(opt)
-    );
+    println!("TwoSidedMatch:  |M| = {:>6}  quality = {:.3}", two.cardinality(), two.quality(opt));
 
     // The classic Karp–Sipser baseline for comparison.
     let ks = karp_sipser(&g, &KarpSipserConfig { seed: 7 });

@@ -12,11 +12,11 @@
 //! cargo run --release --example solver_jumpstart
 //! ```
 
+use dsmatch::exact::{hopcroft_karp_from, pothen_fan_from};
 use dsmatch::heur::{
     cheap_random_edge, karp_sipser_matching, one_sided_match, two_sided_match, OneSidedConfig,
     TwoSidedConfig,
 };
-use dsmatch::exact::{hopcroft_karp_from, pothen_fan_from};
 use dsmatch::prelude::*;
 use std::time::Instant;
 
@@ -35,14 +35,8 @@ fn main() {
             ("none", Matching::new(g.nrows(), g.ncols())),
             ("cheap_random_edge", cheap_random_edge(&g, 7)),
             ("karp_sipser", karp_sipser_matching(&g, 7)),
-            (
-                "one_sided(5it)",
-                one_sided_match(&g, &OneSidedConfig { scaling: scaling5, seed: 7 }),
-            ),
-            (
-                "two_sided(5it)",
-                two_sided_match(&g, &TwoSidedConfig { scaling: scaling5, seed: 7 }),
-            ),
+            ("one_sided(5it)", one_sided_match(&g, &OneSidedConfig { scaling: scaling5, seed: 7 })),
+            ("two_sided(5it)", two_sided_match(&g, &TwoSidedConfig { scaling: scaling5, seed: 7 })),
         ];
 
         println!(

@@ -13,8 +13,8 @@
 //! cargo run --release --example task_assignment [workers] [tasks]
 //! ```
 
-use dsmatch::prelude::*;
 use dsmatch::graph::TripletMatrix;
+use dsmatch::prelude::*;
 use std::time::Instant;
 
 fn build_qualifications(workers: usize, tasks: usize, seed: u64) -> BipartiteGraph {
@@ -39,12 +39,7 @@ fn main() {
     let tasks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
 
     let g = build_qualifications(workers, tasks, 0xD15);
-    println!(
-        "{} workers × {} tasks, {} qualification edges",
-        g.nrows(),
-        g.ncols(),
-        g.nnz()
-    );
+    println!("{} workers × {} tasks, {} qualification edges", g.nrows(), g.ncols(), g.nnz());
 
     // Exact assignment (the latency-unconstrained answer).
     let t0 = Instant::now();
@@ -60,10 +55,8 @@ fn main() {
     // OneSidedMatch: each worker independently picks a task — this is the
     // dispatch-loop-friendly version (no coordination between threads).
     let t0 = Instant::now();
-    let one = one_sided_match(
-        &g,
-        &OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 },
-    );
+    let one =
+        one_sided_match(&g, &OneSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 });
     let t_one = t0.elapsed();
     one.verify(&g).unwrap();
     println!(
@@ -77,10 +70,8 @@ fn main() {
     // Karp–Sipser resolves the nominations optimally on the sampled
     // subgraph.
     let t0 = Instant::now();
-    let two = two_sided_match(
-        &g,
-        &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 },
-    );
+    let two =
+        two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 1 });
     let t_two = t0.elapsed();
     two.verify(&g).unwrap();
     println!(

@@ -10,9 +10,9 @@
 //! cargo run --release --example undirected_pairing [n]
 //! ```
 
+use dsmatch::graph::UndirectedGraph;
 use dsmatch::heur::{one_out_undirected, OneOutConfig};
 use dsmatch::prelude::*;
-use dsmatch::graph::UndirectedGraph;
 
 /// Small-world-ish social graph: a ring of acquaintances plus random
 /// long-range friendships.
@@ -34,16 +34,9 @@ fn social_graph(n: usize, seed: u64) -> UndirectedGraph {
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let g = social_graph(n, 0x50C1A1);
-    println!(
-        "social graph: {} participants, {} connections",
-        g.n(),
-        g.edge_count()
-    );
+    println!("social graph: {} participants, {} connections", g.n(), g.edge_count());
 
     for iters in [0usize, 1, 5] {
         let m = one_out_undirected(

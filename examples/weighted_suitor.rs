@@ -12,10 +12,10 @@
 //! cargo run --release --example weighted_suitor [n]
 //! ```
 
+use dsmatch::prelude::*;
 use dsmatch::weighted::{
     greedy_weighted, matching_weight, path_growing, suitor, suitor_parallel, WeightedGraph,
 };
-use dsmatch::prelude::*;
 use std::time::Instant;
 
 fn cluster_topology(n: usize, seed: u64) -> WeightedGraph {
@@ -38,10 +38,7 @@ fn cluster_topology(n: usize, seed: u64) -> WeightedGraph {
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200_000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
     let g = cluster_topology(n, 0xBEEF);
     println!("cluster graph: {} nodes, {} links", g.n(), g.edge_count());
 

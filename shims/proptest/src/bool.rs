@@ -1,0 +1,41 @@
+//! Boolean strategies (`proptest::bool`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `true` with a fixed probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_f64() < self.probability
+    }
+}
+
+/// `true` with probability `probability_true` (clamped to `[0, 1]`).
+pub fn weighted(probability_true: f64) -> Weighted {
+    Weighted { probability: probability_true.clamp(0.0, 1.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_is_roughly_calibrated() {
+        let mut rng = TestRng::from_seed(11);
+        let s = weighted(0.3);
+        let hits = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn extremes_are_constant() {
+        let mut rng = TestRng::from_seed(1);
+        assert!(!(0..100).any(|_| weighted(0.0).generate(&mut rng)));
+        assert!((0..100).all(|_| weighted(1.0).generate(&mut rng)));
+    }
+}

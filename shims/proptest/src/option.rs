@@ -1,0 +1,42 @@
+//! Option strategies (`proptest::option`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Some` from an inner strategy or `None`.
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Real proptest defaults to P(Some) = 0.75; any fixed split works
+        // for the workspace's tests, this one exercises None often.
+        if rng.next_f64() < 0.75 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` of the inner strategy's values, or `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(5);
+        let s = of(0u32..10);
+        let vals: Vec<Option<u32>> = (0..500).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().flatten().all(|&v| v < 10));
+    }
+}

@@ -1,0 +1,26 @@
+//! The macro must run exactly `cases` iterations and thread RNG state
+//! through every strategy.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static COUNT: AtomicU32 = AtomicU32::new(0);
+
+// No `#[test]` attribute: the generated zero-argument function is invoked
+// (and its case count checked) by the real test below, avoiding any
+// dependence on test execution order.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(123))]
+
+    fn runs_exactly_cases_times(x in 0u64..7, v in proptest::collection::vec(0u32..3, 2..5)) {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        prop_assert!(x < 7);
+        prop_assert!((2..5).contains(&v.len()));
+    }
+}
+
+#[test]
+fn macro_runs_configured_case_count() {
+    runs_exactly_cases_times();
+    assert_eq!(COUNT.load(Ordering::Relaxed), 123);
+}

@@ -1,0 +1,309 @@
+//! Sequential stand-ins for rayon's parallel iterator traits.
+//!
+//! [`ParIter`] wraps an ordinary [`Iterator`] and exposes (as *inherent*
+//! methods, so no trait import is needed beyond the entry points) the
+//! rayon-flavoured combinators the workspace uses: `map`, `filter`,
+//! `enumerate`, `zip`, `for_each`, `sum`, rayon's two-argument `reduce`,
+//! `collect`, `collect_into_vec`, and friends. Execution order is the
+//! sequential order, which is a legal schedule for any correct rayon
+//! program.
+
+/// Sequential "parallel" iterator: a transparent wrapper over `I`.
+#[derive(Debug, Clone)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+// Delegating `Iterator` lets a `ParIter` be passed wherever an
+// `IntoParallelIterator` is expected (e.g. as the argument of `zip`).
+// Inherent methods below shadow the `Iterator` ones, so rayon's signatures
+// (two-argument `reduce`, …) win at call sites.
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`, blanket-implemented for
+/// everything that is [`IntoIterator`] (ranges, `Vec`, slices, …).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: 'data;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate the collection by reference.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Item = <&'data T as IntoIterator>::Item;
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (a mutable reference).
+    type Item: 'data;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate the collection by mutable reference.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+{
+    type Item = <&'data mut T as IntoIterator>::Item;
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Keep elements satisfying the predicate.
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(p) }
+    }
+
+    /// Filter and map in one pass.
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter { inner: self.inner.filter_map(f) }
+    }
+
+    /// Map each element to an iterator and flatten.
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter { inner: self.inner.flat_map(f) }
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Zip with anything convertible to a parallel iterator.
+    pub fn zip<Z>(self, other: Z) -> ParIter<std::iter::Zip<I, <Z as IntoParallelIterator>::Iter>>
+    where
+        Z: IntoParallelIterator,
+    {
+        ParIter { inner: self.inner.zip(other.into_par_iter().inner) }
+    }
+
+    /// Concatenate with another iterator of the same item type.
+    pub fn chain<C>(
+        self,
+        other: C,
+    ) -> ParIter<std::iter::Chain<I, <C as IntoParallelIterator>::Iter>>
+    where
+        C: IntoParallelIterator<Item = I::Item>,
+    {
+        ParIter { inner: self.inner.chain(other.into_par_iter().inner) }
+    }
+
+    /// Copy `&T` items into `T` items.
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: 'a + Copy,
+    {
+        ParIter { inner: self.inner.copied() }
+    }
+
+    /// Clone `&T` items into `T` items.
+    pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: 'a + Clone,
+    {
+        ParIter { inner: self.inner.cloned() }
+    }
+
+    /// Hint for rayon's splitter; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Hint for rayon's splitter; a no-op here.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Consume, applying `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Sum all elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Rayon's two-argument reduce: fold from `identity()` with `op`.
+    pub fn reduce<OP, ID>(self, identity: ID, op: OP) -> I::Item
+    where
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+        ID: FnOnce() -> I::Item,
+    {
+        self.inner.fold(identity(), {
+            let mut op = op;
+            move |a, b| op(a, b)
+        })
+    }
+
+    /// Minimum element (requires `Ord`).
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    /// Maximum element (requires `Ord`).
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    /// Do all elements satisfy the predicate?
+    pub fn all<P>(self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        let mut inner = self.inner;
+        let p = p;
+        inner.all(p)
+    }
+
+    /// Does any element satisfy the predicate?
+    pub fn any<P>(self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        let mut inner = self.inner;
+        let p = p;
+        inner.any(p)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Collect into a caller-provided `Vec`, replacing its contents.
+    pub fn collect_into_vec(self, target: &mut Vec<I::Item>) {
+        target.clear();
+        target.extend(self.inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_map_sum() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 9900);
+    }
+
+    #[test]
+    fn slice_par_iter_and_mut() {
+        let mut v = vec![1i64, 2, 3];
+        let total: i64 = v.par_iter().copied().sum();
+        assert_eq!(total, 6);
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let m = (1..=5i32).into_par_iter().map(|x| x as f64).reduce(|| f64::INFINITY, f64::min);
+        assert_eq!(m, 1.0);
+        let empty = (0..0).into_par_iter().map(|x| x as f64).reduce(|| 0.5, f64::max);
+        assert_eq!(empty, 0.5);
+    }
+
+    #[test]
+    fn zip_enumerate_collect_into_vec() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![10u32, 20, 30];
+        let mut out = Vec::new();
+        a.par_iter()
+            .zip(&b)
+            .enumerate()
+            .map(|(k, (x, y))| k as u32 + x + y)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, vec![11, 23, 35]);
+    }
+
+    #[test]
+    fn all_any_filter() {
+        assert!((0..10).into_par_iter().all(|x| x < 10));
+        assert!((0..10).into_par_iter().any(|x| x == 7));
+        let odd: Vec<i32> = (0..10).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    }
+}

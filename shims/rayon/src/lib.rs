@@ -1,0 +1,203 @@
+//! # rayon (offline shim)
+//!
+//! A **sequential, deterministic** drop-in replacement for the subset of
+//! [`rayon`](https://docs.rs/rayon)'s API that the `dsmatch` workspace uses.
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this shim and selects it through `[workspace.dependencies]`; restoring the
+//! real crate is a one-line change in the root `Cargo.toml`.
+//!
+//! Design notes:
+//!
+//! - Every "parallel" iterator here is a thin wrapper over the corresponding
+//!   sequential `std::iter` adaptor, executed in deterministic order. This is
+//!   semantically safe for `dsmatch` because the workspace's algorithms are
+//!   *thread-count oblivious by construction* (per-index PRNG streams,
+//!   associative reductions): the paper's determinism contract says results
+//!   must be identical for every pool size, so pool size one is a valid
+//!   execution.
+//! - [`ThreadPool::install`] tracks the requested thread count in a
+//!   thread-local so [`current_num_threads`] reports what the real rayon
+//!   would, keeping thread-ladder experiment code and its tests meaningful.
+//! - API-compat bounds (`Send`/`Sync`) are kept where they are cheap so code
+//!   written against this shim stays compatible with the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+/// Glob-import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The number of threads in the current scope's pool.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size; outside
+/// it is the global pool size (set by [`ThreadPoolBuilder::build_global`]) or
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed != 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    default_threads()
+}
+
+/// Run two closures and return both results (sequentially: `a` then `b`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ra = a();
+    let rb = b();
+    (ra, rb)
+}
+
+/// Error returned when a thread pool cannot be built (never happens in the
+/// shim; kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request exactly `n` threads; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Build a scoped pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.resolved() })
+    }
+
+    /// Install this configuration as the global pool.
+    ///
+    /// Unlike real rayon this never fails and later calls overwrite earlier
+    /// ones; the shim only records the size so [`current_num_threads`]
+    /// answers consistently.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.resolved(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A (virtual) thread pool: work `install`ed into it runs on the calling
+/// thread, with [`current_num_threads`] reporting the configured size.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Execute `op` "inside" the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(Cell::get));
+        INSTALLED_THREADS.with(|c| c.set(self.num_threads));
+        op()
+    }
+
+    /// The configured size of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 5);
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn install_restores_on_nesting() {
+        let p3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let p7 = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let (a, b, c) = p3.install(|| {
+            let before = current_num_threads();
+            let nested = p7.install(current_num_threads);
+            (before, nested, current_num_threads())
+        });
+        assert_eq!((a, b, c), (3, 7, 3));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -1,10 +1,11 @@
 //! `dsmatch` command-line tool: run any of the workspace's matching
-//! algorithms on a Matrix Market file.
+//! algorithms on a Matrix Market file or a synthesized instance.
 //!
 //! ```text
-//! dsmatch <matrix.mtx> [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs]
-//!                      [--iters N] [--seed S] [--threads T]
-//!                      [--quality] [--output pairs.txt]
+//! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
+//!         [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs]
+//!         [--iters N] [--seed S] [--threads T]
+//!         [--quality] [--output pairs.txt]
 //! ```
 //!
 //! `--quality` additionally computes the exact optimum (Hopcroft–Karp) and
@@ -20,19 +21,46 @@ use std::time::Instant;
 fn arg_value(name: &str) -> Option<String> {
     let flag = format!("--{name}");
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| *a == flag)
-        .and_then(|k| args.get(k + 1).cloned())
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(&format!("--{name}=")).map(String::from))
-        })
+    args.iter().position(|a| *a == flag).and_then(|k| args.get(k + 1).cloned()).or_else(|| {
+        args.iter().find_map(|a| a.strip_prefix(&format!("--{name}=")).map(String::from))
+    })
+}
+
+/// Load a Matrix Market file, or synthesize an instance from a `gen:` spec
+/// (`gen:er:<n>:<avg_degree>[:<seed>]` — an n×n Erdős–Rényi pattern), so
+/// smoke tests and quick experiments need no matrix files on disk.
+fn load_graph(path: &str) -> Result<BipartiteGraph, String> {
+    let Some(spec) = path.strip_prefix("gen:") else {
+        let csr = dsmatch::graph::io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+        return Ok(BipartiteGraph::from_csr(csr));
+    };
+    let usage = "expected gen:er:<n>:<avg_degree>[:<seed>]";
+    match spec.split(':').collect::<Vec<_>>().as_slice() {
+        ["er", n, d, rest @ ..] => {
+            let n: usize = n.parse().map_err(|_| format!("bad size {n:?}; {usage}"))?;
+            if n == 0 {
+                return Err(format!("size must be positive; {usage}"));
+            }
+            let d: f64 = d.parse().map_err(|_| format!("bad degree {d:?}; {usage}"))?;
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("degree must be positive and finite; {usage}"));
+            }
+            let seed: u64 = match rest {
+                [] => 1,
+                [s] => s.parse().map_err(|_| format!("bad seed {s:?}; {usage}"))?,
+                _ => return Err(format!("trailing fields in gen spec {spec:?}; {usage}")),
+            };
+            Ok(dsmatch::gen::erdos_renyi_square(n, d, seed))
+        }
+        _ => Err(format!("unsupported gen spec {spec:?}; {usage}")),
+    }
 }
 
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1).filter(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: dsmatch <matrix.mtx> [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs] \
+            "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
+             [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs] \
              [--iters N] [--seed S] [--threads T] [--quality] [--output pairs.txt]"
         );
         return ExitCode::FAILURE;
@@ -58,14 +86,13 @@ fn main() -> ExitCode {
     }
 
     let t0 = Instant::now();
-    let csr = match dsmatch::graph::io::read_matrix_market_file(&path) {
-        Ok(csr) => csr,
+    let g = match load_graph(&path) {
+        Ok(g) => g,
         Err(e) => {
             eprintln!("error reading {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let g = BipartiteGraph::from_csr(csr);
     eprintln!(
         "loaded {} × {} with {} entries in {:.2?}",
         g.nrows(),

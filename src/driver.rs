@@ -38,8 +38,15 @@ impl Algorithm {
     pub fn all() -> [Algorithm; 9] {
         use Algorithm::*;
         [
-            OneSided, TwoSided, KarpSipser, CheapEdge, CheapVertex, HopcroftKarp, PothenFan,
-            PushRelabel, BfsAugment,
+            OneSided,
+            TwoSided,
+            KarpSipser,
+            CheapEdge,
+            CheapVertex,
+            HopcroftKarp,
+            PothenFan,
+            PushRelabel,
+            BfsAugment,
         ]
     }
 
@@ -73,13 +80,10 @@ impl Algorithm {
 impl std::str::FromStr for Algorithm {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Algorithm::all()
-            .into_iter()
-            .find(|a| a.name() == s)
-            .ok_or_else(|| {
-                let names: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
-                format!("unknown algorithm {s:?}; expected one of {}", names.join("|"))
-            })
+        Algorithm::all().into_iter().find(|a| a.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
+            format!("unknown algorithm {s:?}; expected one of {}", names.join("|"))
+        })
     }
 }
 

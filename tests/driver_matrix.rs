@@ -84,16 +84,8 @@ fn driver_respects_scaling_iterations() {
     // On the adversarial family, 0-iteration TwoSided must be much worse
     // than 10-iteration TwoSided (Table 1's central contrast).
     let g = dsmatch::gen::adversarial_ks(800, 16);
-    let m0 = run(
-        Algorithm::TwoSided,
-        &g,
-        &RunConfig { scaling_iterations: 0, seed: 3 },
-    );
-    let m10 = run(
-        Algorithm::TwoSided,
-        &g,
-        &RunConfig { scaling_iterations: 10, seed: 3 },
-    );
+    let m0 = run(Algorithm::TwoSided, &g, &RunConfig { scaling_iterations: 0, seed: 3 });
+    let m10 = run(Algorithm::TwoSided, &g, &RunConfig { scaling_iterations: 10, seed: 3 });
     assert!(
         m10.cardinality() as f64 >= m0.cardinality() as f64 * 1.5,
         "scaling should roughly double quality here: {} vs {}",

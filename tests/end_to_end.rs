@@ -35,10 +35,7 @@ fn all_heuristics_produce_valid_matchings_everywhere() {
             ("cheap_vertex", cheap_random_vertex(&g, 3)),
         ] {
             m.verify(&g).unwrap_or_else(|e| panic!("{alg} invalid on {name}: {e}"));
-            assert!(
-                m.cardinality() <= opt,
-                "{alg} exceeded the optimum on {name}"
-            );
+            assert!(m.cardinality() <= opt, "{alg} exceeded the optimum on {name}");
         }
     }
 }
@@ -67,14 +64,8 @@ fn quality_ordering_holds_on_full_sprank_instances() {
         let q2 = two.quality(opt);
         // Slack of 0.02 under the theoretical constants: these are single
         // runs of randomized heuristics on finite instances.
-        assert!(
-            q1 >= ONE_SIDED_GUARANTEE - 0.02,
-            "{name}: one_sided quality {q1:.3}"
-        );
-        assert!(
-            q2 >= TWO_SIDED_CONJECTURE - 0.02,
-            "{name}: two_sided quality {q2:.3}"
-        );
+        assert!(q1 >= ONE_SIDED_GUARANTEE - 0.02, "{name}: one_sided quality {q1:.3}");
+        assert!(q2 >= TWO_SIDED_CONJECTURE - 0.02, "{name}: two_sided quality {q2:.3}");
         assert!(q2 >= q1 - 0.01, "{name}: two_sided ({q2:.3}) below one_sided ({q1:.3})");
     }
 }
@@ -86,14 +77,10 @@ fn quality_on_deficient_instances() {
     let g = dsmatch::gen::erdos_renyi_square(20_000, 2.0, 99);
     let opt = sprank(&g);
     assert!(opt < g.nrows(), "d = 2 ER must be sprank-deficient");
-    let one = one_sided_match(
-        &g,
-        &OneSidedConfig { scaling: ScalingConfig::iterations(10), seed: 1 },
-    );
-    let two = two_sided_match(
-        &g,
-        &TwoSidedConfig { scaling: ScalingConfig::iterations(10), seed: 1 },
-    );
+    let one =
+        one_sided_match(&g, &OneSidedConfig { scaling: ScalingConfig::iterations(10), seed: 1 });
+    let two =
+        two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(10), seed: 1 });
     assert!(one.quality(opt) >= 0.80, "paper Table 2: ~0.88 for d=2 @10it");
     assert!(two.quality(opt) >= 0.90, "paper Table 2: ~0.95 for d=2 @10it");
 }
@@ -108,10 +95,8 @@ fn adversarial_family_defeats_ks_but_not_two_sided() {
     for seed in 0..5 {
         let ks = karp_sipser(&g, &KarpSipserConfig { seed });
         ks_worst = ks_worst.min(ks.matching.cardinality() as f64 / n as f64);
-        let two = two_sided_match(
-            &g,
-            &TwoSidedConfig { scaling: ScalingConfig::iterations(10), seed },
-        );
+        let two =
+            two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(10), seed });
         two_worst = two_worst.min(two.cardinality() as f64 / n as f64);
     }
     assert!(ks_worst < 0.90, "KS should struggle: worst {ks_worst:.3}");
@@ -122,10 +107,8 @@ fn adversarial_family_defeats_ks_but_not_two_sided() {
 #[test]
 fn warm_started_exact_solvers_agree_with_cold() {
     for (name, g) in instances() {
-        let two = two_sided_match(
-            &g,
-            &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 9 },
-        );
+        let two =
+            two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(5), seed: 9 });
         let cold = hopcroft_karp(&g);
         let (warm, _) = dsmatch::exact::hopcroft_karp_from(&g, two.clone());
         let (pf_warm, _) = dsmatch::exact::pothen_fan_from(&g, two);

@@ -2,8 +2,8 @@
 //! the real pipeline (scaling → sampling → subgraph) rather than synthetic
 //! choice arrays.
 
-use dsmatch::heur::{karp_sipser_mt, two_sided_choices};
 use dsmatch::graph::components::choice_graph_components;
+use dsmatch::heur::{karp_sipser_mt, two_sided_choices};
 use dsmatch::prelude::*;
 use dsmatch::scale::sinkhorn_knopp;
 
@@ -65,8 +65,7 @@ fn karp_sipser_mt_is_exact_on_sampled_subgraphs() {
             let (rc, cc) = sampled_choices(&g, seed);
             let m = karp_sipser_mt(&rc, &cc);
             let sub = subgraph(&g, &rc, &cc);
-            m.verify(&sub)
-                .unwrap_or_else(|e| panic!("invalid on {gname} subgraph: {e}"));
+            m.verify(&sub).unwrap_or_else(|e| panic!("invalid on {gname} subgraph: {e}"));
             let opt = hopcroft_karp(&sub).cardinality();
             assert_eq!(
                 m.cardinality(),
@@ -111,10 +110,8 @@ fn theorem1_expectation_on_dense_ones() {
     use dsmatch::heur::{one_sided_match, OneSidedConfig};
     let n = 4_000;
     let g = dsmatch::gen::dense_ones(n);
-    let m = one_sided_match(
-        &g,
-        &OneSidedConfig { scaling: ScalingConfig::iterations(1), seed: 31 },
-    );
+    let m =
+        one_sided_match(&g, &OneSidedConfig { scaling: ScalingConfig::iterations(1), seed: 31 });
     let q = m.cardinality() as f64 / n as f64;
     assert!(
         (q - (1.0 - 1.0 / std::f64::consts::E)).abs() < 0.02,

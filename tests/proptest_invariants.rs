@@ -11,17 +11,15 @@ use proptest::prelude::*;
 /// Strategy: a random pattern as (nrows, ncols, entry bitmap).
 fn small_graph() -> impl Strategy<Value = BipartiteGraph> {
     (1usize..10, 1usize..10).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(proptest::bool::weighted(0.3), m * n).prop_map(
-            move |bits| {
-                let mut t = dsmatch::graph::TripletMatrix::new(m, n);
-                for (k, &b) in bits.iter().enumerate() {
-                    if b {
-                        t.push(k / n, k % n);
-                    }
+        proptest::collection::vec(proptest::bool::weighted(0.3), m * n).prop_map(move |bits| {
+            let mut t = dsmatch::graph::TripletMatrix::new(m, n);
+            for (k, &b) in bits.iter().enumerate() {
+                if b {
+                    t.push(k / n, k % n);
                 }
-                BipartiteGraph::from_csr(t.into_csr())
-            },
-        )
+            }
+            BipartiteGraph::from_csr(t.into_csr())
+        })
     })
 }
 

@@ -63,10 +63,7 @@ fn adversarial_full_block_mass_vanishes() {
     let i = 3;
     let row_sum: f64 = g.row_adj(i).iter().map(|&j| s.dc[j as usize]).sum();
     let diag_mass = s.dc[h + i] / row_sum;
-    assert!(
-        diag_mass > 0.90,
-        "diagonal partner should dominate after scaling, got {diag_mass:.3}"
-    );
+    assert!(diag_mass > 0.90, "diagonal partner should dominate after scaling, got {diag_mass:.3}");
 }
 
 #[test]
@@ -103,10 +100,8 @@ fn heuristics_respect_sprank_bound_on_dm_structured_input() {
     let g = BipartiteGraph::from_csr(t.into_csr());
     let opt = sprank(&g);
     assert_eq!(opt, 1 + 24 + 1);
-    let m = two_sided_match(
-        &g,
-        &TwoSidedConfig { scaling: ScalingConfig::iterations(20), seed: 2 },
-    );
+    let m =
+        two_sided_match(&g, &TwoSidedConfig { scaling: ScalingConfig::iterations(20), seed: 2 });
     m.verify(&g).unwrap();
     assert!(m.quality(opt) >= 0.85, "quality {:.3}", m.quality(opt));
 }

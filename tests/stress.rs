@@ -17,9 +17,11 @@ fn pool(t: usize) -> rayon::ThreadPool {
 fn single_maximal_chain_does_not_blow_up() {
     let n: usize = 200_000;
     let rchoice: Vec<u32> = (0..n as u32).collect(); // r_i → c_i
-    let cchoice: Vec<u32> = (0..n as u32).map(|j| (j + 1) % n as u32).collect(); // c_j → r_{j+1}
-    // This is a single giant cycle (2n vertices) — Phase 1 has no out-one,
-    // Phase 2 matches perfectly. Break the cycle to force one giant chain:
+
+    // c_j → r_{j+1}: a single giant cycle (2n vertices) — Phase 1 has no
+    // out-one, Phase 2 matches perfectly. Break the cycle below to force one
+    // giant chain.
+    let cchoice: Vec<u32> = (0..n as u32).map(|j| (j + 1) % n as u32).collect();
     let mut cchoice_broken = cchoice.clone();
     cchoice_broken[n - 1] = NIL;
     let m_cycle = karp_sipser_mt(&rchoice, &cchoice);
