@@ -1,0 +1,136 @@
+//! Pipeline sweep: time and grade engine pipelines on one instance, and
+//! write the machine-readable `BENCH_pipeline.json` that seeds the repo's
+//! performance trajectory.
+//!
+//! Protocol (paper §4.2): every pipeline is solved `--runs` times with the
+//! first `--warmup` discarded and the geometric mean of the remaining wall
+//! times reported; quality is the **minimum** ratio over `--runs` seeds
+//! (Tables 1–2 report worst-case quality). All solves share one engine
+//! [`Workspace`], so after the first solve nothing allocates scratch — this
+//! binary doubles as the allocation-reuse regression harness.
+//!
+//! ```text
+//! cargo run --release -p dsmatch_bench --bin pipeline -- \
+//!     [--n 20000] [--deg 4.0] [--runs 8] [--warmup 2] [--seed 1] \
+//!     [--out BENCH_pipeline.json]
+//! ```
+
+use dsmatch::engine::{Json, Pipeline, Solver, Workspace};
+use dsmatch_bench::{arg, geometric_mean, min_of, write_json_file, Table};
+
+/// The pipelines the sweep covers: every heuristic family, both finishers
+/// on the paper's headline heuristic, and the exact baselines.
+const PIPELINES: &[&str] = &[
+    "scale:sk:5,one",
+    "scale:sk:5,two",
+    "scale:sk:5,ksmt",
+    "scale:sk:5,one-out",
+    "ks",
+    "cheap",
+    "cheap-vertex",
+    "scale:sk:5,two,pf",
+    "scale:sk:5,two,hk",
+    "pf",
+    "hk",
+];
+
+fn main() {
+    let n: usize = arg("n", 20_000);
+    let deg: f64 = arg("deg", 4.0);
+    let runs: usize = arg("runs", 8);
+    let warmup: usize = arg("warmup", 2);
+    let seed: u64 = arg("seed", 1);
+    let out: String = arg("out", "BENCH_pipeline.json".to_string());
+    assert!(warmup < runs, "--warmup must be below --runs");
+
+    let g = dsmatch::gen::erdos_renyi_square(n, deg, seed);
+    let opt = dsmatch::exact::sprank(&g);
+    println!("instance: er n={n} deg={deg} seed={seed}  nnz={}  sprank={opt}", g.nnz());
+
+    let mut ws = Workspace::new();
+    let mut table =
+        Table::new(vec!["pipeline", "geomean s", "min quality", "cardinality", "stages"]);
+    let mut results: Vec<Json> = Vec::new();
+
+    for spec in PIPELINES {
+        let pipeline: Pipeline = spec.parse().expect("sweep specs are valid");
+
+        // Timing: fixed seed, geometric mean after warmup (§4.2).
+        let mut times = Vec::with_capacity(runs - warmup);
+        let mut last = None;
+        for run in 0..runs {
+            let report = pipeline.clone().with_seed(seed).solve(&g, &mut ws);
+            if run >= warmup {
+                times.push(report.total_seconds());
+            }
+            last = Some(report);
+        }
+        let last = last.expect("runs >= 1");
+        let geomean = geometric_mean(&times);
+
+        // Quality: worst case over `runs` distinct seeds (Tables 1–2).
+        let min_quality = min_of(runs, |k| {
+            let report = pipeline.clone().with_seed(seed.wrapping_add(k as u64)).solve(&g, &mut ws);
+            report.matching.quality(opt)
+        });
+
+        let stage_summary: Vec<String> =
+            last.stages.iter().map(|s| format!("{}={:.4}s", s.stage, s.seconds)).collect();
+        table.push(vec![
+            spec.to_string(),
+            format!("{geomean:.5}"),
+            format!("{min_quality:.4}"),
+            format!("{}", last.cardinality()),
+            stage_summary.join(" "),
+        ]);
+        results.push(Json::obj(vec![
+            ("pipeline", Json::from(*spec)),
+            ("geomean_seconds", Json::from(geomean)),
+            ("min_quality", Json::from(min_quality)),
+            ("cardinality", Json::from(last.cardinality())),
+            (
+                "stages",
+                Json::Arr(
+                    last.stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("stage", Json::from(s.stage.as_str())),
+                                ("seconds", Json::from(s.seconds)),
+                                ("cardinality", Json::opt(s.cardinality)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    table.print();
+
+    let doc = Json::obj(vec![
+        (
+            "instance",
+            Json::obj(vec![
+                ("family", Json::from("er")),
+                ("n", Json::from(n)),
+                ("avg_degree", Json::from(deg)),
+                ("seed", Json::from(seed)),
+                ("nnz", Json::from(g.nnz())),
+                ("sprank", Json::from(opt)),
+            ]),
+        ),
+        (
+            "protocol",
+            Json::obj(vec![
+                ("runs", Json::from(runs)),
+                ("warmup", Json::from(warmup)),
+                ("timing", Json::from("geometric mean after warmup, fixed seed")),
+                ("quality", Json::from("minimum over seeds (paper Tables 1-2)")),
+            ]),
+        ),
+        ("threads", Json::from(rayon::current_num_threads())),
+        ("results", Json::Arr(results)),
+    ]);
+    write_json_file(&out, &doc).expect("writing the JSON result file");
+    println!("wrote {out}");
+}

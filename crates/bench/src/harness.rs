@@ -92,6 +92,14 @@ pub fn min_of(n: usize, f: impl FnMut(usize) -> f64) -> f64 {
     (0..n).map(f).fold(f64::INFINITY, f64::min)
 }
 
+/// Write a machine-readable result document (the engine layer's hand-rolled
+/// [`Json`](dsmatch::engine::Json) value) to `path`, newline-terminated —
+/// the writer behind `BENCH_pipeline.json` and friends. No external
+/// dependencies involved.
+pub fn write_json_file(path: &str, json: &dsmatch::engine::Json) -> std::io::Result<()> {
+    std::fs::write(path, format!("{json}\n"))
+}
+
 /// Run `f` inside a Rayon pool with exactly `threads` worker threads.
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
     rayon::ThreadPoolBuilder::new()

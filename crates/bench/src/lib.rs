@@ -11,5 +11,5 @@ pub mod harness;
 
 pub use harness::{
     arg, flag, geometric_mean, median, min_of, thread_ladder, time_once, time_stats, with_threads,
-    Row, Table,
+    write_json_file, Row, Table,
 };

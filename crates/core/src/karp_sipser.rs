@@ -44,41 +44,63 @@ pub struct KarpSipserStats {
 
 /// Vertex reference on either side of the bipartition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Side {
+pub(crate) enum Side {
     Row(u32),
     Col(u32),
 }
 
-struct State<'g> {
+/// Reusable scratch state of the classic Karp–Sipser (see
+/// [`karp_sipser_ws`]). Buffers keep their allocation across solves.
+#[derive(Debug, Default)]
+pub struct KarpSipserScratch {
+    /// Alive-edge pool for the Phase 2 uniform draws (`nnz` entries).
+    pub pool: Vec<(VertexId, VertexId)>,
+    /// Remaining degree per row.
+    pub deg_r: Vec<u32>,
+    /// Remaining degree per column.
+    pub deg_c: Vec<u32>,
+    pub(crate) stack: Vec<Side>,
+}
+
+impl KarpSipserScratch {
+    /// An empty scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct State<'g, 'w> {
     g: &'g BipartiteGraph,
-    deg_r: Vec<u32>,
-    deg_c: Vec<u32>,
+    deg_r: &'w mut Vec<u32>,
+    deg_c: &'w mut Vec<u32>,
     matching: Matching,
-    stack: Vec<Side>,
+    stack: &'w mut Vec<Side>,
     degree_one_matches: usize,
 }
 
-impl<'g> State<'g> {
-    fn new(g: &'g BipartiteGraph) -> Self {
-        let deg_r: Vec<u32> = (0..g.nrows()).map(|i| g.row_degree(i) as u32).collect();
-        let deg_c: Vec<u32> = (0..g.ncols()).map(|j| g.col_degree(j) as u32).collect();
-        let mut stack = Vec::new();
-        for (i, &d) in deg_r.iter().enumerate() {
+impl<'g, 'w> State<'g, 'w> {
+    fn new(g: &'g BipartiteGraph, ws: &'w mut KarpSipserScratch) -> Self {
+        ws.deg_r.clear();
+        ws.deg_r.extend((0..g.nrows()).map(|i| g.row_degree(i) as u32));
+        ws.deg_c.clear();
+        ws.deg_c.extend((0..g.ncols()).map(|j| g.col_degree(j) as u32));
+        ws.stack.clear();
+        for (i, &d) in ws.deg_r.iter().enumerate() {
             if d == 1 {
-                stack.push(Side::Row(i as u32));
+                ws.stack.push(Side::Row(i as u32));
             }
         }
-        for (j, &d) in deg_c.iter().enumerate() {
+        for (j, &d) in ws.deg_c.iter().enumerate() {
             if d == 1 {
-                stack.push(Side::Col(j as u32));
+                ws.stack.push(Side::Col(j as u32));
             }
         }
         Self {
             g,
-            deg_r,
-            deg_c,
+            deg_r: &mut ws.deg_r,
+            deg_c: &mut ws.deg_c,
             matching: Matching::new(g.nrows(), g.ncols()),
-            stack,
+            stack: &mut ws.stack,
             degree_one_matches: 0,
         }
     }
@@ -156,15 +178,28 @@ impl<'g> State<'g> {
 
 /// Run the classic Karp–Sipser heuristic.
 pub fn karp_sipser(g: &BipartiteGraph, cfg: &KarpSipserConfig) -> KarpSipserStats {
-    let mut st = State::new(g);
+    karp_sipser_ws(g, cfg, &mut KarpSipserScratch::new())
+}
+
+/// Buffer-reuse variant of [`karp_sipser`]: the degree arrays, the
+/// degree-one stack and the alive-edge pool live in `ws` and keep their
+/// allocation across solves; only the returned matching is fresh.
+pub fn karp_sipser_ws(
+    g: &BipartiteGraph,
+    cfg: &KarpSipserConfig,
+    ws: &mut KarpSipserScratch,
+) -> KarpSipserStats {
+    // Fill the Phase 2 edge pool first so `State` can borrow the rest.
+    ws.pool.clear();
+    ws.pool.extend(g.csr().iter_entries().map(|(i, j)| (i as VertexId, j as VertexId)));
+    let mut pool = std::mem::take(&mut ws.pool);
+    let mut st = State::new(g, ws);
     let mut rng = SplitMix64::new(cfg.seed);
 
     // Phase 1: all forced decisions available initially (and transitively).
     st.drain();
 
     // Phase 2: uniformly random alive edges, re-draining after each match.
-    let mut pool: Vec<(VertexId, VertexId)> =
-        g.csr().iter_entries().map(|(i, j)| (i as VertexId, j as VertexId)).collect();
     let mut random_matches = 0usize;
     while !pool.is_empty() {
         let k = rng.next_index(pool.len());
@@ -176,12 +211,13 @@ pub fn karp_sipser(g: &BipartiteGraph, cfg: &KarpSipserConfig) -> KarpSipserStat
         random_matches += 1;
         st.drain();
     }
-
-    KarpSipserStats {
+    let stats = KarpSipserStats {
         matching: st.matching,
         degree_one_matches: st.degree_one_matches,
         random_matches,
-    }
+    };
+    ws.pool = pool; // hand the (drained but allocated) pool back
+    stats
 }
 
 /// Convenience: run [`karp_sipser`] and return only the matching.

@@ -29,6 +29,47 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use crate::karp_sipser::{karp_sipser, KarpSipserConfig};
+use crate::workspace::reset_atomic_u32;
+
+/// Reusable scratch state of Algorithm 4 (see [`karp_sipser_mt_ws`]).
+///
+/// All buffers are sized `nrows + ncols` and keep their allocation across
+/// solves; the fields are public so harnesses can assert pointer stability.
+#[derive(Debug, Default)]
+pub struct KsMtScratch {
+    /// Unified choice array (rows then columns, column ids offset by
+    /// `nrows`) — the concatenation the paper describes.
+    pub choice: Vec<u32>,
+    /// `mark[v]`: is `v` an out-one vertex candidate (nobody chose it)?
+    pub mark: Vec<AtomicBool>,
+    /// Degree of each vertex in the sampled subgraph (1 or 2).
+    pub deg: Vec<AtomicU32>,
+    /// Mate array over unified vertex ids.
+    pub mat: Vec<AtomicU32>,
+}
+
+impl KsMtScratch {
+    /// An empty scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resize every buffer to `total` and reset values for a fresh solve,
+    /// reusing allocations.
+    fn reset(&mut self, total: usize) {
+        self.choice.clear();
+        self.choice.resize(total, NIL);
+        let keep = self.mark.len().min(total);
+        self.mark[..keep].par_iter().for_each(|a| a.store(true, Ordering::Relaxed));
+        if total < self.mark.len() {
+            self.mark.truncate(total);
+        } else {
+            self.mark.resize_with(total, || AtomicBool::new(true));
+        }
+        reset_atomic_u32(&mut self.deg, total, 1);
+        reset_atomic_u32(&mut self.mat, total, NIL);
+    }
+}
 
 /// Run the multi-threaded Karp–Sipser of Algorithm 4 on the 1-out ∪ 1-in
 /// subgraph described by the two choice arrays.
@@ -46,26 +87,41 @@ use crate::karp_sipser::{karp_sipser, KarpSipserConfig};
 /// assert_eq!(m.cardinality(), 2);
 /// ```
 pub fn karp_sipser_mt(rchoice: &[VertexId], cchoice: &[VertexId]) -> Matching {
+    karp_sipser_mt_ws(rchoice, cchoice, &mut KsMtScratch::new())
+}
+
+/// Buffer-reuse variant of [`karp_sipser_mt`]: identical algorithm, but the
+/// choice/mark/degree/mate state lives in the caller-provided
+/// [`KsMtScratch`] so repeated solves on same-shaped inputs stop allocating
+/// (only the returned [`Matching`] is fresh).
+pub fn karp_sipser_mt_ws(
+    rchoice: &[VertexId],
+    cchoice: &[VertexId],
+    ws: &mut KsMtScratch,
+) -> Matching {
     let n_r = rchoice.len();
     let n_c = cchoice.len();
     let total = n_r + n_c;
+    ws.reset(total);
 
     // Unified vertex ids: rows 0..n_r, columns n_r..n_r+n_c. `choice` is
     // the concatenation of the two arrays (paper: "the choice array is a
     // concatenation of rchoice and cchoice"; no explicit graph is built).
-    let choice: Vec<u32> = rchoice
-        .par_iter()
-        .map(|&j| if j == NIL { NIL } else { (j as usize + n_r) as u32 })
-        .chain(cchoice.par_iter().copied())
-        .collect();
+    {
+        let (rows, cols) = ws.choice.split_at_mut(n_r);
+        rows.par_iter_mut().zip(rchoice.par_iter()).for_each(|(slot, &j)| {
+            *slot = if j == NIL { NIL } else { (j as usize + n_r) as u32 };
+        });
+        cols.par_iter_mut().zip(cchoice.par_iter()).for_each(|(slot, &i)| *slot = i);
+    }
+    let choice = &ws.choice[..];
+    let mark = &ws.mark[..];
+    let deg = &ws.deg[..];
+    let mat = &ws.mat[..];
     debug_assert!(choice[..n_r].iter().all(|&v| v == NIL || (v as usize) >= n_r));
     debug_assert!(choice[n_r..].iter().all(|&v| v == NIL || (v as usize) < n_r));
 
     // Initialization (paper lines 1–9).
-    let mark: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(true)).collect();
-    let deg: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(1)).collect();
-    let mat: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(NIL)).collect();
-
     (0..total).into_par_iter().for_each(|u| {
         let v = choice[u];
         if v != NIL {

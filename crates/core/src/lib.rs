@@ -32,20 +32,28 @@ mod one_out_undirected;
 mod one_sided;
 mod sample;
 mod two_sided;
+mod workspace;
 
 pub use chain_stats::{ks_mt_chain_stats, ChainStats};
 pub use cheap::{cheap_random_edge, cheap_random_vertex};
-pub use karp_sipser::{karp_sipser, karp_sipser_matching, KarpSipserConfig, KarpSipserStats};
-pub use ks_mt::{choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq};
+pub use karp_sipser::{
+    karp_sipser, karp_sipser_matching, karp_sipser_ws, KarpSipserConfig, KarpSipserScratch,
+    KarpSipserStats,
+};
+pub use ks_mt::{
+    choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq, karp_sipser_mt_ws, KsMtScratch,
+};
 pub use one_out_undirected::{one_out_choices, one_out_matching, one_out_undirected, OneOutConfig};
 pub use one_sided::{
-    one_sided_match, one_sided_match_seq, one_sided_match_with_scaling, OneSidedConfig,
+    one_sided_match, one_sided_match_seq, one_sided_match_with_scaling, one_sided_match_ws,
+    OneSidedConfig,
 };
 pub use sample::{sample_neighbor, ChoiceSampler};
 pub use two_sided::{
-    two_sided_choices, two_sided_match, two_sided_match_seq, two_sided_match_with_scaling,
-    TwoSidedConfig,
+    two_sided_choices, two_sided_choices_into, two_sided_match, two_sided_match_seq,
+    two_sided_match_with_scaling, two_sided_match_ws, TwoSidedConfig,
 };
+pub use workspace::HeurWorkspace;
 
 /// Theorem 1's approximation guarantee: `1 − 1/e`.
 pub const ONE_SIDED_GUARANTEE: f64 = 1.0 - std::f64::consts::E.recip();

@@ -15,7 +15,7 @@
 use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, NIL};
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig, ScalingResult};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
 use crate::sample::sample_neighbor;
 
@@ -70,13 +70,26 @@ pub fn one_sided_match_with_scaling(
     scaling: &ScalingResult,
     seed: u64,
 ) -> Matching {
+    one_sided_match_ws(g, scaling, seed, &mut crate::HeurWorkspace::new())
+}
+
+/// Buffer-reuse variant of [`one_sided_match_with_scaling`]: the race slots
+/// live in `ws` and keep their allocation across solves; only the returned
+/// [`Matching`] is freshly allocated.
+pub fn one_sided_match_ws(
+    g: &BipartiteGraph,
+    scaling: &ScalingResult,
+    seed: u64,
+    ws: &mut crate::HeurWorkspace,
+) -> Matching {
     let n_r = g.nrows();
     let n_c = g.ncols();
     let csr = g.csr();
     let dc = &scaling.dc;
 
     // cmatch[j] ← NIL, in parallel (paper lines 2–3).
-    let cmatch: Vec<AtomicU32> = (0..n_c).map(|_| AtomicU32::new(NIL)).collect();
+    crate::workspace::reset_atomic_u32(&mut ws.cslots, n_c, NIL);
+    let cmatch = &ws.cslots[..];
 
     // Every row picks a column and races into cmatch (paper lines 4–6).
     (0..n_r).into_par_iter().for_each(|i| {
@@ -91,7 +104,7 @@ pub fn one_sided_match_with_scaling(
         }
     });
 
-    let cmatch: Vec<u32> = cmatch.into_iter().map(|a| a.into_inner()).collect();
+    let cmatch: Vec<u32> = cmatch.par_iter().map(|a| a.load(Ordering::Relaxed)).collect();
     Matching::from_cmate(cmatch, n_r)
 }
 

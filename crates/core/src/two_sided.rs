@@ -14,7 +14,7 @@ use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig, ScalingResult};
 use rayon::prelude::*;
 
-use crate::ks_mt::{karp_sipser_mt, karp_sipser_mt_seq};
+use crate::ks_mt::karp_sipser_mt_seq;
 use crate::sample::sample_neighbor;
 
 /// Configuration of [`two_sided_match`].
@@ -42,11 +42,27 @@ pub fn two_sided_choices(
     scaling: &ScalingResult,
     seed: u64,
 ) -> (Vec<VertexId>, Vec<VertexId>) {
+    let mut rchoice = Vec::new();
+    let mut cchoice = Vec::new();
+    two_sided_choices_into(g, scaling, seed, &mut rchoice, &mut cchoice);
+    (rchoice, cchoice)
+}
+
+/// Buffer-reuse variant of [`two_sided_choices`]: the two choice arrays are
+/// overwritten in place (via `collect_into_vec`), keeping their allocation
+/// across solves on same-shaped instances.
+pub fn two_sided_choices_into(
+    g: &BipartiteGraph,
+    scaling: &ScalingResult,
+    seed: u64,
+    rchoice: &mut Vec<VertexId>,
+    cchoice: &mut Vec<VertexId>,
+) {
     let n_r = g.nrows();
     let csr = g.csr();
     let csc = g.csc();
     let (dr, dc) = (&scaling.dr, &scaling.dc);
-    let rchoice: Vec<VertexId> = (0..n_r)
+    (0..n_r)
         .into_par_iter()
         .map(|i| {
             let mut rng = SplitMix64::stream(seed, i as u64);
@@ -54,8 +70,8 @@ pub fn two_sided_choices(
             let total: f64 = adj.iter().map(|&j| dc[j as usize]).sum();
             sample_neighbor(adj, dc, total, &mut rng)
         })
-        .collect();
-    let cchoice: Vec<VertexId> = (0..g.ncols())
+        .collect_into_vec(rchoice);
+    (0..g.ncols())
         .into_par_iter()
         .map(|j| {
             let mut rng = SplitMix64::stream(seed, (n_r + j) as u64);
@@ -63,8 +79,7 @@ pub fn two_sided_choices(
             let total: f64 = adj.iter().map(|&i| dr[i as usize]).sum();
             sample_neighbor(adj, dr, total, &mut rng)
         })
-        .collect();
-    (rchoice, cchoice)
+        .collect_into_vec(cchoice);
 }
 
 /// Run `TwoSidedMatch` (scaling + two-sided sampling + `KarpSipserMT`) in
@@ -104,8 +119,21 @@ pub fn two_sided_match_with_scaling(
     scaling: &ScalingResult,
     seed: u64,
 ) -> Matching {
-    let (rchoice, cchoice) = two_sided_choices(g, scaling, seed);
-    karp_sipser_mt(&rchoice, &cchoice)
+    two_sided_match_ws(g, scaling, seed, &mut crate::HeurWorkspace::new())
+}
+
+/// Buffer-reuse variant of [`two_sided_match_with_scaling`]: the choice
+/// arrays and the `KarpSipserMT` state live in `ws` and keep their
+/// allocation across solves; only the returned [`Matching`] is fresh.
+pub fn two_sided_match_ws(
+    g: &BipartiteGraph,
+    scaling: &ScalingResult,
+    seed: u64,
+    ws: &mut crate::HeurWorkspace,
+) -> Matching {
+    let crate::HeurWorkspace { rchoice, cchoice, ksmt, .. } = ws;
+    two_sided_choices_into(g, scaling, seed, rchoice, cchoice);
+    crate::ks_mt::karp_sipser_mt_ws(rchoice, cchoice, ksmt)
 }
 
 /// Sequential reference: sequential scaling, sequential sampling (same

@@ -1,0 +1,85 @@
+//! Reusable scratch buffers for the heuristics.
+//!
+//! The paper's target workloads (jump-starting sparse direct solvers,
+//! §1) solve many same-shaped instances back to back; re-allocating the
+//! choice arrays and the Algorithm 4 state on every call dominates the
+//! runtime of the cheapest heuristics. [`HeurWorkspace`] owns every scratch
+//! vector the `*_ws` entry points need; after the first solve on a given
+//! shape the buffers stop growing, so repeated solves allocate only their
+//! output [`dsmatch_graph::Matching`].
+//!
+//! The buffers are ordinary `pub` fields so harnesses (and the engine
+//! layer's workspace-stability tests) can assert pointer/capacity
+//! stability across solves.
+
+use dsmatch_graph::VertexId;
+use std::sync::atomic::AtomicU32;
+
+use crate::karp_sipser::KarpSipserScratch;
+use crate::ks_mt::KsMtScratch;
+
+/// Reusable scratch for every heuristic in this crate.
+///
+/// Hand one instance to the `*_ws` entry points ([`crate::one_sided_match_ws`],
+/// [`crate::two_sided_match_ws`], [`crate::karp_sipser_mt_ws`],
+/// [`crate::karp_sipser_ws`]); the same workspace serves all of them, so a
+/// batch driver needs exactly one per thread of control.
+#[derive(Debug, Default)]
+pub struct HeurWorkspace {
+    /// Row choice array: `rchoice[i]` is the column sampled by row `i`.
+    pub rchoice: Vec<VertexId>,
+    /// Column choice array: `cchoice[j]` is the row sampled by column `j`.
+    pub cchoice: Vec<VertexId>,
+    /// `OneSidedMatch`'s per-column race slots (the `cmatch` array of
+    /// Algorithm 2, lines 2–3).
+    pub cslots: Vec<AtomicU32>,
+    /// Algorithm 4 (`KarpSipserMT`) scratch state.
+    pub ksmt: KsMtScratch,
+    /// Classic Karp–Sipser scratch state.
+    pub ks: KarpSipserScratch,
+}
+
+impl HeurWorkspace {
+    /// An empty workspace; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reset a vector of `AtomicU32` to `n` copies of `val`, reusing the
+/// allocation (the pointer is stable once capacity has grown to `n`).
+pub(crate) fn reset_atomic_u32(v: &mut Vec<AtomicU32>, n: usize, val: u32) {
+    use rayon::prelude::*;
+    use std::sync::atomic::Ordering;
+    let keep = v.len().min(n);
+    v[..keep].par_iter().for_each(|a| a.store(val, Ordering::Relaxed));
+    if n < v.len() {
+        v.truncate(n);
+    } else {
+        v.resize_with(n, || AtomicU32::new(val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut v: Vec<AtomicU32> = Vec::new();
+        reset_atomic_u32(&mut v, 100, 7);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|a| a.load(Ordering::Relaxed) == 7));
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        v[3].store(99, Ordering::Relaxed);
+        reset_atomic_u32(&mut v, 80, 1);
+        assert_eq!(v.len(), 80);
+        assert!(v.iter().all(|a| a.load(Ordering::Relaxed) == 1));
+        assert_eq!(v.as_ptr(), ptr, "shrinking reset must not reallocate");
+        assert_eq!(v.capacity(), cap);
+        reset_atomic_u32(&mut v, 100, 2);
+        assert_eq!(v.as_ptr(), ptr, "regrowing within capacity must not reallocate");
+    }
+}

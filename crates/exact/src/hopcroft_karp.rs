@@ -11,7 +11,9 @@
 //! solver, and the `solver_jumpstart` example measures the phase/visit
 //! savings.
 
-use dsmatch_graph::{BipartiteGraph, Matching, VertexId, NIL};
+use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+
+use crate::workspace::AugmentWorkspace;
 
 /// Work counters of a Hopcroft–Karp run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,51 +29,47 @@ pub struct HopcroftKarpStats {
 
 const INF: u32 = u32::MAX;
 
-struct Hk<'g> {
+struct Hk<'g, 'w> {
     g: &'g BipartiteGraph,
-    rmate: Vec<VertexId>,
-    cmate: Vec<VertexId>,
-    dist: Vec<u32>, // distance label per row
-    queue: Vec<u32>,
-    // DFS iterator state: next adjacency offset to try per row.
-    iter: Vec<usize>,
+    ws: &'w mut AugmentWorkspace,
     stats: HopcroftKarpStats,
 }
 
-impl<'g> Hk<'g> {
+impl<'g, 'w> Hk<'g, 'w> {
     /// BFS from all free rows; returns true if some free column is
     /// reachable (i.e., an augmenting path exists).
     fn bfs(&mut self) -> bool {
-        self.queue.clear();
+        let ws = &mut *self.ws;
+        ws.queue.clear();
         for i in 0..self.g.nrows() {
-            if self.rmate[i] == NIL {
-                self.dist[i] = 0;
-                self.queue.push(i as u32);
+            if ws.rmate[i] == NIL {
+                ws.dist[i] = 0;
+                ws.queue.push(i as u32);
             } else {
-                self.dist[i] = INF;
+                ws.dist[i] = INF;
             }
         }
         let mut found = false;
         let mut head = 0usize;
         let mut frontier_cap = INF; // cut off layers beyond first success
-        while head < self.queue.len() {
-            let i = self.queue[head] as usize;
+        while head < ws.queue.len() {
+            let i = ws.queue[head] as usize;
             head += 1;
             self.stats.bfs_visits += 1;
-            let d = self.dist[i];
+            let d = ws.dist[i];
             if d >= frontier_cap {
                 break;
             }
             for &j in self.g.row_adj(i) {
-                let next = self.cmate[j as usize];
+                let next = ws.cmate[j as usize];
                 if next == NIL {
                     // Free column reached: shortest augmenting length is
                     // d+1; stop expanding deeper layers.
                     found = true;
                     frontier_cap = frontier_cap.min(d + 1);
-                } else if self.dist[next as usize] == INF {
-                    self.dist[next as usize] = d + 1;
-                    self.queue.push(next);
+                } else if ws.dist[next as usize] == INF {
+                    ws.dist[next as usize] = d + 1;
+                    ws.queue.push(next);
                 }
             }
         }
@@ -84,39 +82,42 @@ impl<'g> Hk<'g> {
     fn dfs(&mut self, root: usize) -> bool {
         // `stack` holds the row path; `entry_col[k]` is the column through
         // which `stack[k]` was entered (unused sentinel for the root).
-        let mut stack: Vec<u32> = vec![root as u32];
-        let mut entry_col: Vec<u32> = vec![NIL];
+        let ws = &mut *self.ws;
+        ws.stack.clear();
+        ws.stack.push(root as u32);
+        ws.entry_col.clear();
+        ws.entry_col.push(NIL);
         loop {
-            let i = *stack.last().unwrap() as usize;
+            let i = *ws.stack.last().unwrap() as usize;
             let deg = self.g.row_degree(i);
             let mut advanced = false;
-            while self.iter[i] < deg {
-                let j = self.g.row_adj(i)[self.iter[i]];
-                self.iter[i] += 1;
-                let next = self.cmate[j as usize];
+            while ws.iter[i] < deg {
+                let j = self.g.row_adj(i)[ws.iter[i]];
+                ws.iter[i] += 1;
+                let next = ws.cmate[j as usize];
                 if next == NIL {
                     // Free column: augment along the whole stack.
                     let mut col = j;
-                    while let (Some(row), Some(ec)) = (stack.pop(), entry_col.pop()) {
-                        self.rmate[row as usize] = col;
-                        self.cmate[col as usize] = row;
+                    while let (Some(row), Some(ec)) = (ws.stack.pop(), ws.entry_col.pop()) {
+                        ws.rmate[row as usize] = col;
+                        ws.cmate[col as usize] = row;
                         col = ec;
                     }
                     return true;
                 }
-                if self.dist[next as usize] == self.dist[i] + 1 {
-                    stack.push(next);
-                    entry_col.push(j);
+                if ws.dist[next as usize] == ws.dist[i] + 1 {
+                    ws.stack.push(next);
+                    ws.entry_col.push(j);
                     advanced = true;
                     break;
                 }
             }
             if !advanced {
                 // Dead end: remove `i` from the layered structure.
-                self.dist[i] = INF;
-                stack.pop();
-                entry_col.pop();
-                if stack.is_empty() {
+                ws.dist[i] = INF;
+                ws.stack.pop();
+                ws.entry_col.pop();
+                if ws.stack.is_empty() {
                     return false;
                 }
             }
@@ -146,29 +147,55 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
 /// If `initial` is not a valid matching of `g` (checked with
 /// [`Matching::verify`]).
 pub fn hopcroft_karp_from(g: &BipartiteGraph, initial: Matching) -> (Matching, HopcroftKarpStats) {
-    initial.verify(g).expect("warm-start matching must be valid");
-    let mut hk = Hk {
-        g,
-        rmate: initial.rmates().to_vec(),
-        cmate: initial.cmates().to_vec(),
-        dist: vec![INF; g.nrows()],
-        queue: Vec::with_capacity(g.nrows()),
-        iter: vec![0; g.nrows()],
-        stats: HopcroftKarpStats::default(),
-    };
+    hopcroft_karp_ws(g, Some(&initial), &mut AugmentWorkspace::new())
+}
+
+/// Buffer-reuse variant of [`hopcroft_karp_from`]: the BFS/DFS state and
+/// the working mate arrays live in `ws` and keep their allocation across
+/// solves; only the returned [`Matching`] is fresh. `initial = None` means
+/// a from-scratch solve.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn hopcroft_karp_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) -> (Matching, HopcroftKarpStats) {
+    ws.rmate.clear();
+    ws.cmate.clear();
+    match initial {
+        Some(m) => {
+            m.verify(g).expect("warm-start matching must be valid");
+            ws.rmate.extend_from_slice(m.rmates());
+            ws.cmate.extend_from_slice(m.cmates());
+        }
+        None => {
+            ws.rmate.resize(g.nrows(), NIL);
+            ws.cmate.resize(g.ncols(), NIL);
+        }
+    }
+    ws.dist.clear();
+    ws.dist.resize(g.nrows(), INF);
+    ws.queue.clear();
+    ws.iter.clear();
+    ws.iter.resize(g.nrows(), 0);
+
+    let mut hk = Hk { g, ws, stats: HopcroftKarpStats::default() };
     loop {
         hk.stats.phases += 1;
         if !hk.bfs() {
             break;
         }
-        hk.iter.iter_mut().for_each(|x| *x = 0);
+        hk.ws.iter.iter_mut().for_each(|x| *x = 0);
         for i in 0..g.nrows() {
-            if hk.rmate[i] == NIL && hk.dfs(i) {
+            if hk.ws.rmate[i] == NIL && hk.dfs(i) {
                 hk.stats.augmentations += 1;
             }
         }
     }
-    (Matching::from_mates(hk.rmate, hk.cmate), hk.stats)
+    let stats = hk.stats;
+    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
 }
 
 #[cfg(test)]

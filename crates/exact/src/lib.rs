@@ -12,7 +12,7 @@
 //!   the workspace can measure the paper's motivating use case: how much
 //!   augmentation work a jump-start heuristic saves;
 //! - [`push_relabel`] — the auction/push-relabel scheme the paper's
-//!   related work ([9], [21]) evaluates as the main alternative to
+//!   related work (\[9\], \[21\]) evaluates as the main alternative to
 //!   augmenting-path solvers;
 //! - [`sprank`] — structural rank of a pattern matrix (maximum matching
 //!   cardinality), paper Table 3's `sprank/n` column;
@@ -27,12 +27,14 @@ mod brute;
 mod hopcroft_karp;
 mod pothen_fan;
 mod push_relabel;
+mod workspace;
 
 pub use bfs_augment::{bfs_augment, bfs_augment_from, BfsAugmentStats};
 pub use brute::brute_force_maximum;
-pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, HopcroftKarpStats};
-pub use pothen_fan::{pothen_fan, pothen_fan_from, PothenFanStats};
+pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats};
+pub use pothen_fan::{pothen_fan, pothen_fan_from, pothen_fan_ws, PothenFanStats};
 pub use push_relabel::{push_relabel, push_relabel_from, PushRelabelStats};
+pub use workspace::AugmentWorkspace;
 
 use dsmatch_graph::BipartiteGraph;
 

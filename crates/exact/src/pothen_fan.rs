@@ -11,6 +11,8 @@
 
 use dsmatch_graph::{BipartiteGraph, Matching, NIL};
 
+use crate::workspace::AugmentWorkspace;
+
 /// Work counters of a Pothen–Fan run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PothenFanStats {
@@ -32,21 +34,54 @@ pub fn pothen_fan(g: &BipartiteGraph) -> Matching {
 /// # Panics
 /// If `initial` is not a valid matching of `g`.
 pub fn pothen_fan_from(g: &BipartiteGraph, initial: Matching) -> (Matching, PothenFanStats) {
-    initial.verify(g).expect("warm-start matching must be valid");
-    let mut rmate = initial.rmates().to_vec();
-    let mut cmate = initial.cmates().to_vec();
+    pothen_fan_ws(g, Some(&initial), &mut AugmentWorkspace::new())
+}
+
+/// Buffer-reuse variant of [`pothen_fan_from`]: the DFS/lookahead state and
+/// the working mate arrays live in `ws` and keep their allocation across
+/// solves; only the returned [`Matching`] is fresh. `initial = None` means
+/// a from-scratch solve.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn pothen_fan_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) -> (Matching, PothenFanStats) {
+    ws.rmate.clear();
+    ws.cmate.clear();
+    match initial {
+        Some(m) => {
+            m.verify(g).expect("warm-start matching must be valid");
+            ws.rmate.extend_from_slice(m.rmates());
+            ws.cmate.extend_from_slice(m.cmates());
+        }
+        None => {
+            ws.rmate.resize(g.nrows(), NIL);
+            ws.cmate.resize(g.ncols(), NIL);
+        }
+    }
+    let rmate = &mut ws.rmate;
+    let cmate = &mut ws.cmate;
     let n_r = g.nrows();
     let mut stats = PothenFanStats::default();
 
     // `visited[i] == stamp` marks row i as visited in the current search.
-    let mut visited = vec![0u32; n_r];
+    ws.visited.clear();
+    ws.visited.resize(n_r, 0);
+    let visited = &mut ws.visited;
     let mut stamp = 0u32;
     // Lookahead pointer per row: columns before it are known matched.
-    let mut look = vec![0usize; n_r];
+    ws.look.clear();
+    ws.look.resize(n_r, 0);
+    let look = &mut ws.look;
     // DFS pointer per row within the current search.
-    let mut iter = vec![0usize; n_r];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut entry_col: Vec<u32> = Vec::new();
+    ws.iter.clear();
+    ws.iter.resize(n_r, 0);
+    let iter = &mut ws.iter;
+    let stack = &mut ws.stack;
+    let entry_col = &mut ws.entry_col;
 
     for root in 0..n_r {
         if rmate[root] != NIL || g.row_degree(root) == 0 {
@@ -113,7 +148,7 @@ pub fn pothen_fan_from(g: &BipartiteGraph, initial: Matching) -> (Matching, Poth
             stats.augmentations += 1;
         }
     }
-    (Matching::from_mates(rmate, cmate), stats)
+    (Matching::from_mates(rmate.clone(), cmate.clone()), stats)
 }
 
 #[cfg(test)]

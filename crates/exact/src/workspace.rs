@@ -1,0 +1,45 @@
+//! Reusable scratch buffers for the augmenting-path solvers.
+//!
+//! The engine layer's batch/server mode calls an exact finisher once per
+//! solve; re-allocating the BFS/DFS state per call costs more than the
+//! augmentation itself once a heuristic has matched ~87% of the rows.
+//! [`AugmentWorkspace`] owns every scratch vector the `*_ws` entry points
+//! ([`crate::hopcroft_karp_ws`], [`crate::pothen_fan_ws`]) need; buffers
+//! keep their allocation across solves, so only the returned
+//! [`dsmatch_graph::Matching`] is fresh.
+
+use dsmatch_graph::VertexId;
+
+/// Reusable scratch for the warm-startable exact solvers.
+///
+/// One instance serves both Hopcroft–Karp and Pothen–Fan (the buffers are
+/// a superset of what either needs). The fields are public so harnesses can
+/// assert pointer/capacity stability across solves.
+#[derive(Debug, Default)]
+pub struct AugmentWorkspace {
+    /// Working row-mate array (copied from the warm start, then augmented).
+    pub rmate: Vec<VertexId>,
+    /// Working column-mate array.
+    pub cmate: Vec<VertexId>,
+    /// Hopcroft–Karp BFS distance label per row.
+    pub dist: Vec<u32>,
+    /// BFS queue (rows).
+    pub queue: Vec<u32>,
+    /// DFS adjacency cursor per row (shared by both solvers).
+    pub iter: Vec<usize>,
+    /// Pothen–Fan per-search visit stamps.
+    pub visited: Vec<u32>,
+    /// Pothen–Fan monotone lookahead cursor per row.
+    pub look: Vec<usize>,
+    /// DFS row stack.
+    pub stack: Vec<u32>,
+    /// Column through which each stacked row was entered.
+    pub entry_col: Vec<u32>,
+}
+
+impl AugmentWorkspace {
+    /// An empty workspace; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -29,9 +29,10 @@ mod sinkhorn;
 mod symmetric;
 
 pub use analysis::{second_singular_value, sk_convergence_rate};
-pub use ruiz::{ruiz, ruiz_seq};
+pub use ruiz::{ruiz, ruiz_into, ruiz_seq};
 pub use sinkhorn::{
-    max_col_sum_error, min_col_sum, sinkhorn_knopp, sinkhorn_knopp_seq, sinkhorn_knopp_weighted,
+    max_col_sum_error, min_col_sum, sinkhorn_knopp, sinkhorn_knopp_into, sinkhorn_knopp_seq,
+    sinkhorn_knopp_weighted,
 };
 pub use symmetric::{symmetric_scaling, SymmetricScalingResult};
 
@@ -89,14 +90,36 @@ impl ScalingResult {
     /// The identity scaling (`dr = dc = 1`), used for the paper's
     /// "0 iterations" rows where sampling is uniform over adjacency lists.
     pub fn identity(g: &BipartiteGraph) -> Self {
-        let error = max_col_sum_error(g, &vec![1.0; g.nrows()], &vec![1.0; g.ncols()]);
+        let mut out = Self::empty();
+        out.reset_identity(g);
+        out
+    }
+
+    /// An empty result with no allocation — the slot callers hand to the
+    /// `*_into` entry points ([`sinkhorn_knopp_into`], [`ruiz_into`]) when
+    /// building a reusable workspace.
+    pub fn empty() -> Self {
         Self {
-            dr: vec![1.0; g.nrows()],
-            dc: vec![1.0; g.ncols()],
+            dr: Vec::new(),
+            dc: Vec::new(),
             iterations: 0,
-            error,
+            error: f64::INFINITY,
             history: Vec::new(),
         }
+    }
+
+    /// Reset this result to the identity scaling of `g` **in place**: the
+    /// `dr`/`dc`/`history` buffers are resized but keep their allocation
+    /// once they have grown to the instance size, so batch workloads stop
+    /// allocating per solve.
+    pub fn reset_identity(&mut self, g: &BipartiteGraph) {
+        self.dr.clear();
+        self.dr.resize(g.nrows(), 1.0);
+        self.dc.clear();
+        self.dc.resize(g.ncols(), 1.0);
+        self.history.clear();
+        self.iterations = 0;
+        self.error = max_col_sum_error(g, &self.dr, &self.dc);
     }
 
     /// Scaled entry `s_ij = dr[i] · dc[j]` (valid only where `a_ij = 1`).

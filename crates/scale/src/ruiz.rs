@@ -23,12 +23,24 @@ use crate::{ScalingConfig, ScalingResult};
 /// dr[i] ← dr[i] / √r_i,  dc[j] ← dc[j] / √c_j
 /// ```
 pub fn ruiz(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
-    let mut dr = vec![1.0f64; g.nrows()];
-    let mut dc = vec![1.0f64; g.ncols()];
-    let mut history = Vec::with_capacity(cfg.max_iterations);
+    let mut out = ScalingResult::empty();
+    ruiz_into(g, cfg, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`ruiz`]: identical arithmetic, the factor and
+/// history vectors of `out` are reset and refilled in place (see
+/// [`crate::sinkhorn_knopp_into`] for the allocation contract).
+pub fn ruiz_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResult) {
+    out.dr.clear();
+    out.dr.resize(g.nrows(), 1.0);
+    out.dc.clear();
+    out.dc.resize(g.ncols(), 1.0);
+    out.history.clear();
     let mut error = f64::INFINITY;
     let mut done = 0usize;
     for _ in 0..cfg.max_iterations {
+        let (dr, dc) = (&out.dr, &out.dc);
         let rsums: Vec<f64> = (0..g.nrows())
             .into_par_iter()
             .map(|i| {
@@ -43,27 +55,28 @@ pub fn ruiz(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
                 s * dc[j]
             })
             .collect();
-        dr.par_iter_mut().zip(rsums.par_iter()).for_each(|(d, &r)| {
+        out.dr.par_iter_mut().zip(rsums.par_iter()).for_each(|(d, &r)| {
             if r > 0.0 {
                 *d /= r.sqrt();
             }
         });
-        dc.par_iter_mut().zip(csums.par_iter()).for_each(|(d, &c)| {
+        out.dc.par_iter_mut().zip(csums.par_iter()).for_each(|(d, &c)| {
             if c > 0.0 {
                 *d /= c.sqrt();
             }
         });
         done += 1;
-        error = max_col_sum_error(g, &dr, &dc);
-        history.push(error);
+        error = max_col_sum_error(g, &out.dr, &out.dc);
+        out.history.push(error);
         if cfg.tolerance > 0.0 && error <= cfg.tolerance {
             break;
         }
     }
     if done == 0 {
-        error = max_col_sum_error(g, &dr, &dc);
+        error = max_col_sum_error(g, &out.dr, &out.dc);
     }
-    ScalingResult { dr, dc, iterations: done, error, history }
+    out.iterations = done;
+    out.error = error;
 }
 
 /// Sequential Ruiz — identical arithmetic to [`ruiz`].

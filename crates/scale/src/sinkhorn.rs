@@ -75,25 +75,38 @@ fn sk_row_pass_par(g: &BipartiteGraph, dr: &mut [f64], dc: &[f64]) {
 /// assert!(s.error < 1e-12);
 /// ```
 pub fn sinkhorn_knopp(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
-    let mut dr = vec![1.0f64; g.nrows()];
-    let mut dc = vec![1.0f64; g.ncols()];
-    let mut history = Vec::with_capacity(cfg.max_iterations);
+    let mut out = ScalingResult::empty();
+    sinkhorn_knopp_into(g, cfg, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`sinkhorn_knopp`]: identical arithmetic, but
+/// the `dr`/`dc`/`history` vectors of `out` are reset and refilled in place.
+/// After the first solve on a given shape the buffers stop growing, so
+/// repeated solves on same-shaped instances perform no scaling allocation.
+pub fn sinkhorn_knopp_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResult) {
+    out.dr.clear();
+    out.dr.resize(g.nrows(), 1.0);
+    out.dc.clear();
+    out.dc.resize(g.ncols(), 1.0);
+    out.history.clear();
     let mut error = f64::INFINITY;
     let mut done = 0usize;
     for _ in 0..cfg.max_iterations {
-        sk_col_pass_par(g, &dr, &mut dc);
-        sk_row_pass_par(g, &mut dr, &dc);
+        sk_col_pass_par(g, &out.dr, &mut out.dc);
+        sk_row_pass_par(g, &mut out.dr, &out.dc);
         done += 1;
-        error = max_col_sum_error(g, &dr, &dc);
-        history.push(error);
+        error = max_col_sum_error(g, &out.dr, &out.dc);
+        out.history.push(error);
         if cfg.tolerance > 0.0 && error <= cfg.tolerance {
             break;
         }
     }
     if done == 0 {
-        error = max_col_sum_error(g, &dr, &dc);
+        error = max_col_sum_error(g, &out.dr, &out.dc);
     }
-    ScalingResult { dr, dc, iterations: done, error, history }
+    out.iterations = done;
+    out.error = error;
 }
 
 /// Sequential Sinkhorn–Knopp — identical arithmetic to [`sinkhorn_knopp`]

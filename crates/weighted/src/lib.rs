@@ -1,8 +1,8 @@
 //! # dsmatch-weighted — approximate weighted matching
 //!
 //! The paper's related-work section surveys shared-memory heuristics for
-//! *weighted* graph matching (Halappanavar et al. [16], Fagginger Auer &
-//! Bisseling [15], Çatalyürek et al. [6]). This crate implements that
+//! *weighted* graph matching (Halappanavar et al. \[16\], Fagginger Auer &
+//! Bisseling \[15\], Çatalyürek et al. \[6\]). This crate implements that
 //! substrate so the workspace covers the full landscape the paper situates
 //! itself in:
 //!

@@ -1,24 +1,41 @@
 //! Jump-starting exact matching solvers — the paper's motivating use case
 //! ("such cheap algorithms are used as a jump-start routine by the current
-//! state of the art matching algorithms", §1).
+//! state of the art matching algorithms", §1), expressed as engine
+//! pipelines.
 //!
 //! A sparse direct solver needs a zero-free diagonal (a maximum
 //! *transversal*) before factorization. This example measures how much
-//! augmentation work each initializer saves for both exact engines
+//! augmentation work each initializer saves for both exact finishers
 //! (Hopcroft–Karp and Pothen–Fan) on a suite of structurally different
-//! matrices.
+//! matrices. Every composition is one `Pipeline` spec; one reusable
+//! `Workspace` serves the whole sweep.
 //!
 //! ```text
 //! cargo run --release --example solver_jumpstart
 //! ```
 
-use dsmatch::exact::{hopcroft_karp_from, pothen_fan_from};
-use dsmatch::heur::{
-    cheap_random_edge, karp_sipser_matching, one_sided_match, two_sided_match, OneSidedConfig,
-    TwoSidedConfig,
-};
+use dsmatch::engine::{Pipeline, SolveReport, Solver, Workspace};
 use dsmatch::prelude::*;
-use std::time::Instant;
+
+/// Heuristic stage of each composition (empty = cold start).
+const INITIALIZERS: &[(&str, &str)] = &[
+    ("none", ""),
+    ("cheap_random_edge", "cheap"),
+    ("karp_sipser", "ks"),
+    ("one_sided(5it)", "scale:sk:5,one"),
+    ("two_sided(5it)", "scale:sk:5,two"),
+];
+
+/// Stats of the finisher stage: (initial cardinality, augmentations, seconds).
+fn finisher_stats(report: &SolveReport) -> (usize, usize, f64) {
+    let finisher = report.stages.last().unwrap();
+    let card0 = if report.stages.len() > 1 {
+        report.stages[report.stages.len() - 2].cardinality.unwrap_or(0)
+    } else {
+        0
+    };
+    (card0, finisher.augmentations.unwrap_or(0), finisher.seconds)
+}
 
 fn main() {
     let instances: Vec<(&str, BipartiteGraph)> = vec![
@@ -26,35 +43,40 @@ fn main() {
         ("mesh_100k", dsmatch::gen::grid_mesh(316, 316)),
         ("adversarial_3200_k32", dsmatch::gen::adversarial_ks(3200, 32)),
     ];
+    let mut ws = Workspace::new();
 
     for (name, g) in instances {
         println!("== {name}: {} × {}, {} edges", g.nrows(), g.ncols(), g.nnz());
-        let scaling5 = ScalingConfig::iterations(5);
-
-        let initializers: Vec<(&str, Matching)> = vec![
-            ("none", Matching::new(g.nrows(), g.ncols())),
-            ("cheap_random_edge", cheap_random_edge(&g, 7)),
-            ("karp_sipser", karp_sipser_matching(&g, 7)),
-            ("one_sided(5it)", one_sided_match(&g, &OneSidedConfig { scaling: scaling5, seed: 7 })),
-            ("two_sided(5it)", two_sided_match(&g, &TwoSidedConfig { scaling: scaling5, seed: 7 })),
-        ];
-
         println!(
             "{:>20} | {:>8} | {:>12} {:>9} | {:>12} {:>9}",
             "initializer", "|M0|", "HK augment", "HK time", "PF augment", "PF time"
         );
-        for (init_name, m0) in initializers {
-            let card0 = m0.cardinality();
-            let t0 = Instant::now();
-            let (hk, hk_stats) = hopcroft_karp_from(&g, m0.clone());
-            let t_hk = t0.elapsed();
-            let t0 = Instant::now();
-            let (pf, pf_stats) = pothen_fan_from(&g, m0);
-            let t_pf = t0.elapsed();
-            assert_eq!(hk.cardinality(), pf.cardinality(), "both engines are exact");
+        for (label, init) in INITIALIZERS {
+            let compose = |finisher: &str| -> Pipeline {
+                let spec = if init.is_empty() {
+                    finisher.to_string()
+                } else {
+                    format!("{init},{finisher}")
+                };
+                spec.parse().expect("jump-start specs are valid")
+            };
+            let hk_report = compose("hk").with_seed(7).solve(&g, &mut ws);
+            let pf_report = compose("pf").with_seed(7).solve(&g, &mut ws);
+            assert_eq!(
+                hk_report.cardinality(),
+                pf_report.cardinality(),
+                "both finishers are exact"
+            );
+            let (card0, hk_augs, hk_secs) = finisher_stats(&hk_report);
+            let (_, pf_augs, pf_secs) = finisher_stats(&pf_report);
             println!(
-                "{:>20} | {:>8} | {:>12} {:>8.1?} | {:>12} {:>8.1?}",
-                init_name, card0, hk_stats.augmentations, t_hk, pf_stats.augmentations, t_pf
+                "{:>20} | {:>8} | {:>12} {:>8.1}ms | {:>12} {:>8.1}ms",
+                label,
+                card0,
+                hk_augs,
+                hk_secs * 1e3,
+                pf_augs,
+                pf_secs * 1e3
             );
         }
         println!();

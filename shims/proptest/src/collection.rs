@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: an exact size or a half-open range.
+/// Length specification for [`vec()`]: an exact size or a half-open range.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,

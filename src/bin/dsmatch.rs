@@ -1,18 +1,29 @@
-//! `dsmatch` command-line tool: run any of the workspace's matching
-//! algorithms on a Matrix Market file or a synthesized instance.
+//! `dsmatch` command-line tool: run any pipeline of the workspace's solver
+//! engine on a Matrix Market file or a synthesized instance.
 //!
 //! ```text
 //! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
-//!         [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs]
-//!         [--iters N] [--seed S] [--threads T]
-//!         [--quality] [--output pairs.txt]
+//!         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]]
+//!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs]
+//!         [--iters N] [--seed S] [--batch N] [--threads T]
+//!         [--quality] [--json] [--output pairs.txt]
 //! ```
+//!
+//! `--pipeline` takes a full engine spec (e.g. `scale:sk:5,two,pf`);
+//! `--algo` plus `--iters` is the classic shorthand for the same thing
+//! (`--algo two --iters 5` ≡ `--pipeline scale:sk:5,two`).
+//!
+//! `--batch N` solves the instance `N` times with seeds `S, S+1, …`,
+//! reusing one engine [`Workspace`] so only the first solve allocates — the
+//! batch/server mode of the engine layer.
 //!
 //! `--quality` additionally computes the exact optimum (Hopcroft–Karp) and
 //! reports the quality ratio — the measurement protocol of the paper's §4.
-//! `--output` writes the matched `(row, col)` pairs (1-based) to a file.
+//! `--json` prints one machine-readable JSON object instead of text.
+//! `--output` writes the matched `(row, col)` pairs (1-based) of the best
+//! run to a file.
 
-use dsmatch::driver::{run, Algorithm, RunConfig};
+use dsmatch::engine::{Json, Pipeline, SolveReport, Solver, Workspace};
 use dsmatch::prelude::*;
 use std::io::Write;
 use std::process::ExitCode;
@@ -24,6 +35,11 @@ fn arg_value(name: &str) -> Option<String> {
     args.iter().position(|a| *a == flag).and_then(|k| args.get(k + 1).cloned()).or_else(|| {
         args.iter().find_map(|a| a.strip_prefix(&format!("--{name}=")).map(String::from))
     })
+}
+
+fn flag(name: &str) -> bool {
+    let needle = format!("--{name}");
+    std::env::args().any(|a| a == needle)
 }
 
 /// Load a Matrix Market file, or synthesize an instance from a `gen:` spec
@@ -56,33 +72,88 @@ fn load_graph(path: &str) -> Result<BipartiteGraph, String> {
     }
 }
 
+/// Detect the vendored sequential rayon shim at runtime: real rayon's
+/// `ThreadPool::install` runs the closure on a pool worker thread, the shim
+/// runs it on the calling thread. Lets `--threads` be honest about whether
+/// a sized pool can actually be installed.
+fn rayon_is_sequential_shim() -> bool {
+    let caller = std::thread::current().id();
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map(|pool| pool.install(|| std::thread::current().id()) == caller)
+        .unwrap_or(true)
+}
+
+fn geometric_mean(xs: &[f64]) -> f64 {
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
+         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
+         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs] \
+         [--iters N] [--seed S] [--batch N] [--threads T] \
+         [--quality] [--json] [--output pairs.txt]"
+    );
+}
+
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!(
-            "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
-             [--algo one|two|ks|cheap|cheap-vertex|hk|pf|pr|bfs] \
-             [--iters N] [--seed S] [--threads T] [--quality] [--output pairs.txt]"
-        );
+        print_usage();
         return ExitCode::FAILURE;
     };
-    let algo: Algorithm = match arg_value("algo").unwrap_or_else(|| "two".into()).parse() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let pipeline = match arg_value("pipeline") {
+        Some(spec) => {
+            for shadowed in ["algo", "iters"] {
+                if arg_value(shadowed).is_some() {
+                    eprintln!(
+                        "--{shadowed} is ignored when --pipeline is given; \
+                         put the stage in the pipeline spec instead"
+                    );
+                }
+            }
+            match spec.parse::<Pipeline>() {
+                Ok(p) => p.with_seed(seed),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let algo = match arg_value("algo").unwrap_or_else(|| "two".into()).parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let iters = arg_value("iters").and_then(|v| v.parse().ok()).unwrap_or(5);
+            Pipeline::classic(algo, iters, seed)
         }
     };
-    let cfg = RunConfig {
-        scaling_iterations: arg_value("iters").and_then(|v| v.parse().ok()).unwrap_or(5),
-        seed: arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(1),
-    };
-    let want_quality = std::env::args().any(|a| a == "--quality");
+    let batch: usize = arg_value("batch").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let want_quality = flag("quality");
+    let want_json = flag("json");
 
-    if let Some(t) = arg_value("threads").and_then(|v| v.parse::<usize>().ok()) {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build_global()
-            .expect("thread pool already initialized");
+    let threads_requested = arg_value("threads").and_then(|v| v.parse::<usize>().ok());
+    let sequential_shim = rayon_is_sequential_shim();
+    if let Some(t) = threads_requested {
+        if sequential_shim {
+            eprintln!(
+                "--threads {t}: sequential rayon shim installed, flag ignored \
+                 (restore the real rayon crate in Cargo.toml for sized pools)"
+            );
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build_global()
+                .expect("thread pool already initialized");
+        }
     }
 
     let t0 = Instant::now();
@@ -101,28 +172,101 @@ fn main() -> ExitCode {
         t0.elapsed()
     );
 
-    let t0 = Instant::now();
-    let m = run(algo, &g, &cfg);
-    let dt = t0.elapsed();
-    if let Err(e) = m.verify(&g) {
-        eprintln!("INTERNAL ERROR: produced an invalid matching: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "algorithm     : {algo}{}",
-        if algo.is_exact() {
-            " (exact)".to_string()
-        } else {
-            format!(" (scaling iterations: {}, seed: {})", cfg.scaling_iterations, cfg.seed)
+    // Batch mode: one workspace, N solves, seeds S, S+1, ….
+    let mut ws = Workspace::new();
+    let mut reports: Vec<SolveReport> = Vec::with_capacity(batch);
+    for k in 0..batch {
+        let run = pipeline.clone().with_seed(seed.wrapping_add(k as u64));
+        let report = run.solve(&g, &mut ws);
+        if let Err(e) = report.matching.verify(&g) {
+            eprintln!("INTERNAL ERROR: produced an invalid matching: {e}");
+            return ExitCode::FAILURE;
         }
-    );
-    println!("cardinality   : {}", m.cardinality());
-    println!("time          : {dt:.3?}");
-    if want_quality {
-        let opt = sprank(&g);
-        println!("optimum       : {opt}");
-        println!("quality       : {:.4}", m.quality(opt));
+        reports.push(report);
     }
+    let optimum = want_quality.then(|| sprank(&g));
+    if let Some(opt) = optimum {
+        for report in &mut reports {
+            report.set_quality(opt);
+        }
+    }
+
+    let best =
+        reports.iter().enumerate().max_by_key(|(_, r)| r.cardinality()).map(|(k, _)| k).unwrap();
+    let times: Vec<f64> = reports.iter().map(|r| r.total_seconds()).collect();
+
+    if want_json {
+        let runs: Vec<Json> = reports
+            .iter()
+            .enumerate()
+            .map(|(k, r)| {
+                let Json::Obj(mut pairs) = r.to_json() else { unreachable!("reports are objects") };
+                pairs.insert(0, ("seed".into(), Json::from(seed.wrapping_add(k as u64))));
+                Json::Obj(pairs)
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            (
+                "instance",
+                Json::obj(vec![
+                    ("source", Json::from(path.as_str())),
+                    ("nrows", Json::from(g.nrows())),
+                    ("ncols", Json::from(g.ncols())),
+                    ("nnz", Json::from(g.nnz())),
+                ]),
+            ),
+            ("pipeline", Json::from(pipeline.spec())),
+            (
+                "threads",
+                Json::obj(vec![
+                    ("requested", Json::opt(threads_requested)),
+                    ("effective", Json::from(rayon::current_num_threads())),
+                    ("sequential_shim", Json::from(sequential_shim)),
+                ]),
+            ),
+            ("optimum", Json::opt(optimum)),
+            ("runs", Json::Arr(runs)),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("solves", Json::from(batch)),
+                    ("best_cardinality", Json::from(reports[best].cardinality())),
+                    ("total_seconds", Json::from(times.iter().sum::<f64>())),
+                    ("geomean_seconds", Json::from(geometric_mean(&times))),
+                ]),
+            ),
+        ]);
+        println!("{doc}");
+    } else {
+        println!("pipeline      : {pipeline}");
+        for (k, report) in reports.iter().enumerate() {
+            if batch > 1 {
+                println!("run {k:>3}       : seed {}", seed.wrapping_add(k as u64));
+            }
+            for stage in &report.stages {
+                let card =
+                    stage.cardinality.map_or(String::new(), |c| format!("  cardinality {c}"));
+                let augs =
+                    stage.augmentations.map_or(String::new(), |a| format!("  augmentations {a}"));
+                println!("  {:<12}: {:>10.3?}{card}{augs}", stage.stage, stage.seconds);
+            }
+            println!("cardinality   : {}", report.cardinality());
+            println!("time          : {:.3}s", report.total_seconds());
+            if let (Some(opt), Some(q)) = (optimum, report.quality) {
+                println!("optimum       : {opt}");
+                println!("quality       : {q:.4}");
+            }
+        }
+        if batch > 1 {
+            println!(
+                "batch summary : {} solves, best cardinality {}, geomean time {:.3}s",
+                batch,
+                reports[best].cardinality(),
+                geometric_mean(&times)
+            );
+        }
+    }
+
     if let Some(out) = arg_value("output") {
         let mut f = match std::fs::File::create(&out) {
             Ok(f) => std::io::BufWriter::new(f),
@@ -131,6 +275,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let m = &reports[best].matching;
         for (i, j) in m.iter_pairs() {
             if writeln!(f, "{} {}", i + 1, j + 1).is_err() {
                 eprintln!("write to {out} failed");

@@ -1,0 +1,170 @@
+//! Minimal hand-rolled JSON value + writer (no external dependencies).
+//!
+//! Just enough for the machine-readable outputs this workspace emits — the
+//! CLI's `--json` mode and the bench harness's `BENCH_pipeline.json` — with
+//! correct string escaping and non-finite-number handling. Not a parser.
+
+/// A JSON value, rendered via [`std::fmt::Display`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (kept exact rather than routed through `f64`).
+    Int(i64),
+    /// Unsigned integer (kept exact — JSON permits arbitrary-precision
+    /// integer literals, so `u64::MAX` round-trips textually).
+    UInt(u64),
+    /// Floating-point number; non-finite values render as `null`.
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as an ordered key → value list (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `Some(v)` → `v.into()`, `None` → `null`.
+    pub fn opt<T: Into<Json>>(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+fn write_escaped(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj(vec![
+            ("name", Json::from("er\n\"quoted\"")),
+            ("n", Json::from(1000usize)),
+            ("t", Json::from(0.25f64)),
+            ("missing", Json::opt(None::<usize>)),
+            ("arr", Json::Arr(vec![Json::from(1i64), Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"er\n\"quoted\"","n":1000,"t":0.25,"missing":null,"arr":[1,true,null]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn u64_round_trips_without_wrapping() {
+        assert_eq!(Json::from(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::from(i64::MIN).to_string(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(Json::from("a\u{1}b").to_string(), "\"a\\u0001b\"");
+    }
+}

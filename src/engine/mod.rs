@@ -1,0 +1,56 @@
+//! # The solver engine: composable, instrumented, allocation-reusing runs
+//!
+//! The paper's whole experimental protocol (§4) is a *pipeline*: doubly
+//! stochastic scaling, a randomized heuristic, then optionally an exact
+//! solver jump-started from the heuristic matching. This module makes that
+//! composition a first-class object so every surface — the `dsmatch` CLI,
+//! the bench harness, tests and examples — drives the algorithms uniformly:
+//!
+//! ```text
+//!            ┌────────────┐    ┌─────────────┐    ┌──────────────┐
+//!  graph ──▶ │   Scale    │ ─▶ │  Algorithm  │ ─▶ │   Augment    │ ─▶ SolveReport
+//!            │ (sk|ruiz,  │    │ one|two|ks| │    │ (hk|pf|pr|   │     · matching
+//!            │  optional) │    │ ksmt|…      │    │  bfs, opt.)  │     · per-stage times
+//!            └────────────┘    └─────────────┘    └──────────────┘     · scaling iters/error
+//! ```
+//!
+//! - [`AlgorithmKind`] — the registry of all eleven algorithms, including
+//!   the paper's Algorithm 4 (`ksmt`) and the §5 one-out undirected
+//!   variant (`one-out`);
+//! - [`Pipeline`] — a parsed `[scale[:sk|ruiz][:iters],]<algo>[,<exact>]`
+//!   spec, solvable via the [`Solver`] trait;
+//! - [`Workspace`] — reusable scratch buffers threaded through every
+//!   stage; repeated solves on same-shaped instances stop allocating
+//!   (batch/server mode);
+//! - [`SolveReport`] — the matching plus per-stage wall times, scaling
+//!   iteration count/error, and an optional quality ratio;
+//! - [`Json`] — the hand-rolled JSON writer behind `--json` and the bench
+//!   harness's `BENCH_pipeline.json`.
+//!
+//! ## Example
+//!
+//! ```
+//! use dsmatch::engine::{Pipeline, Solver, Workspace};
+//!
+//! let g = dsmatch::gen::erdos_renyi_square(1_000, 4.0, 42);
+//! let pipeline: Pipeline = "scale:sk:5,two,pf".parse().unwrap();
+//! let mut ws = Workspace::new();
+//!
+//! // Batch mode: the workspace is allocated once, then reused.
+//! for seed in 0..3 {
+//!     let report = pipeline.clone().with_seed(seed).solve(&g, &mut ws);
+//!     assert_eq!(report.cardinality(), dsmatch::exact::sprank(&g));
+//! }
+//! ```
+
+pub mod json;
+mod pipeline;
+mod registry;
+mod report;
+mod workspace;
+
+pub use json::Json;
+pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
+pub use registry::AlgorithmKind;
+pub use report::{SolveReport, StageReport};
+pub use workspace::Workspace;

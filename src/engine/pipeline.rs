@@ -1,0 +1,407 @@
+//! Composable solve pipelines: `scale → heuristic → augment`.
+
+use std::time::Instant;
+
+use dsmatch_core::{
+    cheap_random_edge, cheap_random_vertex, karp_sipser_ws, one_out_matching, one_sided_match_ws,
+    two_sided_choices_into, two_sided_match_ws, KarpSipserConfig,
+};
+use dsmatch_exact::{bfs_augment_from, hopcroft_karp_ws, pothen_fan_ws, push_relabel_from};
+use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+use dsmatch_scale::{ruiz_into, sinkhorn_knopp_into, ScalingConfig};
+
+use super::registry::AlgorithmKind;
+use super::report::{SolveReport, StageReport};
+use super::workspace::Workspace;
+
+/// A solver: anything that maps a graph (plus reusable workspace) to an
+/// instrumented matching. Implemented by [`Pipeline`] and, for single-stage
+/// convenience, by [`AlgorithmKind`].
+pub trait Solver {
+    /// Solve `g`, reusing the scratch buffers in `ws`.
+    fn solve(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport;
+
+    /// Human/spec-readable description of this solver.
+    fn describe(&self) -> String;
+}
+
+/// Which doubly-stochastic scaling iteration a `scale` stage runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleMethod {
+    /// Parallel Sinkhorn–Knopp, the paper's Algorithm 1 (`sk`).
+    SinkhornKnopp,
+    /// Ruiz equilibration in the 1-norm (`ruiz`).
+    Ruiz,
+}
+
+impl ScaleMethod {
+    /// Spec name (`sk` / `ruiz`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleMethod::SinkhornKnopp => "sk",
+            ScaleMethod::Ruiz => "ruiz",
+        }
+    }
+}
+
+/// The optional first stage of a [`Pipeline`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleStage {
+    /// Iteration family.
+    pub method: ScaleMethod,
+    /// Stopping rule (the paper's experiments: a fixed iteration count).
+    pub config: ScalingConfig,
+}
+
+impl ScaleStage {
+    /// Spec-grammar label, e.g. `scale:sk:5`.
+    pub fn label(&self) -> String {
+        format!("scale:{}:{}", self.method.name(), self.config.max_iterations)
+    }
+}
+
+/// A composed solve: optional scaling, one algorithm, optional exact
+/// augmentation finisher seeded with the algorithm's matching — the paper's
+/// full experimental protocol (§4) as one first-class object.
+///
+/// Specs are parsed from the CLI grammar
+/// `[scale[:sk|ruiz][:iters],]<algorithm>[,<exact-finisher>]`:
+///
+/// ```
+/// use dsmatch::engine::{Pipeline, Solver, Workspace};
+///
+/// let g = dsmatch::gen::erdos_renyi_square(500, 4.0, 7);
+/// let pipeline: Pipeline = "scale:sk:5,two,pf".parse().unwrap();
+/// let mut ws = Workspace::new();
+/// let report = pipeline.solve(&g, &mut ws);
+/// assert_eq!(report.stages.len(), 3);
+/// // The Pothen–Fan finisher makes the composition exact.
+/// assert_eq!(report.cardinality(), dsmatch::exact::sprank(&g));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pipeline {
+    /// Optional scaling stage. Without it, sampling heuristics draw
+    /// uniformly over adjacency lists (the paper's "0 iterations" rows).
+    ///
+    /// The stage runs (and is timed) whenever present, but only the
+    /// sampling algorithms ([`AlgorithmKind::uses_scaling`]) read its
+    /// factors — `scale:sk:5,ks` computes scaling that `ks` never
+    /// consults, which is occasionally useful for measuring scaling cost
+    /// in isolation but is otherwise pure overhead.
+    pub scale: Option<ScaleStage>,
+    /// The algorithm stage.
+    pub algorithm: AlgorithmKind,
+    /// Optional exact finisher warm-started from the algorithm's matching.
+    pub augment: Option<AlgorithmKind>,
+    /// PRNG seed for the randomized stages.
+    pub seed: u64,
+}
+
+/// Default number of scaling iterations when a spec says `scale` with no
+/// count (§4.1.2 of the paper: five iterations suffice on most instances).
+pub const DEFAULT_SCALE_ITERATIONS: usize = 5;
+
+impl Pipeline {
+    /// A single-algorithm pipeline with no scale or augment stage.
+    pub fn bare(algorithm: AlgorithmKind) -> Self {
+        Self { scale: None, algorithm, augment: None, seed: 1 }
+    }
+
+    /// The classic driver composition: `iters` Sinkhorn–Knopp iterations
+    /// (when the algorithm samples) followed by `algorithm` — exactly what
+    /// the old `--algo` CLI interface ran.
+    pub fn classic(algorithm: AlgorithmKind, iters: usize, seed: u64) -> Self {
+        let scale = algorithm.uses_scaling().then_some(ScaleStage {
+            method: ScaleMethod::SinkhornKnopp,
+            config: ScalingConfig::iterations(iters),
+        });
+        Self { scale, algorithm, augment: None, seed }
+    }
+
+    /// Replace the seed (specs don't carry one).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Spec-grammar form of this pipeline (parses back to itself).
+    pub fn spec(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(s) = &self.scale {
+            parts.push(s.label());
+        }
+        parts.push(self.algorithm.name().to_string());
+        if let Some(a) = &self.augment {
+            parts.push(a.name().to_string());
+        }
+        parts.join(",")
+    }
+}
+
+impl std::str::FromStr for Pipeline {
+    type Err = String;
+
+    /// Parse `[scale[:sk|ruiz][:iters],]<algorithm>[,<exact-finisher>]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut stages: Vec<&str> = s.split(',').map(str::trim).collect();
+        if stages.iter().any(|t| t.is_empty()) {
+            return Err(format!("empty stage in pipeline spec {s:?}"));
+        }
+        let scale = if stages[0] == "scale" || stages[0].starts_with("scale:") {
+            let mut method = ScaleMethod::SinkhornKnopp;
+            let mut iters = DEFAULT_SCALE_ITERATIONS;
+            for part in stages[0].split(':').skip(1) {
+                match part {
+                    "sk" => method = ScaleMethod::SinkhornKnopp,
+                    "ruiz" => method = ScaleMethod::Ruiz,
+                    other => {
+                        iters = other.parse().map_err(|_| {
+                            format!("bad scale option {other:?} in {s:?}; expected sk|ruiz|<iters>")
+                        })?;
+                    }
+                }
+            }
+            stages.remove(0);
+            Some(ScaleStage { method, config: ScalingConfig::iterations(iters) })
+        } else {
+            None
+        };
+        let (algorithm, augment) = match stages.as_slice() {
+            [] => return Err(format!("pipeline spec {s:?} names no algorithm")),
+            [algo] => (algo.parse::<AlgorithmKind>()?, None),
+            [algo, finisher] => {
+                (algo.parse::<AlgorithmKind>()?, Some(finisher.parse::<AlgorithmKind>()?))
+            }
+            _ => return Err(format!("too many stages in pipeline spec {s:?}")),
+        };
+        if let Some(a) = augment {
+            if !a.is_exact() {
+                return Err(format!("augment stage {a} is not an exact algorithm"));
+            }
+            if algorithm.is_exact() {
+                return Err(format!(
+                    "{algorithm} is already exact; augmenting with {a} is redundant"
+                ));
+            }
+        }
+        Ok(Pipeline { scale, algorithm, augment, seed: 1 })
+    }
+}
+
+impl std::fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// Run the algorithm stage, sampling from the workspace's current factors.
+fn run_algorithm(
+    algo: AlgorithmKind,
+    g: &BipartiteGraph,
+    seed: u64,
+    ws: &mut Workspace,
+) -> (Matching, Option<usize>) {
+    match algo {
+        AlgorithmKind::OneSided => (one_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), None),
+        AlgorithmKind::TwoSided | AlgorithmKind::KarpSipserMt => {
+            (two_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), None)
+        }
+        AlgorithmKind::OneOutUndirected => (one_out_bipartite(g, seed, ws), None),
+        AlgorithmKind::KarpSipser => {
+            (karp_sipser_ws(g, &KarpSipserConfig { seed }, &mut ws.heur.ks).matching, None)
+        }
+        AlgorithmKind::CheapEdge => (cheap_random_edge(g, seed), None),
+        AlgorithmKind::CheapVertex => (cheap_random_vertex(g, seed), None),
+        AlgorithmKind::HopcroftKarp => {
+            let (m, stats) = hopcroft_karp_ws(g, None, &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PothenFan => {
+            let (m, stats) = pothen_fan_ws(g, None, &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PushRelabel => (dsmatch_exact::push_relabel(g), None),
+        AlgorithmKind::BfsAugment => {
+            let (m, stats) = bfs_augment_from(g, Matching::new(g.nrows(), g.ncols()));
+            (m, Some(stats.augmentations))
+        }
+    }
+}
+
+/// Feed `initial` into the exact finisher `algo`.
+fn run_augment(
+    algo: AlgorithmKind,
+    g: &BipartiteGraph,
+    initial: Matching,
+    ws: &mut Workspace,
+) -> (Matching, Option<usize>) {
+    match algo {
+        AlgorithmKind::HopcroftKarp => {
+            let (m, stats) = hopcroft_karp_ws(g, Some(&initial), &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PothenFan => {
+            let (m, stats) = pothen_fan_ws(g, Some(&initial), &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PushRelabel => {
+            let (m, _) = push_relabel_from(g, initial);
+            (m, None)
+        }
+        AlgorithmKind::BfsAugment => {
+            let (m, stats) = bfs_augment_from(g, initial);
+            (m, Some(stats.augmentations))
+        }
+        other => unreachable!("{other} is not exact; rejected at parse/validation time"),
+    }
+}
+
+/// The §5 one-out undirected variant on the bipartite graph viewed as one
+/// vertex class: every vertex (row or column) samples one neighbour from
+/// the current factors, and the functional graph is matched exactly. The
+/// concatenated factor vector `(dr, dc)` *is* the symmetric scaling of the
+/// bipartite adjacency, so the same sampling weights apply.
+fn one_out_bipartite(g: &BipartiteGraph, seed: u64, ws: &mut Workspace) -> Matching {
+    let n_r = g.nrows();
+    let Workspace { scaling, heur, .. } = ws;
+    two_sided_choices_into(g, scaling, seed, &mut heur.rchoice, &mut heur.cchoice);
+    // Unified one-class choice array (column ids offset by `n_r`), reusing
+    // the Algorithm 4 concatenation buffer.
+    let choice = &mut heur.ksmt.choice;
+    choice.clear();
+    choice.extend(
+        heur.rchoice.iter().map(|&j| if j == NIL { NIL } else { (j as usize + n_r) as u32 }),
+    );
+    choice.extend_from_slice(&heur.cchoice);
+    let um = one_out_matching(choice);
+    let mut rmate = vec![NIL; n_r];
+    let mut cmate = vec![NIL; g.ncols()];
+    for i in 0..n_r {
+        let v = um.mate(i);
+        if v != NIL {
+            debug_assert!(v as usize >= n_r, "bipartite edges only cross sides");
+            rmate[i] = v - n_r as u32;
+            cmate[(v as usize) - n_r] = i as u32;
+        }
+    }
+    Matching::from_mates(rmate, cmate)
+}
+
+impl Solver for Pipeline {
+    fn solve(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
+        let mut stages = Vec::with_capacity(3);
+        let mut scaling_iterations = None;
+        let mut scaling_error = None;
+
+        if let Some(stage) = &self.scale {
+            let t0 = Instant::now();
+            match stage.method {
+                ScaleMethod::SinkhornKnopp => {
+                    sinkhorn_knopp_into(g, &stage.config, &mut ws.scaling)
+                }
+                ScaleMethod::Ruiz => ruiz_into(g, &stage.config, &mut ws.scaling),
+            }
+            stages.push(StageReport {
+                stage: stage.label(),
+                seconds: t0.elapsed().as_secs_f64(),
+                cardinality: None,
+                augmentations: None,
+            });
+            scaling_iterations = Some(ws.scaling.iterations);
+            scaling_error = Some(ws.scaling.error);
+        } else if self.algorithm.uses_scaling() {
+            // Uniform sampling: reset the factor buffers to the identity
+            // (reusing their allocation) so the stage below can read them.
+            ws.scaling.reset_identity(g);
+        }
+
+        let t0 = Instant::now();
+        let (matching, augmentations) = run_algorithm(self.algorithm, g, self.seed, ws);
+        stages.push(StageReport {
+            stage: self.algorithm.name().to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+            cardinality: Some(matching.cardinality()),
+            augmentations,
+        });
+
+        let matching = if let Some(finisher) = self.augment {
+            let t0 = Instant::now();
+            let (m, augs) = run_augment(finisher, g, matching, ws);
+            stages.push(StageReport {
+                stage: format!("augment:{finisher}"),
+                seconds: t0.elapsed().as_secs_f64(),
+                cardinality: Some(m.cardinality()),
+                augmentations: augs,
+            });
+            m
+        } else {
+            matching
+        };
+
+        SolveReport { matching, stages, scaling_iterations, scaling_error, quality: None }
+    }
+
+    fn describe(&self) -> String {
+        self.spec()
+    }
+}
+
+impl Solver for AlgorithmKind {
+    /// Single-stage solve with the default seed — equivalent to
+    /// [`Pipeline::bare`]. Use a [`Pipeline`] to control seed and stages.
+    fn solve(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
+        Pipeline::bare(*self).solve(g, ws)
+    }
+
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip() {
+        for spec in [
+            "two",
+            "hk",
+            "scale:sk:5,two",
+            "scale:ruiz:10,one",
+            "scale:sk:5,two,pf",
+            "scale:sk:0,ksmt,hk",
+            "cheap,bfs",
+        ] {
+            let p: Pipeline = spec.parse().unwrap();
+            assert_eq!(p.spec(), spec, "roundtrip of {spec}");
+            let again: Pipeline = p.spec().parse().unwrap();
+            assert_eq!(again, p);
+        }
+    }
+
+    #[test]
+    fn spec_sugar_and_errors() {
+        let p: Pipeline = "scale,two".parse().unwrap();
+        assert_eq!(p.spec(), format!("scale:sk:{DEFAULT_SCALE_ITERATIONS},two"));
+        let p: Pipeline = "scale:8,two".parse().unwrap();
+        assert_eq!(p.scale.unwrap().config.max_iterations, 8);
+        assert!("".parse::<Pipeline>().is_err());
+        assert!("scale".parse::<Pipeline>().is_err(), "scale alone names no algorithm");
+        assert!("two,ks".parse::<Pipeline>().is_err(), "finisher must be exact");
+        assert!("hk,pf".parse::<Pipeline>().is_err(), "exact + finisher is redundant");
+        assert!("scale:bogus,two".parse::<Pipeline>().is_err());
+        assert!("scale,two,pf,hk".parse::<Pipeline>().is_err());
+        assert!("two,,pf".parse::<Pipeline>().is_err());
+    }
+
+    #[test]
+    fn classic_matches_spec_semantics() {
+        let p = Pipeline::classic(AlgorithmKind::TwoSided, 5, 42);
+        assert_eq!(p.spec(), "scale:sk:5,two");
+        assert_eq!(p.seed, 42);
+        // Non-sampling algorithms get no scale stage.
+        let p = Pipeline::classic(AlgorithmKind::KarpSipser, 5, 1);
+        assert_eq!(p.spec(), "ks");
+    }
+}

@@ -1,0 +1,140 @@
+//! The algorithm registry: every matching algorithm in the workspace under
+//! one enum, each usable as a pipeline stage.
+
+/// Every matching algorithm the workspace implements.
+///
+/// Heuristic stages sample from the **current scaling factors** in the
+/// [`Workspace`](crate::engine::Workspace): the factors computed by a
+/// preceding `scale` stage, or the identity (uniform sampling over
+/// adjacency lists) when the pipeline has no scale stage. This makes the
+/// composition explicit — the paper's `TwoSidedMatch` with 5 Sinkhorn–Knopp
+/// iterations is the pipeline `scale:sk:5,two`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Paper Algorithm 2 (guarantee 1 − 1/e).
+    OneSided,
+    /// Paper Algorithm 3: two-sided sampling + [`KarpSipserMt`]
+    /// (conjectured 0.866). Equivalent to [`KarpSipserMt`] under the same
+    /// scaling, exposed separately so specs read like the paper.
+    ///
+    /// [`KarpSipserMt`]: AlgorithmKind::KarpSipserMt
+    TwoSided,
+    /// Classic Karp–Sipser heuristic.
+    KarpSipser,
+    /// Paper Algorithm 4: the specialized parallel Karp–Sipser, run on the
+    /// 1-out ∪ 1-in subgraph sampled from the current scaling factors.
+    KarpSipserMt,
+    /// The §5 one-out *undirected* variant, applied to the bipartite graph
+    /// viewed as one vertex class (rows and columns unified).
+    OneOutUndirected,
+    /// Random-edge greedy (½).
+    CheapEdge,
+    /// Random-vertex greedy (½ + ε).
+    CheapVertex,
+    /// Exact: Hopcroft–Karp.
+    HopcroftKarp,
+    /// Exact: Pothen–Fan with lookahead.
+    PothenFan,
+    /// Exact: push-relabel / auction.
+    PushRelabel,
+    /// Exact: single-path BFS augmentation.
+    BfsAugment,
+}
+
+impl AlgorithmKind {
+    /// All algorithms, heuristics first.
+    pub fn all() -> [AlgorithmKind; 11] {
+        use AlgorithmKind::*;
+        [
+            OneSided,
+            TwoSided,
+            KarpSipser,
+            KarpSipserMt,
+            OneOutUndirected,
+            CheapEdge,
+            CheapVertex,
+            HopcroftKarp,
+            PothenFan,
+            PushRelabel,
+            BfsAugment,
+        ]
+    }
+
+    /// True for the exact (maximum-cardinality) algorithms — the only ones
+    /// allowed as a pipeline's `augment` finisher.
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::HopcroftKarp
+                | AlgorithmKind::PothenFan
+                | AlgorithmKind::PushRelabel
+                | AlgorithmKind::BfsAugment
+        )
+    }
+
+    /// True for the algorithms whose sampling reads the scaling factors
+    /// (a preceding `scale` stage changes their behaviour).
+    pub fn uses_scaling(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::OneSided
+                | AlgorithmKind::TwoSided
+                | AlgorithmKind::KarpSipserMt
+                | AlgorithmKind::OneOutUndirected
+        )
+    }
+
+    /// Short CLI/spec name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::OneSided => "one",
+            AlgorithmKind::TwoSided => "two",
+            AlgorithmKind::KarpSipser => "ks",
+            AlgorithmKind::KarpSipserMt => "ksmt",
+            AlgorithmKind::OneOutUndirected => "one-out",
+            AlgorithmKind::CheapEdge => "cheap",
+            AlgorithmKind::CheapVertex => "cheap-vertex",
+            AlgorithmKind::HopcroftKarp => "hk",
+            AlgorithmKind::PothenFan => "pf",
+            AlgorithmKind::PushRelabel => "pr",
+            AlgorithmKind::BfsAugment => "bfs",
+        }
+    }
+}
+
+impl std::str::FromStr for AlgorithmKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmKind::all().into_iter().find(|a| a.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = AlgorithmKind::all().iter().map(|a| a.name()).collect();
+            format!("unknown algorithm {s:?}; expected one of {}", names.join("|"))
+        })
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for a in AlgorithmKind::all() {
+            let parsed: AlgorithmKind = a.name().parse().unwrap();
+            assert_eq!(parsed, a);
+            assert_eq!(a.to_string(), a.name());
+        }
+        assert!("nope".parse::<AlgorithmKind>().is_err());
+    }
+
+    #[test]
+    fn exactly_four_exact_engines() {
+        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.is_exact()).count(), 4);
+        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.uses_scaling()).count(), 4);
+    }
+}

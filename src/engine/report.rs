@@ -1,0 +1,104 @@
+//! Instrumented solve results: what every [`Solver`](crate::engine::Solver)
+//! run returns.
+
+use dsmatch_graph::Matching;
+
+use super::json::Json;
+
+/// Timing and outcome of one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stage label in spec grammar (`"scale:sk:5"`, `"two"`, `"augment:pf"`).
+    pub stage: String,
+    /// Wall time of the stage in seconds.
+    pub seconds: f64,
+    /// Matching cardinality after the stage (`None` for the scale stage).
+    pub cardinality: Option<usize>,
+    /// Augmenting paths applied (augment finishers and exact stages that
+    /// report work counters).
+    pub augmentations: Option<usize>,
+}
+
+/// Result of one engine solve: the matching plus per-stage instrumentation.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The computed (verified-valid) matching.
+    pub matching: Matching,
+    /// One entry per executed stage, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Scaling iterations actually performed (when a scale stage ran).
+    pub scaling_iterations: Option<usize>,
+    /// Final scaling error `max_j |Σ_i s_ij − 1|` (when a scale stage ran).
+    pub scaling_error: Option<f64>,
+    /// Quality ratio against the exact optimum; filled by
+    /// [`SolveReport::set_quality`] when the caller requests it.
+    pub quality: Option<f64>,
+}
+
+impl SolveReport {
+    /// Cardinality of the final matching.
+    pub fn cardinality(&self) -> usize {
+        self.matching.cardinality()
+    }
+
+    /// Total wall time across all stages, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Record the quality ratio against the exact optimum `opt`
+    /// (the paper's §4 measurement protocol).
+    pub fn set_quality(&mut self, opt: usize) {
+        self.quality = Some(self.matching.quality(opt));
+    }
+
+    /// Machine-readable form (the CLI's `--json` payload per solve).
+    pub fn to_json(&self) -> Json {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("stage", Json::from(s.stage.as_str())),
+                    ("seconds", Json::from(s.seconds)),
+                    ("cardinality", Json::opt(s.cardinality)),
+                    ("augmentations", Json::opt(s.augmentations)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("cardinality", Json::from(self.cardinality())),
+            ("seconds", Json::from(self.total_seconds())),
+            ("stages", Json::Arr(stages)),
+            ("scaling_iterations", Json::opt(self.scaling_iterations)),
+            ("scaling_error", Json::opt(self.scaling_error)),
+            ("quality", Json::opt(self.quality)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let report = SolveReport {
+            matching: Matching::new(2, 2),
+            stages: vec![StageReport {
+                stage: "two".into(),
+                seconds: 0.5,
+                cardinality: Some(0),
+                augmentations: None,
+            }],
+            scaling_iterations: Some(5),
+            scaling_error: Some(1e-3),
+            quality: None,
+        };
+        let s = report.to_json().to_string();
+        assert!(s.contains("\"stages\":[{\"stage\":\"two\""), "{s}");
+        assert!(s.contains("\"scaling_iterations\":5"), "{s}");
+        assert!(s.contains("\"quality\":null"), "{s}");
+        assert_eq!(report.total_seconds(), 0.5);
+    }
+}

@@ -1,0 +1,52 @@
+//! The engine's reusable workspace: one allocation arena per solver loop.
+
+use dsmatch_core::HeurWorkspace;
+use dsmatch_exact::AugmentWorkspace;
+use dsmatch_graph::BipartiteGraph;
+use dsmatch_scale::ScalingResult;
+
+/// Scratch buffers threaded through every stage of a [`Pipeline`] solve.
+///
+/// Construct one [`Workspace`] and reuse it across solves: after the first
+/// solve on a given instance shape, no stage allocates scratch memory —
+/// only the returned [`Matching`](dsmatch_graph::Matching) inside each
+/// [`SolveReport`](crate::engine::SolveReport) is fresh. This is the
+/// batch/server mode the CLI exposes as `--batch N`.
+///
+/// A workspace is not tied to one graph: solving a differently-shaped
+/// instance simply regrows the buffers.
+///
+/// [`Pipeline`]: crate::engine::Pipeline
+#[derive(Debug)]
+pub struct Workspace {
+    /// Scaling factors of the most recent `scale` stage (or the identity
+    /// reset when the pipeline has none and the heuristic samples).
+    pub scaling: ScalingResult,
+    /// Heuristic scratch (choice arrays, Algorithm 4 state, …).
+    pub heur: HeurWorkspace,
+    /// Exact-solver scratch (BFS/DFS state, working mate arrays).
+    pub augment: AugmentWorkspace,
+}
+
+impl Workspace {
+    /// An empty workspace; every buffer grows lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            scaling: ScalingResult::empty(),
+            heur: HeurWorkspace::new(),
+            augment: AugmentWorkspace::new(),
+        }
+    }
+
+    /// Pre-size the workspace for `g` by resetting the scaling factors to
+    /// the identity. Optional — solving grows buffers on demand anyway.
+    pub fn warm_up(&mut self, g: &BipartiteGraph) {
+        self.scaling.reset_identity(g);
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -20,7 +20,13 @@
 //!   Pothen–Fan) and `sprank`;
 //! - [`dm`] — Dulmage–Mendelsohn decomposition;
 //! - [`gen`] — instance generators, including surrogates for the paper's
-//!   test matrices.
+//!   test matrices;
+//! - [`engine`] — the unified solver engine: every algorithm behind one
+//!   [`Solver`](engine::Solver) trait, composable
+//!   `scale → heuristic → augment` [`Pipeline`](engine::Pipeline)s, a
+//!   reusable [`Workspace`](engine::Workspace) so batch workloads stop
+//!   allocating per solve, and instrumented
+//!   [`SolveReport`](engine::SolveReport)s.
 //!
 //! ## Quickstart
 //!
@@ -39,8 +45,20 @@
 //! let optimum = dsmatch::exact::hopcroft_karp(&graph).cardinality();
 //! assert!(matching.cardinality() as f64 >= 0.55 * optimum as f64);
 //! ```
+//!
+//! For the composed protocol (scaling, heuristic, exact finisher) use the
+//! engine instead of wiring the calls by hand:
+//!
+//! ```
+//! use dsmatch::engine::{Pipeline, Solver, Workspace};
+//!
+//! let graph = dsmatch::gen::erdos_renyi_square(1_000, 4.0, 42);
+//! let pipeline: Pipeline = "scale:sk:5,two,pf".parse().unwrap();
+//! let report = pipeline.solve(&graph, &mut Workspace::new());
+//! assert_eq!(report.cardinality(), dsmatch::exact::sprank(&graph));
+//! ```
 
-pub mod driver;
+pub mod engine;
 
 pub use dsmatch_core as heur;
 pub use dsmatch_dm as dm;

@@ -1,9 +1,15 @@
-//! Cross-product test: every algorithm × every generator family, checking
-//! validity, exactness of the exact engines against each other, and the
-//! paper's quality ordering where it is deterministic enough to assert.
+//! Cross-product test: every engine algorithm × every generator family,
+//! checking validity, exactness of the exact engines against each other,
+//! and the paper's quality ordering where it is deterministic enough to
+//! assert. (The engine successor of the old `driver_matrix` test — every
+//! algorithm the old driver covered, plus `ksmt` and `one-out`.)
 
-use dsmatch::driver::{run, Algorithm, RunConfig};
+use dsmatch::engine::{AlgorithmKind, Pipeline, Solver, Workspace};
 use dsmatch::prelude::*;
+
+fn run(a: AlgorithmKind, g: &BipartiteGraph, iters: usize, seed: u64) -> Matching {
+    Pipeline::classic(a, iters, seed).solve(g, &mut Workspace::new()).matching
+}
 
 fn families() -> Vec<(&'static str, BipartiteGraph)> {
     vec![
@@ -18,13 +24,12 @@ fn families() -> Vec<(&'static str, BipartiteGraph)> {
 
 #[test]
 fn all_algorithms_valid_on_all_families() {
-    let cfg = RunConfig { scaling_iterations: 5, seed: 11 };
     for (name, g) in families() {
-        let exact_cards: Vec<usize> = Algorithm::all()
+        let exact_cards: Vec<usize> = AlgorithmKind::all()
             .into_iter()
             .filter(|a| a.is_exact())
             .map(|a| {
-                let m = run(a, &g, &cfg);
+                let m = run(a, &g, 5, 11);
                 m.verify(&g).unwrap_or_else(|e| panic!("{a} invalid on {name}: {e}"));
                 m.cardinality()
             })
@@ -35,11 +40,11 @@ fn all_algorithms_valid_on_all_families() {
             "{name}: exact engines disagree: {exact_cards:?}"
         );
         let opt = exact_cards[0];
-        for a in Algorithm::all() {
+        for a in AlgorithmKind::all() {
             if a.is_exact() {
                 continue;
             }
-            let m = run(a, &g, &cfg);
+            let m = run(a, &g, 5, 11);
             m.verify(&g).unwrap_or_else(|e| panic!("{a} invalid on {name}: {e}"));
             assert!(m.cardinality() <= opt, "{a} above optimum on {name}");
         }
@@ -48,16 +53,15 @@ fn all_algorithms_valid_on_all_families() {
 
 #[test]
 fn two_sided_beats_cheap_on_full_sprank_families() {
-    let cfg = RunConfig { scaling_iterations: 10, seed: 2 };
     for (name, g) in families() {
         if !g.is_square() {
             continue;
         }
-        let opt = run(Algorithm::HopcroftKarp, &g, &cfg).cardinality();
+        let opt = run(AlgorithmKind::HopcroftKarp, &g, 10, 2).cardinality();
         if opt < g.nrows() {
             continue;
         }
-        let two = run(Algorithm::TwoSided, &g, &cfg).cardinality();
+        let two = run(AlgorithmKind::TwoSided, &g, 10, 2).cardinality();
         // Worst-case cheap baseline is its guarantee 1/2; TwoSided's
         // conjecture is 0.866. Assert a comfortable separation from 1/2.
         assert!(
@@ -72,24 +76,37 @@ fn two_sided_beats_cheap_on_full_sprank_families() {
 fn permutation_family_is_trivial_for_everyone() {
     // Degree-one everywhere: every algorithm must return the permutation.
     let g = dsmatch::gen::permutation(2_000, 9);
-    let cfg = RunConfig::default();
-    for a in Algorithm::all() {
-        let m = run(a, &g, &cfg);
+    for a in AlgorithmKind::all() {
+        let m = run(a, &g, 5, 1);
         assert!(m.is_perfect(), "{a} missed the forced perfect matching");
     }
 }
 
 #[test]
-fn driver_respects_scaling_iterations() {
+fn engine_respects_scaling_iterations() {
     // On the adversarial family, 0-iteration TwoSided must be much worse
     // than 10-iteration TwoSided (Table 1's central contrast).
     let g = dsmatch::gen::adversarial_ks(800, 16);
-    let m0 = run(Algorithm::TwoSided, &g, &RunConfig { scaling_iterations: 0, seed: 3 });
-    let m10 = run(Algorithm::TwoSided, &g, &RunConfig { scaling_iterations: 10, seed: 3 });
+    let m0 = run(AlgorithmKind::TwoSided, &g, 0, 3);
+    let m10 = run(AlgorithmKind::TwoSided, &g, 10, 3);
     assert!(
         m10.cardinality() as f64 >= m0.cardinality() as f64 * 1.5,
         "scaling should roughly double quality here: {} vs {}",
         m0.cardinality(),
         m10.cardinality()
     );
+}
+
+#[test]
+fn ksmt_is_two_sided_and_one_out_agrees_on_cardinality() {
+    // Algorithm 3 ≡ sampling + Algorithm 4, so `scale,two` and
+    // `scale,ksmt` must coincide exactly; the §5 one-out variant matches
+    // the same sampled subgraph with the one-class sweep, so its
+    // cardinality agrees (the subgraph's maximum is schedule-independent).
+    let g = dsmatch::gen::erdos_renyi_square(3_000, 4.0, 33);
+    let two = run(AlgorithmKind::TwoSided, &g, 5, 7);
+    let ksmt = run(AlgorithmKind::KarpSipserMt, &g, 5, 7);
+    let one_out = run(AlgorithmKind::OneOutUndirected, &g, 5, 7);
+    assert_eq!(two, ksmt);
+    assert_eq!(two.cardinality(), one_out.cardinality());
 }
