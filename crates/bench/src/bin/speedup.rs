@@ -1,0 +1,201 @@
+//! Multicore speedup sweep — the measurement behind the paper's Figures
+//! 3–4, rerun on the workspace's real `std::thread` parallel runtime, and
+//! written to the machine-readable `BENCH_speedup.json` artifact.
+//!
+//! For every kernel and every thread count in the ladder (default
+//! `{1, 2, 4, 8}`), the kernel runs inside a dedicated pool of exactly
+//! that many workers; wall times follow the paper's §4.2 protocol
+//! (`--runs` executions, first `--warmup` discarded, geometric mean) and
+//! speedups are reported relative to the 1-thread pool.
+//!
+//! Kernels:
+//!
+//! - `ksmt` — Algorithm 4 (`KarpSipserMT`) on pre-sampled choice arrays,
+//!   reusing one scratch so only matching work is timed;
+//! - `scale_sk5` / `scale_ruiz5` — five scaling iterations into a reused
+//!   [`ScalingResult`];
+//! - `one_sided` / `two_sided` — the full pipelines
+//!   `scale:sk:5,one` / `scale:sk:5,two` through the engine.
+//!
+//! The report includes the machine's available parallelism so downstream
+//! tooling can judge whether the ladder oversubscribed the host (on a
+//! 1-core container every speedup is honestly ~1×).
+//!
+//! ```text
+//! cargo run --release -p dsmatch_bench --bin speedup -- \
+//!     [--n 100000] [--deg 8.0] [--runs 7] [--warmup 2] [--seed 1] \
+//!     [--max-threads 8] [--out BENCH_speedup.json]
+//! ```
+
+use dsmatch::engine::{Json, Pipeline, Solver, Workspace};
+use dsmatch_bench::{arg, geometric_mean, write_json_file, Table};
+use dsmatch_core::{karp_sipser_mt_ws, two_sided_choices, KsMtScratch};
+use dsmatch_graph::BipartiteGraph;
+use dsmatch_scale::{ruiz_into, sinkhorn_knopp, sinkhorn_knopp_into, ScalingConfig, ScalingResult};
+
+/// One timed kernel: a name plus a closure run entirely inside the pool.
+struct Kernel<'a> {
+    name: &'static str,
+    run: Box<dyn FnMut() + Send + 'a>,
+}
+
+fn ladder(max: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8].into_iter().filter(|&t| t <= max.max(1)).collect()
+}
+
+fn time_kernel(pool: &rayon::ThreadPool, runs: usize, warmup: usize, k: &mut Kernel) -> f64 {
+    let mut times = Vec::with_capacity(runs - warmup);
+    for run in 0..runs {
+        let (_, dt) = pool.install(|| dsmatch_bench::time_once(&mut k.run));
+        if run >= warmup {
+            times.push(dt.as_secs_f64());
+        }
+    }
+    geometric_mean(&times)
+}
+
+fn main() {
+    let n: usize = arg("n", 100_000);
+    let deg: f64 = arg("deg", 8.0);
+    let runs: usize = arg("runs", 7);
+    let warmup: usize = arg("warmup", 2);
+    let seed: u64 = arg("seed", 1);
+    let max_threads: usize = arg("max-threads", 8);
+    let out: String = arg("out", "BENCH_speedup.json".to_string());
+    assert!(warmup < runs, "--warmup must be below --runs");
+
+    let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let g: BipartiteGraph = dsmatch::gen::erdos_renyi_square(n, deg, seed);
+    println!(
+        "instance: er n={n} deg={deg} seed={seed}  nnz={}  (host parallelism: {available})",
+        g.nnz()
+    );
+
+    // Shared pre-computed inputs so each kernel times only its own work.
+    let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
+    let (rchoice, cchoice) = two_sided_choices(&g, &scaling, seed);
+
+    let ts = ladder(max_threads);
+    let mut table = Table::new(
+        std::iter::once("kernel".to_string())
+            .chain(ts.iter().map(|t| format!("t={t} (s)")))
+            .chain(std::iter::once("speedup@max".to_string()))
+            .collect(),
+    );
+    let mut kernel_docs: Vec<Json> = Vec::new();
+
+    // Reused scratch, one per kernel, warmed inside the timed closures on
+    // their first (discarded) run.
+    let mut ksmt_ws = KsMtScratch::new();
+    let mut sk_out = ScalingResult::empty();
+    let mut ruiz_out = ScalingResult::empty();
+    let mut one_ws = Workspace::new();
+    let mut two_ws = Workspace::new();
+    let one_pipeline: Pipeline = "scale:sk:5,one".parse().expect("valid spec");
+    let two_pipeline: Pipeline = "scale:sk:5,two".parse().expect("valid spec");
+    let sk_cfg = ScalingConfig::iterations(5);
+
+    let mut kernels: Vec<Kernel> = vec![
+        Kernel {
+            name: "ksmt",
+            run: Box::new(|| {
+                std::hint::black_box(karp_sipser_mt_ws(&rchoice, &cchoice, &mut ksmt_ws));
+            }),
+        },
+        Kernel {
+            name: "scale_sk5",
+            run: Box::new(|| {
+                sinkhorn_knopp_into(&g, &sk_cfg, &mut sk_out);
+                std::hint::black_box(sk_out.error);
+            }),
+        },
+        Kernel {
+            name: "scale_ruiz5",
+            run: Box::new(|| {
+                ruiz_into(&g, &sk_cfg, &mut ruiz_out);
+                std::hint::black_box(ruiz_out.error);
+            }),
+        },
+        Kernel {
+            name: "one_sided",
+            run: Box::new(|| {
+                std::hint::black_box(
+                    one_pipeline.clone().with_seed(seed).solve(&g, &mut one_ws).cardinality(),
+                );
+            }),
+        },
+        Kernel {
+            name: "two_sided",
+            run: Box::new(|| {
+                std::hint::black_box(
+                    two_pipeline.clone().with_seed(seed).solve(&g, &mut two_ws).cardinality(),
+                );
+            }),
+        },
+    ];
+
+    for kernel in &mut kernels {
+        let mut seconds = Vec::with_capacity(ts.len());
+        for &t in &ts {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool build");
+            seconds.push(time_kernel(&pool, runs, warmup, kernel));
+        }
+        let base = seconds[0];
+        let speedups: Vec<f64> = seconds.iter().map(|&s| base / s.max(1e-12)).collect();
+        let mut row = vec![kernel.name.to_string()];
+        row.extend(seconds.iter().map(|s| format!("{s:.5}")));
+        row.push(format!("{:.2}x", speedups.last().copied().unwrap_or(1.0)));
+        table.push(row);
+        kernel_docs.push(Json::obj(vec![
+            ("kernel", Json::from(kernel.name)),
+            (
+                "times",
+                Json::Arr(
+                    ts.iter()
+                        .zip(&seconds)
+                        .zip(&speedups)
+                        .map(|((&t, &s), &sp)| {
+                            Json::obj(vec![
+                                ("threads", Json::from(t)),
+                                ("seconds", Json::from(s)),
+                                ("speedup", Json::from(sp)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    table.print();
+
+    let doc = Json::obj(vec![
+        (
+            "machine",
+            Json::obj(vec![
+                ("available_parallelism", Json::from(available)),
+                ("thread_ladder", Json::Arr(ts.iter().map(|&t| Json::from(t)).collect())),
+            ]),
+        ),
+        (
+            "instance",
+            Json::obj(vec![
+                ("family", Json::from("er")),
+                ("n", Json::from(n)),
+                ("avg_degree", Json::from(deg)),
+                ("seed", Json::from(seed)),
+                ("nnz", Json::from(g.nnz())),
+            ]),
+        ),
+        (
+            "protocol",
+            Json::obj(vec![
+                ("runs", Json::from(runs)),
+                ("warmup", Json::from(warmup)),
+                ("timing", Json::from("geometric mean after warmup; speedup vs 1-thread pool")),
+            ]),
+        ),
+        ("kernels", Json::Arr(kernel_docs)),
+    ]);
+    write_json_file(&out, &doc).expect("writing the JSON result file");
+    println!("wrote {out}");
+}

@@ -13,9 +13,13 @@
 //! | cheap matching, vertex variant (§2.1) | [`cheap_random_vertex`] | 1/2 + ε |
 //!
 //! Every randomized entry point takes a 64-bit seed and derives per-vertex
-//! PRNG streams, so results are **identical for every thread count** — the
+//! PRNG streams, so the sampled subgraph — and with it the cardinality and
+//! every quality guarantee — is **identical for every thread count**, the
 //! property that lets the paper claim the guarantees do not deteriorate
-//! with parallelism.
+//! with parallelism. Under a genuinely parallel pool the concrete mate
+//! arrays of the racy kernels (`one_sided_match`'s last-writer-wins slots,
+//! `karp_sipser_mt`'s CAS claims) remain schedule-dependent by design;
+//! only validity, maximality and cardinality are invariant.
 //!
 //! Parallel functions run in the ambient Rayon pool. To pin a thread count
 //! (as the paper's 1/2/4/8/16-thread experiments do), install them inside

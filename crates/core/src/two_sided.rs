@@ -49,8 +49,11 @@ pub fn two_sided_choices(
 }
 
 /// Buffer-reuse variant of [`two_sided_choices`]: the two choice arrays are
-/// overwritten in place (via `collect_into_vec`), keeping their allocation
-/// across solves on same-shaped instances.
+/// overwritten **in place** (resize + parallel per-slot writes), keeping
+/// their allocation across solves on same-shaped instances and allocating
+/// no temporaries at all — unlike a `collect`, which would stage per-chunk
+/// vectors. Each slot is a pure function of `(seed, index)`, so the arrays
+/// are byte-identical for every pool size.
 pub fn two_sided_choices_into(
     g: &BipartiteGraph,
     scaling: &ScalingResult,
@@ -62,24 +65,22 @@ pub fn two_sided_choices_into(
     let csr = g.csr();
     let csc = g.csc();
     let (dr, dc) = (&scaling.dr, &scaling.dc);
-    (0..n_r)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = SplitMix64::stream(seed, i as u64);
-            let adj = csr.row(i);
-            let total: f64 = adj.iter().map(|&j| dc[j as usize]).sum();
-            sample_neighbor(adj, dc, total, &mut rng)
-        })
-        .collect_into_vec(rchoice);
-    (0..g.ncols())
-        .into_par_iter()
-        .map(|j| {
-            let mut rng = SplitMix64::stream(seed, (n_r + j) as u64);
-            let adj = csc.row(j);
-            let total: f64 = adj.iter().map(|&i| dr[i as usize]).sum();
-            sample_neighbor(adj, dr, total, &mut rng)
-        })
-        .collect_into_vec(cchoice);
+    // No clear(): every slot is overwritten below, so resizing alone keeps
+    // same-shaped batch solves free of the O(n) fill a clear would force.
+    rchoice.resize(n_r, 0);
+    rchoice.par_iter_mut().enumerate().for_each(|(i, slot)| {
+        let mut rng = SplitMix64::stream(seed, i as u64);
+        let adj = csr.row(i);
+        let total: f64 = adj.iter().map(|&j| dc[j as usize]).sum();
+        *slot = sample_neighbor(adj, dc, total, &mut rng);
+    });
+    cchoice.resize(g.ncols(), 0);
+    cchoice.par_iter_mut().enumerate().for_each(|(j, slot)| {
+        let mut rng = SplitMix64::stream(seed, (n_r + j) as u64);
+        let adj = csc.row(j);
+        let total: f64 = adj.iter().map(|&i| dr[i as usize]).sum();
+        *slot = sample_neighbor(adj, dr, total, &mut rng);
+    });
 }
 
 /// Run `TwoSidedMatch` (scaling + two-sided sampling + `KarpSipserMT`) in

@@ -1,69 +1,79 @@
-//! # rayon (offline shim)
+//! # rayon (offline shim) — real multicore edition
 //!
-//! A **sequential, deterministic** drop-in replacement for the subset of
-//! [`rayon`](https://docs.rs/rayon)'s API that the `dsmatch` workspace uses.
-//! The build environment has no access to crates.io, so the workspace vendors
-//! this shim and selects it through `[workspace.dependencies]`; restoring the
-//! real crate is a one-line change in the root `Cargo.toml`.
+//! A drop-in replacement for the subset of [`rayon`](https://docs.rs/rayon)'s
+//! API that the `dsmatch` workspace uses, executing on a **genuine
+//! `std::thread` worker pool**. The build environment has no access to
+//! crates.io, so the workspace vendors this shim and selects it through
+//! `[workspace.dependencies]`; restoring the real crate remains a one-line
+//! change in the root `Cargo.toml`.
 //!
-//! Design notes:
+//! ## Execution model
 //!
-//! - Every "parallel" iterator here is a thin wrapper over the corresponding
-//!   sequential `std::iter` adaptor, executed in deterministic order. This is
-//!   semantically safe for `dsmatch` because the workspace's algorithms are
-//!   *thread-count oblivious by construction* (per-index PRNG streams,
-//!   associative reductions): the paper's determinism contract says results
-//!   must be identical for every pool size, so pool size one is a valid
-//!   execution.
-//! - [`ThreadPool::install`] tracks the requested thread count in a
-//!   thread-local so [`current_num_threads`] reports what the real rayon
-//!   would, keeping thread-ladder experiment code and its tests meaningful.
-//! - API-compat bounds (`Send`/`Sync`) are kept where they are cheap so code
-//!   written against this shim stays compatible with the real crate.
+//! - Every parallel iterator splits its input into chunks whose boundaries
+//!   depend only on the input length (and `with_min_len`/`with_max_len`
+//!   hints), **never on the pool size**. Chunks become jobs on the current
+//!   pool's queue; workers drain them dynamically. Consequences:
+//!   - per-element operations (`for_each`, `par_iter_mut` writes) are
+//!     genuinely concurrent, so shared state must use atomics — exactly
+//!     the contract real rayon imposes;
+//!   - ordered reductions (`sum`, `reduce`, `collect`) combine per-chunk
+//!     partial results in chunk order, so floating-point outcomes are
+//!     **bitwise identical for every pool size** (1 included), which the
+//!     workspace's determinism tests rely on;
+//!   - inputs at or below one chunk run inline on the calling thread.
+//! - The *current pool* is the innermost [`ThreadPool::install`] on this
+//!   thread, else the global pool ([`ThreadPoolBuilder::build_global`], or
+//!   lazily `RAYON_NUM_THREADS`/available parallelism). A pool of size 1
+//!   executes everything inline and is bit-for-bit the sequential
+//!   schedule.
+//!
+//! ## Determinism contract (matches the paper's)
+//!
+//! The shim guarantees schedule-independent *chunking*; it does **not**
+//! serialize racy algorithms. Code like `OneSidedMatch`'s benign
+//! last-writer-wins races or `KarpSipserMT`'s CAS claims will observe real
+//! interleavings: cardinalities and validity are schedule-independent by
+//! algorithm design, byte-level mate arrays are not. See the workspace's
+//! `tests/determinism.rs` for the precise per-algorithm contracts.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 pub mod iter;
+mod pool;
+
+pub use pool::Scope;
 
 /// Glob-import target mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
     };
-}
-
-thread_local! {
-    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
-}
-
-static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The number of threads in the current scope's pool.
 ///
-/// Inside [`ThreadPool::install`] this is the pool's configured size; outside
-/// it is the global pool size (set by [`ThreadPoolBuilder::build_global`]) or
-/// the machine's available parallelism.
+/// Inside [`ThreadPool::install`] this is the pool's configured size; on a
+/// pool worker thread it is that pool's size; otherwise it is the global
+/// pool size (set by [`ThreadPoolBuilder::build_global`], the
+/// `RAYON_NUM_THREADS` environment variable, or the machine's available
+/// parallelism).
 pub fn current_num_threads() -> usize {
-    let installed = INSTALLED_THREADS.with(Cell::get);
-    if installed != 0 {
-        return installed;
+    let w = pool::worker_pool_size();
+    if w != 0 {
+        return w;
     }
-    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
-    if global != 0 {
-        return global;
-    }
-    default_threads()
+    pool::ambient_pool_size()
 }
 
-/// Run two closures and return both results (sequentially: `a` then `b`).
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `a` runs on the calling thread; `b` is offered to the current pool.
+/// When the current thread is itself a pool worker (or the pool has a
+/// single thread), both run sequentially on the caller.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -71,19 +81,49 @@ where
     RA: Send,
     RB: Send,
 {
-    let ra = a();
-    let rb = b();
-    (ra, rb)
+    match pool::dispatch_pool() {
+        None => {
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        }
+        Some(core) => {
+            let mut rb = None;
+            let rb_slot = &mut rb;
+            let ra = core.scope(|s| {
+                s.spawn(move |_| *rb_slot = Some(b()));
+                a()
+            });
+            (ra, rb.expect("scope joined, spawned job must have run"))
+        }
+    }
 }
 
-/// Error returned when a thread pool cannot be built (never happens in the
-/// shim; kept for signature compatibility).
+/// Create a scoped-task region on the current pool: jobs spawned via
+/// [`Scope::spawn`] may borrow local data, and `scope` blocks until all of
+/// them finish (panics included — the first job panic is resumed here).
+///
+/// On a pool worker thread, spawned jobs run inline (deadlock-free
+/// nesting); otherwise they execute on the current pool's workers.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    match pool::dispatch_pool() {
+        Some(core) => core.scope(op),
+        // Inline region: size-1 (or in-worker) scopes run spawns eagerly.
+        None => pool::inline_scope(op),
+    }
+}
+
+/// Error returned when a thread pool cannot be built (worker threads could
+/// not be spawned).
 #[derive(Debug)]
-pub struct ThreadPoolBuildError(());
+pub struct ThreadPoolBuildError(String);
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
+        write!(f, "thread pool build error: {}", self.0)
     }
 }
 
@@ -96,7 +136,8 @@ pub struct ThreadPoolBuilder {
 }
 
 impl ThreadPoolBuilder {
-    /// Start building a pool with the default (machine-sized) thread count.
+    /// Start building a pool with the default thread count
+    /// (`RAYON_NUM_THREADS` or the machine's available parallelism).
     pub fn new() -> Self {
         Self::default()
     }
@@ -109,62 +150,85 @@ impl ThreadPoolBuilder {
 
     fn resolved(&self) -> usize {
         if self.num_threads == 0 {
-            default_threads()
+            pool::default_threads()
         } else {
             self.num_threads
         }
     }
 
-    /// Build a scoped pool.
+    /// Build an owned pool with its own `std::thread` workers. Dropping
+    /// the pool shuts the workers down and joins them. Fails when worker
+    /// threads cannot be spawned (thread exhaustion).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.resolved() })
+        let (core, workers) = pool::PoolCore::start(self.resolved())
+            .map_err(|e| ThreadPoolBuildError(e.to_string()))?;
+        Ok(ThreadPool { core, workers })
     }
 
     /// Install this configuration as the global pool.
     ///
-    /// Unlike real rayon this never fails and later calls overwrite earlier
-    /// ones; the shim only records the size so [`current_num_threads`]
-    /// answers consistently.
+    /// Unlike real rayon, later calls replace the earlier pool (its
+    /// workers exit once their queue drains) instead of erroring, which
+    /// keeps the historical shim semantics that CLI code relies on. Fails
+    /// only when worker threads cannot be spawned.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        GLOBAL_THREADS.store(self.resolved(), Ordering::Relaxed);
-        Ok(())
+        pool::set_global(self.resolved()).map_err(|e| ThreadPoolBuildError(e.to_string()))
     }
 }
 
-/// A (virtual) thread pool: work `install`ed into it runs on the calling
-/// thread, with [`current_num_threads`] reporting the configured size.
+/// A real thread pool: `N` parked `std::thread` workers draining a shared
+/// job queue. Work `install`ed into it runs with this pool as the dispatch
+/// target for every parallel iterator, [`join`], and [`scope`] call it
+/// makes.
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    core: Arc<pool::PoolCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Execute `op` "inside" the pool.
+    /// Execute `op` inside the pool: `op` itself runs on the calling
+    /// thread (the caller would otherwise just block), but every parallel
+    /// region it opens dispatches to this pool's workers.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        struct Restore(usize);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                INSTALLED_THREADS.with(|c| c.set(self.0));
-            }
-        }
-        let _restore = Restore(INSTALLED_THREADS.with(Cell::get));
-        INSTALLED_THREADS.with(|c| c.set(self.num_threads));
-        op()
+        pool::with_installed(Arc::clone(&self.core), op)
+    }
+
+    /// Create a scoped-task region on this pool (see [`scope`]).
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        self.core.scope(op)
     }
 
     /// The configured size of this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.core.size()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown();
+        for w in self.workers.drain(..) {
+            // A worker only terminates by running off its loop; a panic
+            // here would mean a bug in the pool itself, not user code.
+            let _ = w.join();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn install_scopes_thread_count() {
@@ -196,8 +260,69 @@ mod tests {
     }
 
     #[test]
+    fn join_in_installed_pool_runs_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 21 * 2, || vec![1, 2, 3].len()));
+        assert_eq!((a, b), (42, 3));
+    }
+
+    #[test]
     fn zero_threads_means_default() {
         let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_scope_uses_distinct_worker_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let started = AtomicUsize::new(0);
+        let ids = Mutex::new(HashSet::new());
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    // Rendezvous: hold each job on its thread until all
+                    // four have started, so four distinct workers must
+                    // exist. Bounded wait keeps the test robust.
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                    while started.load(Ordering::SeqCst) < 4 && std::time::Instant::now() < deadline
+                    {
+                        std::thread::yield_now();
+                    }
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            }
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), 4, "expected 4 distinct worker threads");
+    }
+
+    #[test]
+    fn dropping_pool_joins_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn top_level_scope_without_pool_runs_inline() {
+        // Regardless of ambient pool size, spawned work completes.
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        scope(|s| {
+            for k in 0..10 {
+                s.spawn(move |_| {
+                    total_ref.fetch_add(k, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
     }
 }

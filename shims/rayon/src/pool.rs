@@ -1,0 +1,481 @@
+//! The execution core: OS worker threads, a shared job queue, and scoped
+//! task regions.
+//!
+//! This module is the only place in the shim that uses `unsafe`: a scoped
+//! job borrows stack data of the thread that called [`PoolCore::scope`],
+//! and its lifetime is erased so it can travel through the `'static` job
+//! queue. Safety rests on the scope discipline — `scope` does not return
+//! until its completion latch reports every spawned job finished, so the
+//! borrowed data is live for the whole execution of every job (the same
+//! argument `std::thread::scope` makes).
+//!
+//! Design (the "static partitioning, dynamic draining" model):
+//!
+//! - A pool of size `N` owns `N` OS worker threads parked on a condition
+//!   variable. Parallel regions enqueue one job per deterministic chunk;
+//!   workers drain the queue. Chunk *boundaries* never depend on the pool
+//!   size (see [`crate::iter`]), only the assignment of chunks to threads
+//!   does — which is what makes reductions bitwise reproducible across
+//!   pool sizes.
+//! - A region is a [`Scope`]: spawn borrows, then the creating thread
+//!   blocks on the scope's latch. Panics inside jobs are caught, carried
+//!   across the thread boundary, and resumed on the scoping thread.
+//! - Nested regions started *from a worker thread* run inline on that
+//!   worker (no re-enqueueing), which makes nesting deadlock-free even on
+//!   a pool of size 1.
+
+#![allow(unsafe_code)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased unit of work.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Shared state of one pool: the job queue its workers drain.
+pub(crate) struct PoolCore {
+    size: usize,
+    queue: Mutex<QueueState>,
+    work_available: Condvar,
+}
+
+impl std::fmt::Debug for PoolCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolCore").field("size", &self.size).finish_non_exhaustive()
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+thread_local! {
+    /// Non-zero on pool worker threads: the size of the pool the worker
+    /// belongs to. Parallel regions started on a worker run inline.
+    static WORKER_POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+    /// The pool installed by [`crate::ThreadPool::install`] on this thread.
+    static INSTALLED: RefCell<Vec<Arc<PoolCore>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True on a pool worker thread (parallel regions must run inline there).
+pub(crate) fn in_worker() -> bool {
+    WORKER_POOL_SIZE.with(Cell::get) != 0
+}
+
+/// Pool size seen by `current_num_threads` on a worker thread (0 if the
+/// current thread is not a worker).
+pub(crate) fn worker_pool_size() -> usize {
+    WORKER_POOL_SIZE.with(Cell::get)
+}
+
+/// The pool a parallel region on this thread should execute in:
+/// the innermost installed pool, else the global pool. `None` on worker
+/// threads (nested regions run inline) and when the resolved pool has a
+/// single thread (dispatch would be pure overhead).
+pub(crate) fn dispatch_pool() -> Option<Arc<PoolCore>> {
+    if in_worker() {
+        return None;
+    }
+    let installed = INSTALLED.with(|stack| stack.borrow().last().cloned());
+    let core = match installed {
+        Some(core) => core,
+        None => global_core()?,
+    };
+    (core.size > 1).then_some(core)
+}
+
+/// Size of the pool `dispatch_pool` would resolve to, counting worker
+/// threads even when dispatch itself would be declined.
+pub(crate) fn ambient_pool_size() -> usize {
+    let installed = INSTALLED.with(|stack| stack.borrow().last().map(|c| c.size));
+    installed.unwrap_or_else(global_size)
+}
+
+/// Push `core` as the innermost installed pool for the duration of `op`.
+pub(crate) fn with_installed<R>(core: Arc<PoolCore>, op: impl FnOnce() -> R) -> R {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            INSTALLED.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    INSTALLED.with(|stack| stack.borrow_mut().push(core));
+    let _guard = PopOnDrop;
+    op()
+}
+
+/// The machine default: `RAYON_NUM_THREADS` if set to a positive integer
+/// (the same override the real rayon honours), else the available
+/// parallelism.
+pub(crate) fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The global pool, built lazily. `None` when no pool was ever requested
+/// and the default size is 1 — building a one-worker pool would never be
+/// dispatched to anyway.
+fn global_core() -> Option<Arc<PoolCore>> {
+    let slot = global_slot().lock().expect("global pool lock poisoned");
+    if let Some(core) = slot.as_ref() {
+        return Some(Arc::clone(core));
+    }
+    drop(slot);
+    if default_threads() <= 1 {
+        return None;
+    }
+    let mut slot = global_slot().lock().expect("global pool lock poisoned");
+    if slot.is_none() {
+        // Failing to spawn the lazy global pool degrades gracefully to
+        // inline execution instead of aborting the process.
+        if let Ok((core, _workers)) = PoolCore::start(default_threads()) {
+            *slot = Some(core);
+        } else {
+            return None;
+        }
+    }
+    slot.clone()
+}
+
+/// Size the global pool would have (without necessarily building it).
+pub(crate) fn global_size() -> usize {
+    let slot = global_slot().lock().expect("global pool lock poisoned");
+    slot.as_ref().map_or_else(default_threads, |c| c.size)
+}
+
+/// Replace the global pool with a fresh one of `size` threads. The old
+/// pool's workers are told to exit once their queue drains.
+pub(crate) fn set_global(size: usize) -> std::io::Result<()> {
+    let (core, _workers) = PoolCore::start(size)?;
+    let mut slot = global_slot().lock().expect("global pool lock poisoned");
+    if let Some(old) = slot.replace(core) {
+        old.shutdown();
+    }
+    Ok(())
+}
+
+fn global_slot() -> &'static Mutex<Option<Arc<PoolCore>>> {
+    static GLOBAL: OnceLock<Mutex<Option<Arc<PoolCore>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+impl PoolCore {
+    /// Build a core and spawn its `size` workers. The handles are returned
+    /// so owned pools ([`crate::ThreadPool`]) can join them on drop; the
+    /// global pool drops them (workers exit on shutdown regardless).
+    ///
+    /// On worker-spawn failure (thread exhaustion), already-spawned
+    /// workers are shut down and joined before the error is returned, so
+    /// a failed build leaks nothing.
+    pub(crate) fn start(size: usize) -> std::io::Result<(Arc<Self>, Vec<JoinHandle<()>>)> {
+        let size = size.max(1);
+        let core = Arc::new(PoolCore {
+            size,
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            work_available: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(size);
+        for k in 0..size {
+            let worker_core = Arc::clone(&core);
+            match std::thread::Builder::new()
+                .name(format!("rayon-shim-{k}"))
+                .spawn(move || worker_loop(worker_core))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    core.shutdown();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((core, workers))
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn size(&self) -> usize {
+        self.size
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.queue.lock().expect("pool queue lock poisoned");
+        q.jobs.push_back(job);
+        drop(q);
+        self.work_available.notify_one();
+    }
+
+    /// Tell workers to exit once the queue is drained.
+    pub(crate) fn shutdown(&self) {
+        let mut q = self.queue.lock().expect("pool queue lock poisoned");
+        q.shutdown = true;
+        drop(q);
+        self.work_available.notify_all();
+    }
+
+    /// Run `op` with a [`Scope`] whose spawned jobs execute on this pool,
+    /// then block until every job has finished. Panics from jobs are
+    /// resumed here, after all jobs have completed (so borrowed data is
+    /// never freed under a running job, even on unwind).
+    pub(crate) fn scope<'scope, OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            core: Some(Arc::clone(self)),
+            state: Arc::new(ScopeState {
+                sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
+                done: Condvar::new(),
+            }),
+            _borrow: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        scope.wait();
+        let job_panic = {
+            let mut sync = scope.state.sync.lock().expect("scope lock poisoned");
+            sync.panic.take()
+        };
+        match result {
+            Ok(r) => {
+                if let Some(p) = job_panic {
+                    resume_unwind(p);
+                }
+                r
+            }
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>) {
+    WORKER_POOL_SIZE.with(|c| c.set(core.size));
+    loop {
+        let job = {
+            let mut q = core.queue.lock().expect("pool queue lock poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = core.work_available.wait(q).expect("pool queue lock poisoned");
+            }
+        };
+        match job {
+            // Jobs are panic-wrapped at spawn time, so this call never
+            // unwinds into the loop.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Completion latch + first-panic slot shared by a scope and its jobs.
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+struct ScopeSync {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Run `op` with a scope whose spawns execute inline on the calling
+/// thread — the degenerate region used when no multi-thread pool is
+/// available for dispatch.
+pub(crate) fn inline_scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        core: None,
+        state: Arc::new(ScopeState {
+            sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
+            done: Condvar::new(),
+        }),
+        _borrow: PhantomData,
+    };
+    op(&scope)
+}
+
+/// A scoped-task region on a pool: see [`crate::ThreadPool::scope`] and
+/// [`crate::scope`]. Jobs spawned here may borrow data created before the
+/// scope; the scope joins them all before returning.
+pub struct Scope<'scope> {
+    /// `None` for inline regions: spawns run eagerly on the caller.
+    core: Option<Arc<PoolCore>>,
+    state: Arc<ScopeState>,
+    /// Makes `'scope` invariant, so borrows can't be shortened behind the
+    /// region's back.
+    _borrow: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pool_size", &self.core.as_ref().map_or(1, |c| c.size))
+            .finish()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` into the pool. The closure receives the scope (as in
+    /// rayon), so jobs can spawn further jobs. When called from a pool
+    /// worker thread — or on an inline region — the body runs inline,
+    /// keeping nesting deadlock-free.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let Some(core) = &self.core else {
+            body(self);
+            return;
+        };
+        if in_worker() {
+            body(self);
+            return;
+        }
+        {
+            let mut sync = self.state.sync.lock().expect("scope lock poisoned");
+            sync.pending += 1;
+        }
+        let handle = Scope {
+            core: Some(Arc::clone(core)),
+            state: Arc::clone(&self.state),
+            _borrow: PhantomData,
+        };
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| body(&handle)));
+            let mut sync = state.sync.lock().expect("scope lock poisoned");
+            if let Err(payload) = result {
+                sync.panic.get_or_insert(payload);
+            }
+            sync.pending -= 1;
+            if sync.pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: `PoolCore::scope` blocks on the latch until `pending`
+        // returns to zero, i.e. until this job (and any job it spawns)
+        // has run to completion, before any data borrowed for `'scope`
+        // can be dropped — including when the scope body itself panics.
+        // The erased box therefore never outlives its borrows.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        core.push(job);
+    }
+
+    /// Block until every spawned job has completed.
+    fn wait(&self) {
+        let mut sync = self.state.sync.lock().expect("scope lock poisoned");
+        while sync.pending > 0 {
+            sync = self.state.done.wait(sync).expect("scope lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_jobs_on_worker_threads() {
+        let (core, workers) = PoolCore::start(3).unwrap();
+        let caller = std::thread::current().id();
+        let ids = Mutex::new(Vec::new());
+        core.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    ids.lock().unwrap().push(std::thread::current().id());
+                });
+            }
+        });
+        let ids = ids.into_inner().unwrap();
+        assert_eq!(ids.len(), 8);
+        assert!(ids.iter().all(|&id| id != caller), "jobs must run off the calling thread");
+        core.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn scope_joins_before_returning() {
+        let (core, workers) = PoolCore::start(2).unwrap();
+        let counter = AtomicUsize::new(0);
+        core.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        core.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn nested_spawn_from_job_completes() {
+        let (core, workers) = PoolCore::start(1).unwrap();
+        let hits = AtomicUsize::new(0);
+        core.scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                // Runs inline on the worker: must not deadlock on size 1.
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        core.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_to_scope() {
+        let (core, workers) = PoolCore::start(2).unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            core.scope(|s| {
+                s.spawn(|_| panic!("boom in job"));
+            });
+        }));
+        assert!(result.is_err(), "scope must re-raise a job panic");
+        // The pool survives a panicking job.
+        let ok = AtomicUsize::new(0);
+        core.scope(|s| {
+            s.spawn(|_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+        core.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

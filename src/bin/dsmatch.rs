@@ -72,19 +72,6 @@ fn load_graph(path: &str) -> Result<BipartiteGraph, String> {
     }
 }
 
-/// Detect the vendored sequential rayon shim at runtime: real rayon's
-/// `ThreadPool::install` runs the closure on a pool worker thread, the shim
-/// runs it on the calling thread. Lets `--threads` be honest about whether
-/// a sized pool can actually be installed.
-fn rayon_is_sequential_shim() -> bool {
-    let caller = std::thread::current().id();
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .map(|pool| pool.install(|| std::thread::current().id()) == caller)
-        .unwrap_or(true)
-}
-
 fn geometric_mean(xs: &[f64]) -> f64 {
     let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
     (log_sum / xs.len() as f64).exp()
@@ -140,21 +127,19 @@ fn main() -> ExitCode {
     let want_quality = flag("quality");
     let want_json = flag("json");
 
+    // `--threads T` builds a workspace-owned pool of exactly T workers;
+    // without the flag, solves use the ambient pool (RAYON_NUM_THREADS or
+    // the machine's available parallelism). The probe below counts the
+    // distinct worker threads that actually execute a parallel region, so
+    // the report states genuine parallelism, not a configured wish.
     let threads_requested = arg_value("threads").and_then(|v| v.parse::<usize>().ok());
-    let sequential_shim = rayon_is_sequential_shim();
-    if let Some(t) = threads_requested {
-        if sequential_shim {
-            eprintln!(
-                "--threads {t}: sequential rayon shim installed, flag ignored \
-                 (restore the real rayon crate in Cargo.toml for sized pools)"
-            );
-        } else {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(t)
-                .build_global()
-                .expect("thread pool already initialized");
-        }
-    }
+    let mut ws = match threads_requested {
+        Some(t) => Workspace::with_threads(t),
+        None => Workspace::new(),
+    };
+    let pool_size = ws.threads();
+    let observed_workers = ws.run(dsmatch::engine::observed_parallelism);
+    eprintln!("thread pool: {pool_size} threads ({observed_workers} distinct workers observed)");
 
     let t0 = Instant::now();
     let g = match load_graph(&path) {
@@ -173,7 +158,6 @@ fn main() -> ExitCode {
     );
 
     // Batch mode: one workspace, N solves, seeds S, S+1, ….
-    let mut ws = Workspace::new();
     let mut reports: Vec<SolveReport> = Vec::with_capacity(batch);
     for k in 0..batch {
         let run = pipeline.clone().with_seed(seed.wrapping_add(k as u64));
@@ -220,8 +204,8 @@ fn main() -> ExitCode {
                 "threads",
                 Json::obj(vec![
                     ("requested", Json::opt(threads_requested)),
-                    ("effective", Json::from(rayon::current_num_threads())),
-                    ("sequential_shim", Json::from(sequential_shim)),
+                    ("pool", Json::from(pool_size)),
+                    ("observed_workers", Json::from(observed_workers)),
                 ]),
             ),
             ("optimum", Json::opt(optimum)),

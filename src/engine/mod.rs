@@ -53,4 +53,4 @@ pub use json::Json;
 pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
 pub use registry::AlgorithmKind;
 pub use report::{SolveReport, StageReport};
-pub use workspace::Workspace;
+pub use workspace::{observed_parallelism, Workspace};

@@ -288,7 +288,25 @@ fn one_out_bipartite(g: &BipartiteGraph, seed: u64, ws: &mut Workspace) -> Match
 }
 
 impl Solver for Pipeline {
+    /// Solve `g`. When `ws` owns a thread pool ([`Workspace::with_threads`])
+    /// every stage executes with that pool installed, so the parallel
+    /// kernels run on its workers; otherwise the ambient pool is used.
     fn solve(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
+        match ws.pool().cloned() {
+            Some(pool) => pool.install(|| self.solve_stages(g, ws)),
+            None => self.solve_stages(g, ws),
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.spec()
+    }
+}
+
+impl Pipeline {
+    /// The stage driver behind [`Solver::solve`], running in whatever pool
+    /// context the caller established.
+    fn solve_stages(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
         let mut stages = Vec::with_capacity(3);
         let mut scaling_iterations = None;
         let mut scaling_error = None;
@@ -339,10 +357,6 @@ impl Solver for Pipeline {
         };
 
         SolveReport { matching, stages, scaling_iterations, scaling_error, quality: None }
-    }
-
-    fn describe(&self) -> String {
-        self.spec()
     }
 }
 

@@ -1,9 +1,11 @@
-//! The engine's reusable workspace: one allocation arena per solver loop.
+//! The engine's reusable workspace: one allocation arena per solver loop,
+//! optionally owning the thread pool its solves execute in.
 
 use dsmatch_core::HeurWorkspace;
 use dsmatch_exact::AugmentWorkspace;
 use dsmatch_graph::BipartiteGraph;
 use dsmatch_scale::ScalingResult;
+use std::sync::Arc;
 
 /// Scratch buffers threaded through every stage of a [`Pipeline`] solve.
 ///
@@ -16,6 +18,16 @@ use dsmatch_scale::ScalingResult;
 /// A workspace is not tied to one graph: solving a differently-shaped
 /// instance simply regrows the buffers.
 ///
+/// ## Parallel execution
+///
+/// A workspace optionally **owns a thread pool** ([`Workspace::with_threads`]).
+/// When it does, every [`Pipeline`](crate::engine::Pipeline) solve against
+/// it runs with that pool installed, so the parallel stages (scaling
+/// sweeps, choice sampling, `KarpSipserMT`) execute on the workspace's
+/// workers — this is what the CLI's `--threads N` builds. Without an owned
+/// pool, solves use the ambient pool (the caller's installed pool, the
+/// global pool, or `RAYON_NUM_THREADS`/available parallelism).
+///
 /// [`Pipeline`]: crate::engine::Pipeline
 #[derive(Debug)]
 pub struct Workspace {
@@ -26,15 +38,51 @@ pub struct Workspace {
     pub heur: HeurWorkspace,
     /// Exact-solver scratch (BFS/DFS state, working mate arrays).
     pub augment: AugmentWorkspace,
+    /// Thread pool solves against this workspace execute in, if owned
+    /// (shared so the solve path can install it while the workspace is
+    /// mutably borrowed).
+    pub(crate) pool: Option<Arc<rayon::ThreadPool>>,
 }
 
 impl Workspace {
-    /// An empty workspace; every buffer grows lazily on first use.
+    /// An empty workspace; every buffer grows lazily on first use. Solves
+    /// run in the ambient thread pool.
     pub fn new() -> Self {
         Self {
             scaling: ScalingResult::empty(),
             heur: HeurWorkspace::new(),
             augment: AugmentWorkspace::new(),
+            pool: None,
+        }
+    }
+
+    /// A workspace owning a thread pool of exactly `threads` workers
+    /// (`0` = the default size); every solve against it executes there.
+    pub fn with_threads(threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build workspace thread pool");
+        Self { pool: Some(Arc::new(pool)), ..Self::new() }
+    }
+
+    /// The number of threads solves against this workspace will use: the
+    /// owned pool's size, or the ambient pool's.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or_else(rayon::current_num_threads, |p| p.current_num_threads())
+    }
+
+    /// The owned thread pool, if any.
+    pub fn pool(&self) -> Option<&Arc<rayon::ThreadPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Run `op` in this workspace's execution context: inside the owned
+    /// pool when there is one, in the ambient pool otherwise.
+    pub fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
         }
     }
 
@@ -48,5 +96,60 @@ impl Workspace {
 impl Default for Workspace {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Count the distinct worker threads that actually execute a parallel
+/// region in the **current** pool context — the honesty probe behind the
+/// CLI's `--threads` report.
+///
+/// Spawns one scoped task per configured thread; tasks rendezvous (with a
+/// bounded wait) before recording their thread id, so a genuinely parallel
+/// pool of `N` workers reports `N` and a sequential executor reports `1`.
+pub fn observed_parallelism() -> usize {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let expected = rayon::current_num_threads();
+    let started = AtomicUsize::new(0);
+    let ids = Mutex::new(HashSet::new());
+    rayon::scope(|s| {
+        for _ in 0..expected {
+            s.spawn(|_| {
+                started.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_millis(200);
+                while started.load(Ordering::SeqCst) < expected && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+    });
+    let n = ids.into_inner().unwrap().len();
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_pool_controls_thread_count() {
+        let ws = Workspace::with_threads(3);
+        assert_eq!(ws.threads(), 3);
+        assert_eq!(ws.run(rayon::current_num_threads), 3);
+        let ambient = Workspace::new();
+        assert_eq!(ambient.threads(), rayon::current_num_threads());
+    }
+
+    #[test]
+    fn observed_parallelism_matches_pool_size() {
+        let ws = Workspace::with_threads(4);
+        let seen = ws.run(observed_parallelism);
+        assert_eq!(seen, 4, "4-thread pool must expose 4 distinct workers");
+        let solo = Workspace::with_threads(1);
+        assert_eq!(solo.run(observed_parallelism), 1);
     }
 }

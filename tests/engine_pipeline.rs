@@ -47,18 +47,50 @@ proptest! {
 
 /// Workspace reuse across consecutive solves must be byte-identical to
 /// fresh-allocation solves: same mate arrays, not just cardinalities.
+///
+/// Run on a 1-thread pool: the property under test is buffer reuse, and
+/// the sequential schedule makes even the racy heuristics (`one`, `two`,
+/// `one-out`) bit-reproducible so the comparison can stay exact.
 #[test]
 fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
     let g = dsmatch::gen::erdos_renyi_square(2_500, 4.0, 17);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
     for spec in ["scale:sk:5,two,pf", "scale:ruiz:4,one,hk", "ks", "scale:sk:3,one-out", "hk"] {
         let pipeline: Pipeline = spec.parse().unwrap();
         let mut shared = Workspace::new();
         for seed in [1u64, 2, 3] {
-            let reused = pipeline.clone().with_seed(seed).solve(&g, &mut shared);
-            let fresh = pipeline.clone().with_seed(seed).solve(&g, &mut Workspace::new());
+            let reused = pool.install(|| pipeline.clone().with_seed(seed).solve(&g, &mut shared));
+            let fresh =
+                pool.install(|| pipeline.clone().with_seed(seed).solve(&g, &mut Workspace::new()));
             assert_eq!(
                 reused.matching, fresh.matching,
                 "{spec} seed {seed}: reused workspace diverged from fresh allocation"
+            );
+        }
+    }
+}
+
+/// The same reuse-vs-fresh equivalence under a real 4-thread pool, at the
+/// strength the algorithms actually guarantee there: identical
+/// cardinalities and valid matchings (mate arrays may differ because the
+/// racy heuristics are schedule-dependent — see `tests/determinism.rs`).
+#[test]
+fn workspace_reuse_matches_fresh_under_parallel_pool() {
+    let g = dsmatch::gen::erdos_renyi_square(2_500, 4.0, 17);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    for spec in ["scale:sk:5,two,pf", "scale:ruiz:4,one,hk", "scale:sk:3,one-out"] {
+        let pipeline: Pipeline = spec.parse().unwrap();
+        let mut shared = Workspace::new();
+        for seed in [1u64, 2, 3] {
+            let reused = pool.install(|| pipeline.clone().with_seed(seed).solve(&g, &mut shared));
+            let fresh =
+                pool.install(|| pipeline.clone().with_seed(seed).solve(&g, &mut Workspace::new()));
+            reused.matching.verify(&g).unwrap();
+            fresh.matching.verify(&g).unwrap();
+            assert_eq!(
+                reused.cardinality(),
+                fresh.cardinality(),
+                "{spec} seed {seed}: reused workspace changed the solve outcome"
             );
         }
     }
@@ -82,6 +114,7 @@ fn workspace_buffers_are_stable_across_batch_solves() {
             (ws.scaling.dc.as_ptr() as usize, ws.scaling.dc.capacity()),
             (ws.heur.rchoice.as_ptr() as usize, ws.heur.rchoice.capacity()),
             (ws.heur.cchoice.as_ptr() as usize, ws.heur.cchoice.capacity()),
+            (ws.heur.cslots.as_ptr() as usize, ws.heur.cslots.capacity()),
             (ws.heur.ksmt.choice.as_ptr() as usize, ws.heur.ksmt.choice.capacity()),
             (ws.heur.ksmt.mat.as_ptr() as usize, ws.heur.ksmt.mat.capacity()),
             (ws.heur.ksmt.deg.as_ptr() as usize, ws.heur.ksmt.deg.capacity()),
@@ -99,6 +132,37 @@ fn workspace_buffers_are_stable_across_batch_solves() {
         let report = pipeline.clone().with_seed(seed).solve(&g, &mut ws);
         report.matching.verify(&g).unwrap();
         assert_eq!(footprint(&ws), warm, "solve with seed {seed} reallocated a workspace buffer");
+    }
+}
+
+/// `two_sided_choices_into` — the per-solve sampling stage — keeps both
+/// choice buffers pointer-stable across repeated solves *and across pool
+/// sizes*, and produces byte-identical choices for every pool size. (The
+/// companion audit of `gen:er` synthesis found no per-solve churn: the
+/// triplet buffer is pre-sized from the draw count and synthesis runs once
+/// per instance, outside the batch loop.)
+#[test]
+fn choice_buffers_stable_across_solves_and_pool_sizes() {
+    use dsmatch::heur::two_sided_choices_into;
+    let g = dsmatch::gen::erdos_renyi_square(4_000, 4.0, 5);
+    let s = dsmatch::scale::sinkhorn_knopp(&g, &ScalingConfig::iterations(3));
+    let (mut rc, mut cc) = (Vec::new(), Vec::new());
+    two_sided_choices_into(&g, &s, 1, &mut rc, &mut cc);
+    let footprint = (rc.as_ptr() as usize, rc.capacity(), cc.as_ptr() as usize, cc.capacity());
+    let reference = (rc.clone(), cc.clone());
+    for t in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        for seed in [1u64, 9] {
+            pool.install(|| two_sided_choices_into(&g, &s, seed, &mut rc, &mut cc));
+            assert_eq!(
+                footprint,
+                (rc.as_ptr() as usize, rc.capacity(), cc.as_ptr() as usize, cc.capacity()),
+                "choice buffers reallocated at {t} threads, seed {seed}"
+            );
+            if seed == 1 {
+                assert_eq!((rc.clone(), cc.clone()), reference, "choices differ at {t} threads");
+            }
+        }
     }
 }
 

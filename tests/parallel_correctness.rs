@@ -1,0 +1,157 @@
+//! Correctness of the parallel kernels under **real** thread pools of 1, 2
+//! and 4 workers — the contracts the paper actually promises:
+//!
+//! - `KarpSipserMT` (Algorithm 4): at any thread count the result is a
+//!   *valid, maximal* matching of the sampled subgraph whose cardinality
+//!   equals the sequential exact reference (Karp–Sipser is exact on the
+//!   union of two functional graphs, Lemma 1) — the concrete mate arrays
+//!   may differ between schedules;
+//! - scaling (`sinkhorn_knopp_into`, `ruiz_into`): **byte-identical**
+//!   factors, error and history for every pool size, with the reused
+//!   output buffers staying pointer-stable.
+
+use dsmatch::heur::{choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq};
+use dsmatch::prelude::*;
+use proptest::prelude::*;
+
+fn pool(t: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap()
+}
+
+/// No edge of the sampled subgraph may have both endpoints free — the
+/// maximality half of "Karp–Sipser is exact on this graph class".
+fn assert_maximal(m: &Matching, rchoice: &[u32], cchoice: &[u32], context: &str) {
+    for (i, &j) in rchoice.iter().enumerate() {
+        if j != NIL {
+            assert!(
+                m.is_row_matched(i) || m.is_col_matched(j as usize),
+                "{context}: edge r{i}→c{j} has both endpoints free"
+            );
+        }
+    }
+    for (j, &i) in cchoice.iter().enumerate() {
+        if i != NIL {
+            assert!(
+                m.is_row_matched(i as usize) || m.is_col_matched(j),
+                "{context}: edge c{j}→r{i} has both endpoints free"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Property (a) of the parallel-correctness satellite: under pools of
+    /// 1, 2 and 4 threads, `ks_mt` yields a valid **maximal** matching of
+    /// the sampled subgraph with the exact sequential cardinality.
+    #[test]
+    fn ks_mt_valid_maximal_exact_across_pools(
+        nr in 1usize..40,
+        nc in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let rchoice: Vec<u32> = (0..nr)
+            .map(|_| {
+                let v = rng.next_below(8 * nc as u64);
+                if v < nc as u64 { NIL } else { (v % nc as u64) as u32 }
+            })
+            .collect();
+        let cchoice: Vec<u32> = (0..nc)
+            .map(|_| {
+                let v = rng.next_below(8 * nr as u64);
+                if v < nr as u64 { NIL } else { (v % nr as u64) as u32 }
+            })
+            .collect();
+        let g = choice_subgraph(&rchoice, &cchoice);
+        let expected = karp_sipser_mt_seq(&rchoice, &cchoice).cardinality();
+        for t in [1usize, 2, 4] {
+            let m = pool(t).install(|| karp_sipser_mt(&rchoice, &cchoice));
+            m.verify(&g).unwrap();
+            assert_maximal(&m, &rchoice, &cchoice, &format!("threads={t} seed={seed}"));
+            prop_assert_eq!(
+                m.cardinality(),
+                expected,
+                "ks_mt not exact at {} threads (seed {})",
+                t,
+                seed
+            );
+        }
+    }
+}
+
+/// The same Algorithm 4 contract on instance-scale inputs, where chunked
+/// dispatch genuinely interleaves: choices sampled from a scaled
+/// Erdős–Rényi graph, pools of 1, 2 and 4, repeated runs per pool.
+#[test]
+fn ks_mt_large_instance_exact_across_pools() {
+    use dsmatch::heur::two_sided_choices;
+    let g = dsmatch::gen::erdos_renyi_square(30_000, 5.0, 13);
+    let s = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
+    let (rc, cc) = two_sided_choices(&g, &s, 7);
+    let sub = choice_subgraph(&rc, &cc);
+    let expected = karp_sipser_mt_seq(&rc, &cc).cardinality();
+    for t in [1usize, 2, 4] {
+        let p = pool(t);
+        for rep in 0..3 {
+            let m = p.install(|| karp_sipser_mt(&rc, &cc));
+            m.verify(&sub).unwrap();
+            assert_maximal(&m, &rc, &cc, &format!("threads={t} rep={rep}"));
+            assert_eq!(m.cardinality(), expected, "threads={t} rep={rep}");
+        }
+    }
+}
+
+/// Property (b): the `_into` scaling kernels are byte-identical across
+/// pool sizes {1, 2, 4} — factors, error, and convergence history — and
+/// the reused output buffers never reallocate.
+#[test]
+fn scaling_into_byte_identical_across_pools() {
+    use dsmatch::scale::{ruiz_into, sinkhorn_knopp_into};
+    let g = dsmatch::gen::erdos_renyi_square(8_000, 6.0, 3);
+    let cfg = ScalingConfig::iterations(6);
+
+    type ScaleInto = fn(&BipartiteGraph, &ScalingConfig, &mut ScalingResult);
+    let kernels: [(&str, ScaleInto); 2] =
+        [("sinkhorn_knopp_into", sinkhorn_knopp_into), ("ruiz_into", ruiz_into)];
+    for (name, kernel) in kernels {
+        let mut reference = ScalingResult::empty();
+        pool(1).install(|| kernel(&g, &cfg, &mut reference));
+        let mut out = ScalingResult::empty();
+        // Warm the reused buffers once, then record their footprint.
+        pool(1).install(|| kernel(&g, &cfg, &mut out));
+        let footprint = (out.dr.as_ptr() as usize, out.dr.capacity(), out.dc.as_ptr() as usize);
+        for t in [1usize, 2, 4] {
+            pool(t).install(|| kernel(&g, &cfg, &mut out));
+            assert_eq!(out.dr, reference.dr, "{name}: dr differs at {t} threads");
+            assert_eq!(out.dc, reference.dc, "{name}: dc differs at {t} threads");
+            assert_eq!(out.error, reference.error, "{name}: error differs at {t} threads");
+            assert_eq!(out.history, reference.history, "{name}: history differs at {t} threads");
+            assert_eq!(
+                footprint,
+                (out.dr.as_ptr() as usize, out.dr.capacity(), out.dc.as_ptr() as usize),
+                "{name}: scaling buffers reallocated at {t} threads"
+            );
+        }
+    }
+}
+
+/// `one_sided_match` under real pools: the matched-column set and the
+/// cardinality are a pure function of the seed; every schedule's matching
+/// is valid. (The winning row per column is a benign race by design.)
+#[test]
+fn one_sided_column_set_invariant_across_pools() {
+    use dsmatch::heur::{one_sided_match, OneSidedConfig};
+    let g = dsmatch::gen::erdos_renyi_square(15_000, 4.0, 21);
+    let cfg = OneSidedConfig { scaling: ScalingConfig::iterations(4), seed: 77 };
+    let reference = pool(1).install(|| one_sided_match(&g, &cfg));
+    for t in [2usize, 4] {
+        let m = pool(t).install(|| one_sided_match(&g, &cfg));
+        m.verify(&g).unwrap();
+        assert_eq!(m.cardinality(), reference.cardinality(), "threads={t}");
+        for j in 0..g.ncols() {
+            assert_eq!(m.is_col_matched(j), reference.is_col_matched(j), "col {j}, threads={t}");
+        }
+    }
+}
