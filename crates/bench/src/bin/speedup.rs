@@ -11,11 +11,16 @@
 //! Kernels:
 //!
 //! - `ksmt` — Algorithm 4 (`KarpSipserMT`) on pre-sampled choice arrays,
-//!   reusing one scratch so only matching work is timed;
+//!   reusing one scratch so only matching work is timed — the skewed
+//!   chain-walk kernel the work-stealing scheduler targets;
 //! - `scale_sk5` / `scale_ruiz5` — five scaling iterations into a reused
 //!   [`ScalingResult`];
 //! - `one_sided` / `two_sided` — the full pipelines
-//!   `scale:sk:5,one` / `scale:sk:5,two` through the engine.
+//!   `scale:sk:5,one` / `scale:sk:5,two` through the engine;
+//! - `batch32` — 32 small instances solved through
+//!   [`Pipeline::solve_batch`] over a per-worker [`WorkspacePool`] of the
+//!   ladder's thread count: batch-level parallelism, one stealable task
+//!   per instance.
 //!
 //! The report includes the machine's available parallelism so downstream
 //! tooling can judge whether the ladder oversubscribed the host (on a
@@ -27,8 +32,8 @@
 //!     [--max-threads 8] [--out BENCH_speedup.json]
 //! ```
 
-use dsmatch::engine::{Json, Pipeline, Solver, Workspace};
-use dsmatch_bench::{arg, geometric_mean, write_json_file, Table};
+use dsmatch::engine::{Json, Pipeline, Solver, Workspace, WorkspacePool};
+use dsmatch_bench::{arg, write_json_file, Table};
 use dsmatch_core::{karp_sipser_mt_ws, two_sided_choices, KsMtScratch};
 use dsmatch_graph::BipartiteGraph;
 use dsmatch_scale::{ruiz_into, sinkhorn_knopp, sinkhorn_knopp_into, ScalingConfig, ScalingResult};
@@ -44,14 +49,46 @@ fn ladder(max: usize) -> Vec<usize> {
 }
 
 fn time_kernel(pool: &rayon::ThreadPool, runs: usize, warmup: usize, k: &mut Kernel) -> f64 {
-    let mut times = Vec::with_capacity(runs - warmup);
-    for run in 0..runs {
-        let (_, dt) = pool.install(|| dsmatch_bench::time_once(&mut k.run));
-        if run >= warmup {
-            times.push(dt.as_secs_f64());
-        }
-    }
-    geometric_mean(&times)
+    // `time_stats` is the harness's single copy of the §4.2 protocol
+    // (runs, warmup discard, geometric mean) — every kernel in the sweep
+    // must go through it so their numbers stay comparable.
+    dsmatch_bench::time_stats(runs, warmup, || pool.install(&mut k.run))
+}
+
+/// Append one kernel's thread-ladder timings to the table and the JSON
+/// kernel list (times, plus speedups relative to the 1-thread pool).
+fn record(
+    name: &str,
+    ts: &[usize],
+    seconds: &[f64],
+    table: &mut Table,
+    kernel_docs: &mut Vec<Json>,
+) {
+    let base = seconds[0];
+    let speedups: Vec<f64> = seconds.iter().map(|&s| base / s.max(1e-12)).collect();
+    let mut row = vec![name.to_string()];
+    row.extend(seconds.iter().map(|s| format!("{s:.5}")));
+    row.push(format!("{:.2}x", speedups.last().copied().unwrap_or(1.0)));
+    table.push(row);
+    kernel_docs.push(Json::obj(vec![
+        ("kernel", Json::from(name)),
+        (
+            "times",
+            Json::Arr(
+                ts.iter()
+                    .zip(seconds)
+                    .zip(&speedups)
+                    .map(|((&t, &s), &sp)| {
+                        Json::obj(vec![
+                            ("threads", Json::from(t)),
+                            ("seconds", Json::from(s)),
+                            ("speedup", Json::from(sp)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
 }
 
 fn main() {
@@ -140,32 +177,27 @@ fn main() {
             let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool build");
             seconds.push(time_kernel(&pool, runs, warmup, kernel));
         }
-        let base = seconds[0];
-        let speedups: Vec<f64> = seconds.iter().map(|&s| base / s.max(1e-12)).collect();
-        let mut row = vec![kernel.name.to_string()];
-        row.extend(seconds.iter().map(|s| format!("{s:.5}")));
-        row.push(format!("{:.2}x", speedups.last().copied().unwrap_or(1.0)));
-        table.push(row);
-        kernel_docs.push(Json::obj(vec![
-            ("kernel", Json::from(kernel.name)),
-            (
-                "times",
-                Json::Arr(
-                    ts.iter()
-                        .zip(&seconds)
-                        .zip(&speedups)
-                        .map(|((&t, &s), &sp)| {
-                            Json::obj(vec![
-                                ("threads", Json::from(t)),
-                                ("seconds", Json::from(s)),
-                                ("speedup", Json::from(sp)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]));
+        record(kernel.name, &ts, &seconds, &mut table, &mut kernel_docs);
     }
+
+    // Batch-level parallelism: 32 small instances fanned across a
+    // per-worker workspace pool (`Pipeline::solve_batch`) — the server
+    // workload where parallelism pays one level above the solver stages.
+    // Each thread count gets its own WorkspacePool (built untimed).
+    let batch_instances: Vec<BipartiteGraph> = (0..32)
+        .map(|k| dsmatch::gen::erdos_renyi_square((n / 16).max(64), deg, seed.wrapping_add(k)))
+        .collect();
+    let batch_jobs: Vec<(&BipartiteGraph, u64)> =
+        batch_instances.iter().map(|g| (g, seed)).collect();
+    let batch_pipeline: Pipeline = "scale:sk:5,two".parse().expect("valid spec");
+    let mut batch_seconds = Vec::with_capacity(ts.len());
+    for &t in &ts {
+        let wsp: WorkspacePool = Workspace::per_worker(t);
+        batch_seconds.push(dsmatch_bench::time_stats(runs, warmup, || {
+            std::hint::black_box(batch_pipeline.solve_batch(&batch_jobs, &wsp).len());
+        }));
+    }
+    record("batch32", &ts, &batch_seconds, &mut table, &mut kernel_docs);
     table.print();
 
     let doc = Json::obj(vec![

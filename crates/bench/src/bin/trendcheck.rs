@@ -1,0 +1,170 @@
+//! Speedup regression gate: compare a fresh `speedup` sweep against the
+//! committed `BENCH_speedup.json` baseline and fail when a kernel's
+//! speedup at the reference thread count has regressed beyond the
+//! tolerance band.
+//!
+//! CI runs the sweep into a fresh file and then:
+//!
+//! ```text
+//! trendcheck --baseline BENCH_speedup.json --fresh BENCH_speedup_fresh.json \
+//!            [--threads 4] [--tolerance 0.30] [--slack 0.15]
+//! ```
+//!
+//! A kernel regresses when
+//! `fresh < baseline * (1 - tolerance) - slack`: the relative band
+//! absorbs run-to-run noise, the absolute slack keeps near-1× speedups
+//! (1-core runners report ≈1× honestly at every thread count) from
+//! flapping. Kernels present in the baseline must be present in the fresh
+//! sweep (dropping one would silently shrink coverage); new kernels in
+//! the fresh sweep are reported but not judged. Exit code is non-zero on
+//! any regression, missing kernel, or unreadable input — this is the
+//! enforcement half of the ROADMAP's "speedup regression tracking" item.
+
+use dsmatch_bench::{arg, geometric_mean, parse_json, JsonValue, Table};
+use std::process::ExitCode;
+
+/// `kernel name → speedup at the reference thread count`, from one sweep
+/// document.
+fn speedups_at(doc: &JsonValue, threads: f64) -> Result<Vec<(String, f64)>, String> {
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("document has no \"kernels\" array")?;
+    let mut out = Vec::new();
+    for kernel in kernels {
+        let name = kernel
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .ok_or("kernel entry without a name")?;
+        let times =
+            kernel.get("times").and_then(JsonValue::as_arr).ok_or("kernel entry without times")?;
+        // A kernel without an entry at the reference thread count is an
+        // error, not a skip: silently dropping it here would let that
+        // kernel fall out of the regression gate (a sweep regenerated
+        // with a truncated thread ladder would pass vacuously for it).
+        let entry = times
+            .iter()
+            .find(|t| t.get("threads").and_then(JsonValue::as_f64) == Some(threads))
+            .ok_or_else(|| format!("kernel {name}: no times entry at t={threads}"))?;
+        let speedup = entry
+            .get("speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("kernel {name}: no speedup at t={threads}"))?;
+        out.push((name.to_string(), speedup));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let baseline_path: String = arg("baseline", "BENCH_speedup.json".to_string());
+    let fresh_path: String = arg("fresh", "BENCH_speedup_fresh.json".to_string());
+    let threads: usize = arg("threads", 4);
+    let tolerance: f64 = arg("tolerance", 0.30);
+    let slack: f64 = arg("slack", 0.15);
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("trendcheck: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base_speedups, fresh_speedups) =
+        match (speedups_at(&baseline, threads as f64), speedups_at(&fresh, threads as f64)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("trendcheck: {err}");
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+    if base_speedups.is_empty() {
+        // A baseline with nothing to compare at the reference thread count
+        // would make every run pass vacuously — that is a broken gate, not
+        // a green one (e.g. a sweep regenerated with a truncated ladder).
+        eprintln!(
+            "trendcheck: baseline {baseline_path} has no kernel with a t={threads} entry; \
+             the gate would enforce nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut table = Table::new(vec![
+        "kernel".into(),
+        format!("baseline@{threads}t"),
+        format!("fresh@{threads}t"),
+        "floor".into(),
+        "status".into(),
+    ]);
+    let mut failures = 0usize;
+    for (name, base) in &base_speedups {
+        let floor = base * (1.0 - tolerance) - slack;
+        match fresh_speedups.iter().find(|(n, _)| n == name) {
+            None => {
+                failures += 1;
+                table.push(vec![
+                    name.clone(),
+                    format!("{base:.2}x"),
+                    "—".into(),
+                    format!("{floor:.2}x"),
+                    "MISSING".into(),
+                ]);
+            }
+            Some((_, now)) => {
+                let ok = *now >= floor;
+                if !ok {
+                    failures += 1;
+                }
+                table.push(vec![
+                    name.clone(),
+                    format!("{base:.2}x"),
+                    format!("{now:.2}x"),
+                    format!("{floor:.2}x"),
+                    if ok { "ok" } else { "REGRESSED" }.into(),
+                ]);
+            }
+        }
+    }
+    for (name, now) in &fresh_speedups {
+        if !base_speedups.iter().any(|(n, _)| n == name) {
+            table.push(vec![
+                name.clone(),
+                "—".into(),
+                format!("{now:.2}x"),
+                "—".into(),
+                "new".into(),
+            ]);
+        }
+    }
+    table.print();
+
+    let gm = |xs: &[(String, f64)]| {
+        let v: Vec<f64> = xs.iter().map(|&(_, s)| s).collect();
+        if v.is_empty() {
+            1.0
+        } else {
+            geometric_mean(&v)
+        }
+    };
+    println!(
+        "geomean speedup @{threads}t: baseline {:.3}x, fresh {:.3}x \
+         (band: -{:.0}% relative, -{slack} absolute)",
+        gm(&base_speedups),
+        gm(&fresh_speedups),
+        tolerance * 100.0,
+    );
+    if failures > 0 {
+        eprintln!("trendcheck: {failures} kernel(s) regressed or went missing");
+        return ExitCode::FAILURE;
+    }
+    println!("trendcheck: all {} kernels within the tolerance band", base_speedups.len());
+    ExitCode::SUCCESS
+}

@@ -9,10 +9,16 @@
 //!
 //! ## Execution model
 //!
+//! - A pool of `N` workers owns `N` work-stealing deques in the Chase–Lev
+//!   discipline: each worker pushes/pops its own deque at the back (LIFO),
+//!   idle workers steal from a randomized victim's front (FIFO). External
+//!   submissions are distributed round-robin; jobs spawned by a worker go
+//!   to its own deque, where thieves can pick them up — skewed nested work
+//!   load-balances instead of serializing on its spawner.
 //! - Every parallel iterator splits its input into chunks whose boundaries
 //!   depend only on the input length (and `with_min_len`/`with_max_len`
 //!   hints), **never on the pool size**. Chunks become jobs on the current
-//!   pool's queue; workers drain them dynamically. Consequences:
+//!   pool's deques; workers drain them dynamically. Consequences:
 //!   - per-element operations (`for_each`, `par_iter_mut` writes) are
 //!     genuinely concurrent, so shared state must use atomics — exactly
 //!     the contract real rayon imposes;
@@ -67,6 +73,14 @@ pub fn current_num_threads() -> usize {
         return w;
     }
     pool::ambient_pool_size()
+}
+
+/// The index of the current thread within its pool, or `None` when the
+/// current thread is not a pool worker — same contract as
+/// `rayon::current_thread_index`. Callers use this to detect whether a
+/// parallel region would dispatch (worker threads run regions inline).
+pub fn current_thread_index() -> Option<usize> {
+    pool::worker_index()
 }
 
 /// Run two closures, potentially in parallel, and return both results.
@@ -176,10 +190,10 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A real thread pool: `N` parked `std::thread` workers draining a shared
-/// job queue. Work `install`ed into it runs with this pool as the dispatch
-/// target for every parallel iterator, [`join`], and [`scope`] call it
-/// makes.
+/// A real thread pool: `N` parked `std::thread` workers, each owning a
+/// work-stealing deque (owner LIFO, randomized-victim steals FIFO). Work
+/// `install`ed into it runs with this pool as the dispatch target for
+/// every parallel iterator, [`join`], and [`scope`] call it makes.
 #[derive(Debug)]
 pub struct ThreadPool {
     core: Arc<pool::PoolCore>,
@@ -209,6 +223,13 @@ impl ThreadPool {
     /// The configured size of this pool.
     pub fn current_num_threads(&self) -> usize {
         self.core.size()
+    }
+
+    /// Successful steals since this pool started — scheduler telemetry for
+    /// the shim's own test suite (not part of the rayon API surface).
+    #[cfg(test)]
+    pub(crate) fn steal_count(&self) -> u64 {
+        self.core.steal_count()
     }
 }
 
@@ -294,6 +315,52 @@ mod tests {
             }
         });
         assert_eq!(ids.into_inner().unwrap().len(), 4, "expected 4 distinct worker threads");
+    }
+
+    #[test]
+    fn nested_spawns_are_stolen_not_serialized() {
+        // One job fans out 16 children onto its own deque and stays busy
+        // until they all finish — so every child must run on a *thief*.
+        // (The old shared-queue scheduler ran nested spawns inline; this
+        // pins the scheduling upgrade at the public API.)
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let before = pool.steal_count();
+        let done = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s| {
+                for _ in 0..16 {
+                    s.spawn(|_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while done.load(Ordering::SeqCst) < 16 && std::time::Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert!(pool.steal_count() >= before + 16, "children must be stolen");
+    }
+
+    #[test]
+    fn current_thread_index_distinguishes_workers() {
+        assert_eq!(current_thread_index(), None, "the test thread is not a pool worker");
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let indices = Mutex::new(HashSet::new());
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    indices.lock().unwrap().insert(current_thread_index());
+                });
+            }
+        });
+        let indices = indices.into_inner().unwrap();
+        assert!(!indices.contains(&None), "jobs run on workers, which have indices");
+        assert!(
+            indices.iter().all(|i| i.is_some_and(|k| k < 3)),
+            "indices stay below the pool size"
+        );
     }
 
     #[test]

@@ -1,45 +1,128 @@
-//! The execution core: OS worker threads, a shared job queue, and scoped
-//! task regions.
+//! The execution core: OS worker threads, per-worker work-stealing deques,
+//! and scoped task regions.
 //!
 //! This module is the only place in the shim that uses `unsafe`: a scoped
 //! job borrows stack data of the thread that called [`PoolCore::scope`],
 //! and its lifetime is erased so it can travel through the `'static` job
-//! queue. Safety rests on the scope discipline — `scope` does not return
+//! deques. Safety rests on the scope discipline — `scope` does not return
 //! until its completion latch reports every spawned job finished, so the
 //! borrowed data is live for the whole execution of every job (the same
 //! argument `std::thread::scope` makes).
 //!
-//! Design (the "static partitioning, dynamic draining" model):
+//! Design (the "static partitioning, dynamic stealing" model):
 //!
-//! - A pool of size `N` owns `N` OS worker threads parked on a condition
-//!   variable. Parallel regions enqueue one job per deterministic chunk;
-//!   workers drain the queue. Chunk *boundaries* never depend on the pool
-//!   size (see [`crate::iter`]), only the assignment of chunks to threads
-//!   does — which is what makes reductions bitwise reproducible across
-//!   pool sizes.
+//! - A pool of size `N` owns `N` OS worker threads and `N` deques, one per
+//!   worker, in the Chase–Lev discipline: a worker pushes and pops **its
+//!   own** deque at the back (LIFO, cache-hot), idle workers steal from a
+//!   **victim's** deque at the front (FIFO, oldest-first). Victims are
+//!   probed in a randomized order drawn from a per-worker RNG seeded
+//!   deterministically from the worker index, so runs are reproducible.
+//! - Jobs submitted from outside the pool (the thread opening a parallel
+//!   region) are placed round-robin across the deques; jobs spawned *by a
+//!   worker* go to that worker's own deque, where they stay until the
+//!   owner pops them or a thief steals them — this is what load-balances
+//!   skewed nested work that the old single shared queue serialized.
+//! - Chunk *boundaries* never depend on the pool size (see [`crate::iter`]),
+//!   only the assignment of chunks to threads does — which is what makes
+//!   ordered reductions bitwise reproducible across pool sizes.
 //! - A region is a [`Scope`]: spawn borrows, then the creating thread
-//!   blocks on the scope's latch. Panics inside jobs are caught, carried
-//!   across the thread boundary, and resumed on the scoping thread.
-//! - Nested regions started *from a worker thread* run inline on that
-//!   worker (no re-enqueueing), which makes nesting deadlock-free even on
-//!   a pool of size 1.
+//!   blocks on the scope's latch (a worker of the same pool instead *helps*
+//!   — it drains work until the latch clears, so nested `ThreadPool::scope`
+//!   calls cannot deadlock). Panics inside jobs are caught, carried across
+//!   the thread boundary, and resumed on the scoping thread.
 
 #![allow(unsafe_code)]
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A type-erased, lifetime-erased unit of work.
 type Job = Box<dyn FnOnce() + Send>;
 
-/// Shared state of one pool: the job queue its workers drain.
+/// One worker's deque plus a lock-free occupancy hint.
+///
+/// `len` is updated inside the deque lock but read without it: a probe
+/// that reads a stale 0 merely skips the deque this sweep — the epoch
+/// protocol in [`worker_loop`] guarantees the push that made it non-empty
+/// also advanced the wakeup epoch, so no job is ever stranded.
+struct WorkerDeque {
+    jobs: Mutex<VecDeque<Job>>,
+    len: AtomicUsize,
+}
+
+impl WorkerDeque {
+    fn new() -> Self {
+        WorkerDeque { jobs: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+
+    fn push_back(&self, job: Job) {
+        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
+        q.push_back(job);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Owner-side pop (LIFO). Lock-free when the hint says empty.
+    fn pop_back(&self) -> Option<Job> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
+        let job = q.pop_back();
+        self.len.store(q.len(), Ordering::Release);
+        job
+    }
+
+    /// Thief-side batch pop (FIFO): take the older *half* of the deque
+    /// (at least one job) in one lock acquisition — steal-half amortizes
+    /// lock traffic to O(workers · log jobs) per region instead of one
+    /// victim lock per job. Lock-free when the hint says empty. The
+    /// surplus is returned for the thief to re-home; the victim's lock is
+    /// released first, so no thread ever holds two deque locks (which
+    /// could deadlock two symmetric thieves).
+    fn steal_half(&self, surplus: &mut Vec<Job>) -> Option<Job> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
+        let take = q.len().div_ceil(2);
+        let first = q.pop_front();
+        for _ in 1..take {
+            surplus.push(q.pop_front().expect("take <= len"));
+        }
+        self.len.store(q.len(), Ordering::Release);
+        first
+    }
+}
+
+/// Shared state of one pool: the per-worker deques its workers drain.
 pub(crate) struct PoolCore {
     size: usize,
-    queue: Mutex<QueueState>,
+    /// One deque per worker. The owner pushes/pops at the back; thieves
+    /// pop at the front. A `Mutex<VecDeque>` per worker keeps the shim
+    /// `unsafe`-minimal while preserving the Chase–Lev access pattern —
+    /// the common case (owner pop) contends only with an active thief on
+    /// the *same* deque, never with the whole pool, and the atomic length
+    /// hint lets sweeps skip empty deques without touching their locks.
+    deques: Vec<WorkerDeque>,
+    /// Successful steals since the pool started (relaxed; test telemetry).
+    steals: AtomicU64,
+    /// Wakeup epoch: bumped on every push (eventcount pattern). A worker
+    /// that read epoch `e` before an empty sweep parks until it moves —
+    /// any push its sweep missed has already advanced it.
+    epoch: AtomicU64,
+    /// Workers currently parked (or about to park, under the sleep lock).
+    /// Pushers skip the sleep lock entirely while this is zero.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Mutex paired with `work_available`; holds no data — the state the
+    /// condvar guards lives in the atomics above, re-checked under this
+    /// lock before every wait.
+    sleep: Mutex<()>,
     work_available: Condvar,
 }
 
@@ -49,28 +132,44 @@ impl std::fmt::Debug for PoolCore {
     }
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
 thread_local! {
-    /// Non-zero on pool worker threads: the size of the pool the worker
-    /// belongs to. Parallel regions started on a worker run inline.
-    static WORKER_POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+    /// On pool worker threads: the owning pool and this worker's index.
+    static WORKER: RefCell<Option<(Arc<PoolCore>, usize)>> = const { RefCell::new(None) };
     /// The pool installed by [`crate::ThreadPool::install`] on this thread.
     static INSTALLED: RefCell<Vec<Arc<PoolCore>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// True on a pool worker thread (parallel regions must run inline there).
 pub(crate) fn in_worker() -> bool {
-    WORKER_POOL_SIZE.with(Cell::get) != 0
+    WORKER.with(|w| w.borrow().is_some())
 }
 
 /// Pool size seen by `current_num_threads` on a worker thread (0 if the
 /// current thread is not a worker).
 pub(crate) fn worker_pool_size() -> usize {
-    WORKER_POOL_SIZE.with(Cell::get)
+    WORKER.with(|w| w.borrow().as_ref().map_or(0, |(core, _)| core.size))
+}
+
+/// The worker index on a pool worker thread (`None` elsewhere) — the
+/// shim's `rayon::current_thread_index`.
+pub(crate) fn worker_index() -> Option<usize> {
+    WORKER.with(|w| w.borrow().as_ref().map(|&(_, idx)| idx))
+}
+
+/// This thread's worker index in `core` specifically, when the thread is a
+/// worker of that pool.
+fn worker_index_in(core: &Arc<PoolCore>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow().as_ref().and_then(
+            |(owner, idx)| {
+                if Arc::ptr_eq(owner, core) {
+                    Some(*idx)
+                } else {
+                    None
+                }
+            },
+        )
+    })
 }
 
 /// The pool a parallel region on this thread should execute in:
@@ -157,7 +256,7 @@ pub(crate) fn global_size() -> usize {
 }
 
 /// Replace the global pool with a fresh one of `size` threads. The old
-/// pool's workers are told to exit once their queue drains.
+/// pool's workers are told to exit once their deques drain.
 pub(crate) fn set_global(size: usize) -> std::io::Result<()> {
     let (core, _workers) = PoolCore::start(size)?;
     let mut slot = global_slot().lock().expect("global pool lock poisoned");
@@ -172,6 +271,27 @@ fn global_slot() -> &'static Mutex<Option<Arc<PoolCore>>> {
     GLOBAL.get_or_init(|| Mutex::new(None))
 }
 
+/// Deterministic per-worker RNG for victim selection (xorshift64*).
+/// Seeding from the worker index keeps steal schedules reproducible run to
+/// run — the *timing* of steals still varies, but not the probe order.
+struct StealRng(u64);
+
+impl StealRng {
+    fn new(index: usize) -> Self {
+        // SplitMix-style scramble of the index; never zero.
+        StealRng((index as u64).wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
 impl PoolCore {
     /// Build a core and spawn its `size` workers. The handles are returned
     /// so owned pools ([`crate::ThreadPool`]) can join them on drop; the
@@ -184,7 +304,12 @@ impl PoolCore {
         let size = size.max(1);
         let core = Arc::new(PoolCore {
             size,
-            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            deques: (0..size).map(|_| WorkerDeque::new()).collect(),
+            steals: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
             work_available: Condvar::new(),
         });
         let mut workers = Vec::with_capacity(size);
@@ -192,7 +317,7 @@ impl PoolCore {
             let worker_core = Arc::clone(&core);
             match std::thread::Builder::new()
                 .name(format!("rayon-shim-{k}"))
-                .spawn(move || worker_loop(worker_core))
+                .spawn(move || worker_loop(worker_core, k))
             {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -212,18 +337,79 @@ impl PoolCore {
         self.size
     }
 
-    fn push(&self, job: Job) {
-        let mut q = self.queue.lock().expect("pool queue lock poisoned");
-        q.jobs.push_back(job);
-        drop(q);
-        self.work_available.notify_one();
+    /// Successful steals since the pool started (test telemetry — the
+    /// counter itself is always maintained, one relaxed add per steal).
+    #[cfg(test)]
+    pub(crate) fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
-    /// Tell workers to exit once the queue is drained.
+    /// Push a job onto deque `index` (back — LIFO for the owner, FIFO for
+    /// thieves) and wake a parked worker, if any.
+    fn push_to(&self, index: usize, job: Job) {
+        self.deques[index].push_back(job);
+        self.announce_work();
+    }
+
+    /// Advance the wakeup epoch and wake a parked worker, if any. The
+    /// `SeqCst` pair (epoch bump, then sleeper check) against the park
+    /// path's (sleeper registration, then epoch re-check) guarantees that
+    /// either the pusher sees the sleeper and notifies, or the parking
+    /// worker sees the new epoch and re-sweeps — never neither.
+    fn announce_work(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            self.work_available.notify_one();
+        }
+    }
+
+    /// One full work-finding sweep for worker `index`: own deque first
+    /// (back, LIFO), then every other deque once in randomized victim
+    /// order (steal-half from the front). A successful steal re-homes the
+    /// surplus onto the thief's own deque — announced, so other idle
+    /// workers can in turn steal from it (logarithmic work diffusion).
+    /// `None` means the pool was empty at each probe.
+    fn find_work(&self, index: usize, rng: &mut StealRng) -> Option<Job> {
+        if let Some(job) = self.deques[index].pop_back() {
+            return Some(job);
+        }
+        if self.size == 1 {
+            return None;
+        }
+        let start = (rng.next() % (self.size as u64 - 1)) as usize;
+        for probe in 0..self.size - 1 {
+            // Linear probe from a random start, skipping our own deque.
+            let mut victim = (start + probe) % (self.size - 1);
+            if victim >= index {
+                victim += 1;
+            }
+            let mut surplus = Vec::new();
+            if let Some(job) = self.deques[victim].steal_half(&mut surplus) {
+                self.steals.fetch_add(1 + surplus.len() as u64, Ordering::Relaxed);
+                if !surplus.is_empty() {
+                    let own = &self.deques[index];
+                    let mut q = own.jobs.lock().expect("pool deque lock poisoned");
+                    // Stolen jobs are older than anything the owner will
+                    // push later; front-load them to keep FIFO-ish order
+                    // for onward thieves.
+                    for job in surplus.drain(..).rev() {
+                        q.push_front(job);
+                    }
+                    own.len.store(q.len(), Ordering::Release);
+                    drop(q);
+                    self.announce_work();
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Tell workers to exit once their deques are drained.
     pub(crate) fn shutdown(&self) {
-        let mut q = self.queue.lock().expect("pool queue lock poisoned");
-        q.shutdown = true;
-        drop(q);
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
         self.work_available.notify_all();
     }
 
@@ -240,6 +426,7 @@ impl PoolCore {
             state: Arc::new(ScopeState {
                 sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
                 done: Condvar::new(),
+                cursor: AtomicUsize::new(0),
             }),
             _borrow: PhantomData,
         };
@@ -261,27 +448,30 @@ impl PoolCore {
     }
 }
 
-fn worker_loop(core: Arc<PoolCore>) {
-    WORKER_POOL_SIZE.with(|c| c.set(core.size));
+fn worker_loop(core: Arc<PoolCore>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&core), index)));
+    let mut rng = StealRng::new(index);
     loop {
-        let job = {
-            let mut q = core.queue.lock().expect("pool queue lock poisoned");
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break Some(job);
-                }
-                if q.shutdown {
-                    break None;
-                }
-                q = core.work_available.wait(q).expect("pool queue lock poisoned");
-            }
-        };
-        match job {
+        // Epoch is read *before* the sweep: a push that the sweep misses
+        // necessarily advanced the epoch afterwards, so the park below
+        // wakes immediately instead of losing the job.
+        let seen = core.epoch.load(Ordering::SeqCst);
+        if let Some(job) = core.find_work(index, &mut rng) {
             // Jobs are panic-wrapped at spawn time, so this call never
             // unwinds into the loop.
-            Some(job) => job(),
-            None => return,
+            job();
+            continue;
         }
+        if core.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut guard = core.sleep.lock().expect("pool sleep lock poisoned");
+        core.sleepers.fetch_add(1, Ordering::SeqCst);
+        while core.epoch.load(Ordering::SeqCst) == seen && !core.shutdown.load(Ordering::SeqCst) {
+            guard = core.work_available.wait(guard).expect("pool sleep lock poisoned");
+        }
+        core.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
     }
 }
 
@@ -289,6 +479,11 @@ fn worker_loop(core: Arc<PoolCore>) {
 struct ScopeState {
     sync: Mutex<ScopeSync>,
     done: Condvar,
+    /// Round-robin cursor for this scope's *external* spawns. Scope-local
+    /// (not pool-global) so that identical parallel regions place their
+    /// jobs on identical deques run after run — reproducible placement,
+    /// with only steal timing left to the scheduler.
+    cursor: AtomicUsize,
 }
 
 struct ScopeSync {
@@ -308,6 +503,7 @@ where
         state: Arc::new(ScopeState {
             sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
             done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
         }),
         _borrow: PhantomData,
     };
@@ -336,9 +532,13 @@ impl std::fmt::Debug for Scope<'_> {
 
 impl<'scope> Scope<'scope> {
     /// Spawn `body` into the pool. The closure receives the scope (as in
-    /// rayon), so jobs can spawn further jobs. When called from a pool
-    /// worker thread — or on an inline region — the body runs inline,
-    /// keeping nesting deadlock-free.
+    /// rayon), so jobs can spawn further jobs.
+    ///
+    /// Placement: spawns from a worker *of this pool* go to that worker's
+    /// own deque (stealable nested work — a skewed job's children load-
+    /// balance across the pool); spawns from any other thread — the scoping
+    /// thread, or a worker of a different pool — are distributed
+    /// round-robin. Inline regions run the body eagerly.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
@@ -347,10 +547,6 @@ impl<'scope> Scope<'scope> {
             body(self);
             return;
         };
-        if in_worker() {
-            body(self);
-            return;
-        }
         {
             let mut sync = self.state.sync.lock().expect("scope lock poisoned");
             sync.pending += 1;
@@ -380,11 +576,48 @@ impl<'scope> Scope<'scope> {
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
         };
-        core.push(job);
+        match worker_index_in(core) {
+            // A worker of this pool spawns onto its own deque; any other
+            // thread distributes round-robin from the scope-local cursor.
+            Some(index) => core.push_to(index, job),
+            None => {
+                let k = self.state.cursor.fetch_add(1, Ordering::Relaxed) % core.size;
+                core.push_to(k, job);
+            }
+        }
     }
 
     /// Block until every spawned job has completed.
+    ///
+    /// A worker of the scope's own pool does not park — it *helps*,
+    /// draining pool work (its own nested jobs first, then steals) until
+    /// the latch clears, so nested `ThreadPool::scope` calls from inside a
+    /// job make progress even on a pool of one thread.
     fn wait(&self) {
+        if let Some(core) = &self.core {
+            if let Some(index) = worker_index_in(core) {
+                let mut rng = StealRng::new(index);
+                loop {
+                    if let Some(job) = core.find_work(index, &mut rng) {
+                        job();
+                        continue;
+                    }
+                    // No runnable work: park briefly on the latch instead
+                    // of spinning — the timeout bounds how late we notice
+                    // *new* stealable work (the latch itself wakes us when
+                    // the last pending job finishes).
+                    let sync = self.state.sync.lock().expect("scope lock poisoned");
+                    if sync.pending == 0 {
+                        return;
+                    }
+                    let _ = self
+                        .state
+                        .done
+                        .wait_timeout(sync, std::time::Duration::from_millis(1))
+                        .expect("scope lock poisoned");
+                }
+            }
+        }
         let mut sync = self.state.sync.lock().expect("scope lock poisoned");
         while sync.pending > 0 {
             sync = self.state.done.wait(sync).expect("scope lock poisoned");
@@ -396,6 +629,13 @@ impl<'scope> Scope<'scope> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn drain(core: Arc<PoolCore>, workers: Vec<JoinHandle<()>>) {
+        core.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
 
     #[test]
     fn scope_runs_jobs_on_worker_threads() {
@@ -412,10 +652,7 @@ mod tests {
         let ids = ids.into_inner().unwrap();
         assert_eq!(ids.len(), 8);
         assert!(ids.iter().all(|&id| id != caller), "jobs must run off the calling thread");
-        core.shutdown();
-        for w in workers {
-            w.join().unwrap();
-        }
+        drain(core, workers);
     }
 
     #[test]
@@ -430,10 +667,7 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 32);
-        core.shutdown();
-        for w in workers {
-            w.join().unwrap();
-        }
+        drain(core, workers);
     }
 
     #[test]
@@ -443,16 +677,37 @@ mod tests {
         core.scope(|s| {
             s.spawn(|s| {
                 hits.fetch_add(1, Ordering::Relaxed);
-                // Runs inline on the worker: must not deadlock on size 1.
+                // Goes to the worker's own deque; the worker pops it after
+                // this job returns — must not deadlock on size 1.
                 s.spawn(|_| {
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
             });
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
-        core.shutdown();
-        for w in workers {
-            w.join().unwrap();
+        drain(core, workers);
+    }
+
+    #[test]
+    fn deeply_nested_spawns_complete_across_pool_sizes() {
+        for size in [1usize, 2, 4, 8] {
+            let (core, workers) = PoolCore::start(size).unwrap();
+            let hits = AtomicUsize::new(0);
+            core.scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|s| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(|s| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            s.spawn(|_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 12, "pool size {size}");
+            drain(core, workers);
         }
     }
 
@@ -473,9 +728,121 @@ mod tests {
             });
         });
         assert_eq!(ok.load(Ordering::Relaxed), 1);
-        core.shutdown();
-        for w in workers {
-            w.join().unwrap();
+        drain(core, workers);
+    }
+
+    #[test]
+    fn panic_in_stolen_nested_job_propagates() {
+        // The panicking job is spawned from a worker (lands on its own
+        // deque, eligible for stealing); the panic must still surface at
+        // the scoping thread, at every pool size.
+        for size in [2usize, 4, 8] {
+            let (core, workers) = PoolCore::start(size).unwrap();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                core.scope(|s| {
+                    for k in 0..2 * size {
+                        s.spawn(move |s| {
+                            s.spawn(move |_| {
+                                if k == 1 {
+                                    panic!("boom in nested job");
+                                }
+                            });
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "nested panic lost at pool size {size}");
+            drain(core, workers);
         }
+    }
+
+    #[test]
+    fn external_spawns_cover_all_deques_round_robin() {
+        // N external spawns in a fresh scope land on N distinct deques
+        // (scope-local cursor starts at 0), and a worker drains its own
+        // deque before stealing — so N tasks that rendezvous must be held
+        // by N distinct workers. Exactness of this placement is what the
+        // engine's barrier-based `observed_parallelism` probe relies on.
+        let n = 4usize;
+        let (core, workers) = PoolCore::start(n).unwrap();
+        let arrived = AtomicUsize::new(0);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        core.scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                    while arrived.load(Ordering::SeqCst) < n && std::time::Instant::now() < deadline
+                    {
+                        std::thread::yield_now();
+                    }
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            }
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), n, "one task per worker, exactly");
+        drain(core, workers);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// Skewed-workload property: one giant job that *spawns* `tiny`
+        /// small jobs (they land on the giant's own deque) and stays busy
+        /// until every one of them has completed. Its worker never returns
+        /// to its deque in the meantime, so each tiny job can only have
+        /// been executed by a *thief* — steals must occur (at least
+        /// `tiny`), and nothing may be lost. Under the old shared-queue
+        /// scheduler this exact shape serialized: nested spawns ran inline
+        /// on the giant job's worker.
+        #[test]
+        fn skewed_workload_steals_and_completes(size in 2usize..9, extra in 0usize..48) {
+            let tiny = size + extra;
+            let (core, workers) = PoolCore::start(size).unwrap();
+            let before = core.steal_count();
+            let done_tiny = AtomicUsize::new(0);
+            let giant_done = AtomicUsize::new(0);
+            core.scope(|s| {
+                s.spawn(|s| {
+                    // The "giant chunk": spawn the tiny jobs onto this
+                    // worker's deque, then occupy the worker until they
+                    // have all completed (bounded, to fail loudly rather
+                    // than hang on a scheduler bug).
+                    for _ in 0..tiny {
+                        s.spawn(|_| {
+                            done_tiny.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    let deadline = std::time::Instant::now()
+                        + std::time::Duration::from_secs(10);
+                    while done_tiny.load(Ordering::SeqCst) < tiny
+                        && std::time::Instant::now() < deadline
+                    {
+                        std::thread::yield_now();
+                    }
+                    giant_done.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            proptest::prop_assert_eq!(done_tiny.load(Ordering::SeqCst), tiny);
+            proptest::prop_assert_eq!(giant_done.load(Ordering::SeqCst), 1);
+            let stolen = core.steal_count() - before;
+            proptest::prop_assert!(
+                stolen >= tiny as u64,
+                "1 giant spawning {} tiny jobs on {} workers: every tiny job must be stolen \
+                 (got {} steals)",
+                tiny, size, stolen
+            );
+            drain(core, workers);
+        }
+    }
+
+    #[test]
+    fn steal_rng_is_deterministic() {
+        let draws = |index: usize| {
+            let mut rng = StealRng::new(index);
+            (0..8).map(|_| rng.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(3), draws(3), "same worker index ⇒ same victim sequence");
+        assert_ne!(draws(0), draws(1), "distinct workers draw distinct sequences");
     }
 }

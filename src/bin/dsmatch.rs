@@ -5,7 +5,7 @@
 //! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
 //!         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]]
 //!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs]
-//!         [--iters N] [--seed S] [--batch N] [--threads T]
+//!         [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T]
 //!         [--quality] [--json] [--output pairs.txt]
 //! ```
 //!
@@ -15,7 +15,11 @@
 //!
 //! `--batch N` solves the instance `N` times with seeds `S, S+1, …`,
 //! reusing one engine [`Workspace`] so only the first solve allocates — the
-//! batch/server mode of the engine layer.
+//! batch/server mode of the engine layer. Adding `--batch-par` fans the
+//! batch across a [`WorkspacePool`] (one reusable workspace per worker):
+//! solves run concurrently — batch-level instead of stage-level
+//! parallelism — while each run's result stays byte-identical to its
+//! 1-thread solve and reports keep their submission order.
 //!
 //! `--quality` additionally computes the exact optimum (Hopcroft–Karp) and
 //! reports the quality ratio — the measurement protocol of the paper's §4.
@@ -23,7 +27,7 @@
 //! `--output` writes the matched `(row, col)` pairs (1-based) of the best
 //! run to a file.
 
-use dsmatch::engine::{Json, Pipeline, SolveReport, Solver, Workspace};
+use dsmatch::engine::{Json, Pipeline, SolveReport, Solver, Workspace, WorkspacePool};
 use dsmatch::prelude::*;
 use std::io::Write;
 use std::process::ExitCode;
@@ -82,7 +86,7 @@ fn print_usage() {
         "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
          [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
          [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs] \
-         [--iters N] [--seed S] [--batch N] [--threads T] \
+         [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
          [--quality] [--json] [--output pairs.txt]"
     );
 }
@@ -124,21 +128,29 @@ fn main() -> ExitCode {
         }
     };
     let batch: usize = arg_value("batch").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let batch_par = flag("batch-par");
     let want_quality = flag("quality");
     let want_json = flag("json");
 
     // `--threads T` builds a workspace-owned pool of exactly T workers;
     // without the flag, solves use the ambient pool (RAYON_NUM_THREADS or
-    // the machine's available parallelism). The probe below counts the
-    // distinct worker threads that actually execute a parallel region, so
-    // the report states genuine parallelism, not a configured wish.
+    // the machine's available parallelism). With `--batch-par` the pool
+    // instead backs a WorkspacePool that fans whole batch runs across the
+    // workers. The probe below counts the distinct worker threads that
+    // actually execute a parallel region, so the report states genuine
+    // parallelism, not a configured wish.
     let threads_requested = arg_value("threads").and_then(|v| v.parse::<usize>().ok());
-    let mut ws = match threads_requested {
-        Some(t) => Workspace::with_threads(t),
-        None => Workspace::new(),
+    let batch_pool = batch_par.then(|| Workspace::per_worker(threads_requested.unwrap_or(0)));
+    let mut ws = match (&batch_pool, threads_requested) {
+        (Some(_), _) => Workspace::new(), // unused; solves go through the pool
+        (None, Some(t)) => Workspace::with_threads(t),
+        (None, None) => Workspace::new(),
     };
-    let pool_size = ws.threads();
-    let observed_workers = ws.run(dsmatch::engine::observed_parallelism);
+    let pool_size = batch_pool.as_ref().map_or_else(|| ws.threads(), WorkspacePool::threads);
+    let observed_workers = match &batch_pool {
+        Some(p) => p.run(dsmatch::engine::observed_parallelism),
+        None => ws.run(dsmatch::engine::observed_parallelism),
+    };
     eprintln!("thread pool: {pool_size} threads ({observed_workers} distinct workers observed)");
 
     let t0 = Instant::now();
@@ -157,16 +169,24 @@ fn main() -> ExitCode {
         t0.elapsed()
     );
 
-    // Batch mode: one workspace, N solves, seeds S, S+1, ….
-    let mut reports: Vec<SolveReport> = Vec::with_capacity(batch);
-    for k in 0..batch {
-        let run = pipeline.clone().with_seed(seed.wrapping_add(k as u64));
-        let report = run.solve(&g, &mut ws);
+    // Batch mode: N solves with seeds S, S+1, … — sequentially reusing one
+    // workspace, or (--batch-par) fanned across the workspace pool with
+    // reports kept in submission order.
+    let mut reports: Vec<SolveReport> = match &batch_pool {
+        Some(pool) => {
+            let jobs: Vec<(&dsmatch::graph::BipartiteGraph, u64)> =
+                (0..batch).map(|k| (&g, seed.wrapping_add(k as u64))).collect();
+            pipeline.solve_batch(&jobs, pool)
+        }
+        None => (0..batch)
+            .map(|k| pipeline.clone().with_seed(seed.wrapping_add(k as u64)).solve(&g, &mut ws))
+            .collect(),
+    };
+    for report in &reports {
         if let Err(e) = report.matching.verify(&g) {
             eprintln!("INTERNAL ERROR: produced an invalid matching: {e}");
             return ExitCode::FAILURE;
         }
-        reports.push(report);
     }
     let optimum = want_quality.then(|| sprank(&g));
     if let Some(opt) = optimum {
@@ -206,6 +226,7 @@ fn main() -> ExitCode {
                     ("requested", Json::opt(threads_requested)),
                     ("pool", Json::from(pool_size)),
                     ("observed_workers", Json::from(observed_workers)),
+                    ("batch_par", Json::from(batch_par)),
                 ]),
             ),
             ("optimum", Json::opt(optimum)),

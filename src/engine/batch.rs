@@ -1,0 +1,248 @@
+//! Batch-level parallelism: a pool of reusable workspaces and a batch
+//! solver that fans instances across it.
+//!
+//! [`Pipeline::solve`] parallelizes *inside* one instance; on server
+//! workloads of many small instances the parallelism that actually pays is
+//! one level up — solve whole instances concurrently, each sequentially on
+//! one worker. [`WorkspacePool`] holds one reusable [`Workspace`] per
+//! worker (trading memory for throughput: `N` workspaces instead of one),
+//! and [`Pipeline::solve_batch`] distributes the batch over the pool while
+//! preserving per-instance [`SolveReport`]s in submission order.
+//!
+//! Per-instance results are *identical* to a sequential 1-thread solve of
+//! the same `(instance, seed)` pair, under **any** rayon runtime: every
+//! slot workspace owns a pinned 1-thread pool, so each batch item's
+//! nested parallel regions run the sequential schedule — the shim executes
+//! them inline on the batch worker, real rayon dispatches them to the
+//! slot's one-thread pool; either way the schedule is the 1-thread one
+//! the workspace's determinism tests pin down.
+//!
+//! ```
+//! use dsmatch::engine::{Pipeline, Solver, Workspace};
+//!
+//! let instances: Vec<_> =
+//!     (0..4).map(|s| dsmatch::gen::erdos_renyi_square(400, 4.0, s)).collect();
+//! let pipeline: Pipeline = "scale:sk:3,two".parse().unwrap();
+//!
+//! let pool = Workspace::per_worker(2);
+//! let jobs: Vec<_> = instances.iter().map(|g| (g, 7u64)).collect();
+//! let reports = pipeline.solve_batch(&jobs, &pool);
+//! assert_eq!(reports.len(), 4);
+//! ```
+
+use std::sync::{Arc, Mutex, TryLockError};
+
+use dsmatch_graph::BipartiteGraph;
+use rayon::prelude::*;
+
+use super::pipeline::{Pipeline, Solver};
+use super::report::SolveReport;
+use super::workspace::Workspace;
+
+/// A pool of reusable [`Workspace`]s, one per worker (plus one for the
+/// submitting thread), backing [`Pipeline::solve_batch`].
+///
+/// Built by [`Workspace::per_worker`] (owns a thread pool of the requested
+/// size) or [`WorkspacePool::ambient`] (uses whatever pool is current at
+/// solve time). Workspaces are lazily grown scratch arenas: after each
+/// worker's first solve of a given instance shape, batch solving allocates
+/// only the returned matchings.
+#[derive(Debug)]
+pub struct WorkspacePool {
+    slots: Vec<Mutex<Workspace>>,
+    /// Reusable workspaces for solves that found every slot busy (an
+    /// [`ambient`](WorkspacePool::ambient) pool driven from a larger pool
+    /// than it was built under) — cached so overflow does not pay a
+    /// workspace construction (with its pinned 1-thread pool) per solve.
+    overflow: Mutex<Vec<Workspace>>,
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl Workspace {
+    /// A [`WorkspacePool`] owning a thread pool of exactly `threads`
+    /// workers (`0` = the default size) and one workspace per worker —
+    /// the batch/server mode the CLI exposes as `--batch N --batch-par`.
+    pub fn per_worker(threads: usize) -> WorkspacePool {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build batch thread pool");
+        WorkspacePool::with_slots(pool.current_num_threads() + 1, Some(Arc::new(pool)))
+    }
+}
+
+impl WorkspacePool {
+    /// A workspace pool sized for the *ambient* thread pool (the caller's
+    /// installed pool, or the global one) instead of owning its own.
+    pub fn ambient() -> Self {
+        Self::with_slots(rayon::current_num_threads() + 1, None)
+    }
+
+    fn with_slots(slots: usize, pool: Option<Arc<rayon::ThreadPool>>) -> Self {
+        WorkspacePool {
+            // Each slot pins a 1-thread pool: batch items must solve on
+            // the *sequential* schedule for the byte-identical-to-1-thread
+            // contract, and only an installed one-thread pool guarantees
+            // that under every rayon runtime (the shim would run nested
+            // regions inline on a batch worker anyway; real rayon would
+            // otherwise fan them out across the batch pool).
+            slots: (0..slots.max(2)).map(|_| Mutex::new(Workspace::with_threads(1))).collect(),
+            overflow: Mutex::new(Vec::new()),
+            pool,
+        }
+    }
+
+    /// The number of threads batch solves against this pool will use.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or_else(rayon::current_num_threads, |p| p.current_num_threads())
+    }
+
+    /// The number of reusable workspaces held (workers + 1: the submitting
+    /// thread can execute small batches inline).
+    pub fn workspaces(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Run `op` in this pool's execution context: inside the owned pool
+    /// when there is one, in the ambient pool otherwise.
+    pub fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
+
+    /// Run `op` with an exclusive workspace: a free pool slot when one
+    /// exists, else a fresh temporary. With the pool the constructors
+    /// size (workers + 1 slots, each concurrent task holding at most
+    /// one), a slot is always free; the temporary covers an [`ambient`]
+    /// pool driven from a *larger* pool than it was built under — those
+    /// overflow solves allocate their own scratch instead of spinning or
+    /// blocking, trading reuse for progress.
+    ///
+    /// [`ambient`]: WorkspacePool::ambient
+    fn with_workspace<R>(&self, op: impl FnOnce(&mut Workspace) -> R) -> R {
+        for slot in &self.slots {
+            match slot.try_lock() {
+                Ok(mut ws) => return op(&mut ws),
+                // A solve that panicked mid-stage leaves valid (if
+                // arbitrarily shaped) scratch: every buffer regrows on
+                // demand, so a poisoned slot is safe to reuse.
+                Err(TryLockError::Poisoned(poisoned)) => return op(&mut poisoned.into_inner()),
+                Err(TryLockError::WouldBlock) => {}
+            }
+        }
+        let mut ws = {
+            let mut cache = self.overflow.lock().unwrap_or_else(|p| p.into_inner());
+            cache.pop().unwrap_or_else(|| Workspace::with_threads(1))
+        };
+        let result = op(&mut ws);
+        self.overflow.lock().unwrap_or_else(|p| p.into_inner()).push(ws);
+        result
+    }
+}
+
+impl Pipeline {
+    /// Solve a batch of `(instance, seed)` jobs across `pool`'s workers,
+    /// returning one [`SolveReport`] per job **in submission order**.
+    ///
+    /// Instances are distributed one per task (stealable, so skewed
+    /// batches — one large instance among many small ones — load-balance);
+    /// each instance is solved sequentially on its worker with a reused
+    /// per-worker workspace, making the per-instance results byte-identical
+    /// to 1-thread solves.
+    pub fn solve_batch(
+        &self,
+        jobs: &[(&BipartiteGraph, u64)],
+        pool: &WorkspacePool,
+    ) -> Vec<SolveReport> {
+        pool.run(|| {
+            jobs.par_iter()
+                .with_max_len(1)
+                .map(|&(g, seed)| {
+                    pool.with_workspace(|ws| self.clone().with_seed(seed).solve(g, ws))
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_worker_pool_shape() {
+        let pool = Workspace::per_worker(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.workspaces(), 4, "one workspace per worker plus the submitter");
+        assert_eq!(pool.run(rayon::current_num_threads), 3);
+    }
+
+    #[test]
+    fn ambient_pool_tracks_current_threads() {
+        let ambient = WorkspacePool::ambient();
+        assert_eq!(ambient.threads(), rayon::current_num_threads());
+    }
+
+    #[test]
+    fn ambient_pool_overflows_gracefully_under_a_larger_pool() {
+        // An ambient WorkspacePool sized under a small pool, then driven
+        // from a larger installed pool: overflow tasks fall back to
+        // temporary workspaces — every job completes, correctly, without
+        // livelock.
+        let instances: Vec<BipartiteGraph> =
+            (0..10).map(|k| crate::gen::erdos_renyi_square(300, 3.0, k)).collect();
+        let jobs: Vec<(&BipartiteGraph, u64)> = instances.iter().map(|g| (g, 3u64)).collect();
+        let small = WorkspacePool::ambient();
+        let big = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let pipeline: Pipeline = "scale:sk:3,two".parse().unwrap();
+        let reports = big.install(|| pipeline.solve_batch(&jobs, &small));
+        assert_eq!(reports.len(), jobs.len());
+        for (k, (report, g)) in reports.iter().zip(&instances).enumerate() {
+            report.matching.verify(g).unwrap_or_else(|e| panic!("job {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn batch_reports_preserve_submission_order() {
+        // Distinguishable instances: sizes 10, 20, 30, … — the report for
+        // job k must describe instance k even under stealing.
+        let instances: Vec<BipartiteGraph> =
+            (1..=12).map(|k| crate::gen::erdos_renyi_square(10 * k, 3.0, k as u64)).collect();
+        let jobs: Vec<(&BipartiteGraph, u64)> = instances.iter().map(|g| (g, 5u64)).collect();
+        let pipeline: Pipeline = "scale:sk:3,two".parse().unwrap();
+        let pool = Workspace::per_worker(4);
+        let reports = pipeline.solve_batch(&jobs, &pool);
+        assert_eq!(reports.len(), jobs.len());
+        for (k, (report, g)) in reports.iter().zip(&instances).enumerate() {
+            report.matching.verify(g).unwrap_or_else(|e| panic!("job {k}: {e}"));
+            assert_eq!(report.matching.rmates().len(), g.nrows(), "job {k} shape");
+        }
+    }
+
+    #[test]
+    fn batch_results_match_sequential_solves_byte_for_byte() {
+        let instances: Vec<BipartiteGraph> =
+            (0..8).map(|k| crate::gen::erdos_renyi_square(600, 4.0, 100 + k)).collect();
+        let jobs: Vec<(&BipartiteGraph, u64)> =
+            instances.iter().enumerate().map(|(k, g)| (g, k as u64)).collect();
+        let pipeline: Pipeline = "scale:sk:4,two".parse().unwrap();
+
+        // Sequential reference: one workspace on a pinned 1-thread pool —
+        // the schedule each batch item must reproduce regardless of the
+        // ambient pool size this test runs under.
+        let mut ws = Workspace::with_threads(1);
+        let reference: Vec<SolveReport> = jobs
+            .iter()
+            .map(|&(g, seed)| pipeline.clone().with_seed(seed).solve(g, &mut ws))
+            .collect();
+
+        let pool = Workspace::per_worker(4);
+        let batch = pipeline.solve_batch(&jobs, &pool);
+        for (k, (b, r)) in batch.iter().zip(&reference).enumerate() {
+            assert_eq!(b.matching.rmates(), r.matching.rmates(), "job {k} rmates");
+            assert_eq!(b.cardinality(), r.cardinality(), "job {k} cardinality");
+        }
+    }
+}

@@ -22,6 +22,9 @@
 //! - [`Workspace`] — reusable scratch buffers threaded through every
 //!   stage; repeated solves on same-shaped instances stop allocating
 //!   (batch/server mode);
+//! - [`WorkspacePool`] + [`Pipeline::solve_batch`] — batch-level
+//!   parallelism: one reusable workspace per worker, whole instances
+//!   fanned across the pool in stealable tasks (CLI `--batch-par`);
 //! - [`SolveReport`] — the matching plus per-stage wall times, scaling
 //!   iteration count/error, and an optional quality ratio;
 //! - [`Json`] — the hand-rolled JSON writer behind `--json` and the bench
@@ -43,12 +46,14 @@
 //! }
 //! ```
 
+mod batch;
 pub mod json;
 mod pipeline;
 mod registry;
 mod report;
 mod workspace;
 
+pub use batch::WorkspacePool;
 pub use json::Json;
 pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
 pub use registry::AlgorithmKind;

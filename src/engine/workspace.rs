@@ -103,26 +103,58 @@ impl Default for Workspace {
 /// region in the **current** pool context — the honesty probe behind the
 /// CLI's `--threads` report.
 ///
-/// Spawns one scoped task per configured thread; tasks rendezvous (with a
-/// bounded wait) before recording their thread id, so a genuinely parallel
-/// pool of `N` workers reports `N` and a sequential executor reports `1`.
+/// Spawns one scoped task per configured thread; tasks rendezvous on a
+/// **barrier** before recording their thread id, so a genuinely parallel
+/// pool of `N` workers reports exactly `N` and a sequential executor
+/// reports `1`. The barrier (rather than the old bounded busy-wait, which
+/// could let one worker run two probe tasks and undercount) is safe here
+/// because the scheduler places the `N` probe tasks on `N` distinct
+/// worker deques and a worker drains its own deque first — every worker
+/// executes exactly one task. Tasks that find themselves running *inline*
+/// (no pool dispatched, or a probe from within a worker) skip the wait,
+/// and a generous timeout keeps a degenerate scheduler from hanging the
+/// probe instead of merely undercounting it.
 pub fn observed_parallelism() -> usize {
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    use std::time::{Duration, Instant};
+    use std::sync::{Condvar, Mutex};
+    use std::time::Duration;
 
     let expected = rayon::current_num_threads();
-    let started = AtomicUsize::new(0);
+    if expected <= 1 {
+        return 1;
+    }
+
+    /// All-arrive barrier: every task arrives; only tasks that are *not*
+    /// executing inline on the probing thread wait for the full
+    /// complement. Inline execution (a sequential region, or a runtime
+    /// that lets the scoping thread help) is detected portably by thread
+    /// identity — an inline task waiting on itself would deadlock.
+    struct Rendezvous {
+        arrived: Mutex<usize>,
+        all_here: Condvar,
+    }
+    let caller = std::thread::current().id();
+    let barrier = Rendezvous { arrived: Mutex::new(0), all_here: Condvar::new() };
     let ids = Mutex::new(HashSet::new());
     rayon::scope(|s| {
         for _ in 0..expected {
             s.spawn(|_| {
-                started.fetch_add(1, Ordering::SeqCst);
-                let deadline = Instant::now() + Duration::from_millis(200);
-                while started.load(Ordering::SeqCst) < expected && Instant::now() < deadline {
-                    std::thread::yield_now();
+                let inline = std::thread::current().id() == caller;
+                let mut count = barrier.arrived.lock().unwrap();
+                *count += 1;
+                barrier.all_here.notify_all();
+                if !inline {
+                    let mut remaining = Duration::from_secs(2);
+                    while *count < expected && !remaining.is_zero() {
+                        let (next, timeout) =
+                            barrier.all_here.wait_timeout(count, remaining).unwrap();
+                        count = next;
+                        if timeout.timed_out() {
+                            remaining = Duration::ZERO;
+                        }
+                    }
                 }
+                drop(count);
                 ids.lock().unwrap().insert(std::thread::current().id());
             });
         }
@@ -145,11 +177,31 @@ mod tests {
     }
 
     #[test]
-    fn observed_parallelism_matches_pool_size() {
+    fn observed_parallelism_is_exact_for_every_pool_size() {
+        // The barrier-based probe is exact, not a lower bound: each pool
+        // worker executes exactly one probe task (own-deque placement), so
+        // the count must equal the pool size even under scheduling skew.
+        for t in [1usize, 2, 4, 8] {
+            let ws = Workspace::with_threads(t);
+            assert_eq!(ws.run(observed_parallelism), t, "{t}-thread pool");
+        }
+    }
+
+    #[test]
+    fn observed_parallelism_from_worker_context_reports_inline() {
+        // Nested regions on a pool worker run inline; the probe must say
+        // so instead of deadlocking on a barrier no one else will reach.
         let ws = Workspace::with_threads(4);
-        let seen = ws.run(observed_parallelism);
-        assert_eq!(seen, 4, "4-thread pool must expose 4 distinct workers");
-        let solo = Workspace::with_threads(1);
-        assert_eq!(solo.run(observed_parallelism), 1);
+        let nested = ws.run(|| {
+            let slot = std::sync::Mutex::new(0usize);
+            rayon::scope(|s| {
+                s.spawn(|_| {
+                    *slot.lock().unwrap() = observed_parallelism();
+                });
+            });
+            let seen = *slot.lock().unwrap();
+            seen
+        });
+        assert_eq!(nested, 1);
     }
 }

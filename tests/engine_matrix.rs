@@ -100,13 +100,25 @@ fn engine_respects_scaling_iterations() {
 #[test]
 fn ksmt_is_two_sided_and_one_out_agrees_on_cardinality() {
     // Algorithm 3 ≡ sampling + Algorithm 4, so `scale,two` and
-    // `scale,ksmt` must coincide exactly; the §5 one-out variant matches
-    // the same sampled subgraph with the one-class sweep, so its
-    // cardinality agrees (the subgraph's maximum is schedule-independent).
+    // `scale,ksmt` must coincide; the §5 one-out variant matches the same
+    // sampled subgraph with the one-class sweep, so its cardinality agrees
+    // (the subgraph's maximum is schedule-independent). Under a real
+    // multi-thread ambient pool the *mate arrays* of two runs may differ
+    // (Algorithm 4's races are benign by design), so the byte-exact half
+    // of the equivalence is asserted on the deterministic 1-thread
+    // schedule and the schedule-independent half — cardinality — on
+    // whatever pool this test runs under.
     let g = dsmatch::gen::erdos_renyi_square(3_000, 4.0, 33);
     let two = run(AlgorithmKind::TwoSided, &g, 5, 7);
     let ksmt = run(AlgorithmKind::KarpSipserMt, &g, 5, 7);
     let one_out = run(AlgorithmKind::OneOutUndirected, &g, 5, 7);
-    assert_eq!(two, ksmt);
+    assert_eq!(two.cardinality(), ksmt.cardinality());
     assert_eq!(two.cardinality(), one_out.cardinality());
+
+    let p1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let (two1, ksmt1) = p1.install(|| {
+        (run(AlgorithmKind::TwoSided, &g, 5, 7), run(AlgorithmKind::KarpSipserMt, &g, 5, 7))
+    });
+    assert_eq!(two1, ksmt1, "byte-exact equivalence on the sequential schedule");
+    assert_eq!(two1.cardinality(), two.cardinality(), "cardinality is schedule-independent");
 }

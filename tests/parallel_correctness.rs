@@ -137,6 +137,72 @@ fn scaling_into_byte_identical_across_pools() {
     }
 }
 
+/// Panic propagation under the work-stealing scheduler: a panic in a
+/// *nested* spawn — pushed to its worker's own deque, hence eligible for
+/// stealing — must surface at the scoping thread at pools 2, 4 and 8, and
+/// the pool must stay usable afterwards.
+#[test]
+fn panic_in_stolen_nested_task_propagates_across_pools() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for t in [2usize, 4, 8] {
+        let p = pool(t);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                for k in 0..2 * t {
+                    s.spawn(move |s| {
+                        s.spawn(move |_| {
+                            if k == 1 {
+                                panic!("nested boom");
+                            }
+                        });
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "nested panic lost at {t} threads");
+        // The pool survives: a follow-up scope completes all its work.
+        let ok = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..4 * t {
+                s.spawn(|_| {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4 * t, "pool unusable after panic at {t} threads");
+    }
+}
+
+/// Nested scopes under stealing: every level of a three-deep spawn tree
+/// completes, with results visible to the scoping thread, at pools 2/4/8.
+/// (Nested spawns land on their worker's own deque; idle workers steal
+/// them — the skewed-chain-walk shape the scheduler exists for.)
+#[test]
+fn nested_scopes_complete_under_stealing() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for t in [2usize, 4, 8] {
+        let p = pool(t);
+        let hits = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..t {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        s.spawn(|s| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            s.spawn(|_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), t * 7, "threads = {t}");
+    }
+}
+
 /// `one_sided_match` under real pools: the matched-column set and the
 /// cardinality are a pure function of the seed; every schedule's matching
 /// is valid. (The winning row per column is a benign race by design.)
