@@ -14,14 +14,53 @@
 //! `fresh < baseline * (1 - tolerance) - slack`: the relative band
 //! absorbs run-to-run noise, the absolute slack keeps near-1× speedups
 //! (1-core runners report ≈1× honestly at every thread count) from
-//! flapping. Kernels present in the baseline must be present in the fresh
+//! flapping. A baseline speedup that is non-finite or ≈0 makes that floor
+//! meaningless (≤ 0 — everything would pass), so degenerate baselines
+//! **fail** with a message instead of gating nothing, mirroring the
+//! `s.max(1e-12)` guard the sweep itself applies when it divides wall
+//! times. Kernels present in the baseline must be present in the fresh
 //! sweep (dropping one would silently shrink coverage); new kernels in
 //! the fresh sweep are reported but not judged. Exit code is non-zero on
-//! any regression, missing kernel, or unreadable input — this is the
-//! enforcement half of the ROADMAP's "speedup regression tracking" item.
+//! any regression, degenerate baseline, missing kernel, or unreadable
+//! input — this is the enforcement half of the ROADMAP's "speedup
+//! regression tracking" item.
 
 use dsmatch_bench::{arg, geometric_mean, parse_json, JsonValue, Table};
 use std::process::ExitCode;
+
+/// Smallest baseline speedup the gate will accept as meaningful. Honest
+/// sweeps report O(1) speedups (0.5–8×); anything at or below this is a
+/// corrupted or hand-edited baseline whose floor would be vacuous.
+const MIN_BASELINE_SPEEDUP: f64 = 1e-6;
+
+/// Verdict for one kernel's `(baseline, fresh)` speedup pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    /// Fresh speedup is at or above the tolerance floor.
+    Ok,
+    /// Fresh speedup fell below `baseline * (1 - tolerance) - slack`.
+    Regressed,
+    /// The baseline itself is unusable (non-finite or ≈0): the gate must
+    /// fail loudly rather than pass vacuously against a floor ≤ 0.
+    DegenerateBaseline,
+}
+
+/// Judge one kernel. `NaN` propagates to a failure on either side: a NaN
+/// baseline is degenerate, a NaN fresh value never clears the floor.
+fn judge(baseline: f64, fresh: f64, tolerance: f64, slack: f64) -> Verdict {
+    if !baseline.is_finite() || baseline <= MIN_BASELINE_SPEEDUP {
+        return Verdict::DegenerateBaseline;
+    }
+    if fresh >= floor(baseline, tolerance, slack) {
+        Verdict::Ok
+    } else {
+        Verdict::Regressed
+    }
+}
+
+fn floor(baseline: f64, tolerance: f64, slack: f64) -> f64 {
+    baseline * (1.0 - tolerance) - slack
+}
 
 /// `kernel name → speedup at the reference thread count`, from one sweep
 /// document.
@@ -106,7 +145,7 @@ fn main() -> ExitCode {
     ]);
     let mut failures = 0usize;
     for (name, base) in &base_speedups {
-        let floor = base * (1.0 - tolerance) - slack;
+        let floor_str = format!("{:.2}x", floor(*base, tolerance, slack));
         match fresh_speedups.iter().find(|(n, _)| n == name) {
             None => {
                 failures += 1;
@@ -114,22 +153,34 @@ fn main() -> ExitCode {
                     name.clone(),
                     format!("{base:.2}x"),
                     "—".into(),
-                    format!("{floor:.2}x"),
+                    floor_str,
                     "MISSING".into(),
                 ]);
             }
             Some((_, now)) => {
-                let ok = *now >= floor;
-                if !ok {
+                let verdict = judge(*base, *now, tolerance, slack);
+                if verdict != Verdict::Ok {
                     failures += 1;
                 }
                 table.push(vec![
                     name.clone(),
                     format!("{base:.2}x"),
                     format!("{now:.2}x"),
-                    format!("{floor:.2}x"),
-                    if ok { "ok" } else { "REGRESSED" }.into(),
+                    floor_str,
+                    match verdict {
+                        Verdict::Ok => "ok",
+                        Verdict::Regressed => "REGRESSED",
+                        Verdict::DegenerateBaseline => "DEGENERATE BASELINE",
+                    }
+                    .into(),
                 ]);
+                if verdict == Verdict::DegenerateBaseline {
+                    eprintln!(
+                        "trendcheck: kernel {name}: baseline speedup {base} is not a \
+                         meaningful reference (non-finite or ≈0) — regenerate \
+                         {baseline_path} with the speedup sweep"
+                    );
+                }
             }
         }
     }
@@ -162,9 +213,54 @@ fn main() -> ExitCode {
         tolerance * 100.0,
     );
     if failures > 0 {
-        eprintln!("trendcheck: {failures} kernel(s) regressed or went missing");
+        eprintln!("trendcheck: {failures} kernel(s) regressed, went missing, or had a degenerate baseline");
         return ExitCode::FAILURE;
     }
     println!("trendcheck: all {} kernels within the tolerance band", base_speedups.len());
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn judge_passes_within_band_and_fails_below_floor() {
+        // floor = 1.0 * 0.7 - 0.15 = 0.55
+        assert_eq!(judge(1.0, 1.0, 0.30, 0.15), Verdict::Ok);
+        assert_eq!(judge(1.0, 0.56, 0.30, 0.15), Verdict::Ok);
+        assert_eq!(judge(1.0, 0.54, 0.30, 0.15), Verdict::Regressed);
+        assert_eq!(judge(4.0, 2.0, 0.30, 0.15), Verdict::Regressed, "floor 2.65");
+    }
+
+    #[test]
+    fn degenerate_baselines_fail_instead_of_passing_vacuously() {
+        // Before the guard, a zero baseline made the floor negative and
+        // every fresh value (even 0, even a regression to nothing) passed.
+        for bad in [0.0, -1.0, 1e-9, f64::NAN, f64::INFINITY] {
+            assert_eq!(judge(bad, 5.0, 0.30, 0.15), Verdict::DegenerateBaseline, "baseline {bad}");
+        }
+        // A NaN fresh value is a failure, not a pass.
+        assert_eq!(judge(1.0, f64::NAN, 0.30, 0.15), Verdict::Regressed);
+    }
+
+    #[test]
+    fn speedups_at_reads_kernels_and_rejects_truncated_ladders() {
+        let doc = parse_json(
+            r#"{"kernels":[
+                {"kernel":"ksmt","times":[
+                    {"threads":1,"seconds":1.0,"speedup":1.0},
+                    {"threads":4,"seconds":0.5,"speedup":2.0}]},
+                {"kernel":"pf_par_finish","times":[
+                    {"threads":1,"seconds":1.0,"speedup":1.0},
+                    {"threads":4,"seconds":0.4,"speedup":2.5}]}
+            ]}"#,
+        )
+        .unwrap();
+        let s = speedups_at(&doc, 4.0).unwrap();
+        assert_eq!(s, vec![("ksmt".into(), 2.0), ("pf_par_finish".into(), 2.5)]);
+        // A kernel with no entry at the reference thread count is an
+        // error, not a silent skip.
+        assert!(speedups_at(&doc, 8.0).unwrap_err().contains("no times entry"));
+    }
 }

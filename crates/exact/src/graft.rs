@@ -1,0 +1,500 @@
+//! Parallel exact finishers: level-synchronized multi-source BFS feeding
+//! augmentation, in the style of the tree-grafting literature.
+//!
+//! The paper's heuristics parallelize cleanly, but its measurement
+//! pipelines end in a *sequential* exact finisher — past two threads the
+//! finisher dominates `scale,two,pf`-shaped runs. The follow-up literature
+//! (Azad, Buluç & Pothen's tree-grafting maximum-cardinality matching;
+//! Duff–Kaya–Uçar's transversal studies) parallelizes exactly this stage
+//! by growing the alternating BFS structure from **all** free rows at once,
+//! one level at a time, with each level's adjacency scan fanned across the
+//! pool. This module implements two such finishers on top of the
+//! workspace's rayon runtime:
+//!
+//! - [`hopcroft_karp_par`] (`hk-par`): Hopcroft–Karp whose per-phase BFS
+//!   is level-synchronized and parallel. Each level's frontier is split
+//!   into chunks whose boundaries depend only on the frontier length;
+//!   chunks collect discoveries into per-chunk buffers
+//!   ([`FrontierChunk`]), which are merged **sequentially in chunk order**
+//!   (first discovery wins, exactly like the sequential queue). The
+//!   distance labels are therefore byte-identical to sequential
+//!   [`hopcroft_karp`]'s, and since the blocking-DFS half is shared
+//!   ([`dfs_layered`]), the returned matching is **byte-identical to
+//!   sequential Hopcroft–Karp at every pool size** — parallelism buys wall
+//!   time, never a different answer.
+//! - [`pothen_fan_par`] (`pf-par`): a tree-grafting-style variant of
+//!   Pothen–Fan. Instead of one lookahead DFS per free row, each phase
+//!   grows a BFS *forest* rooted at every free row (parent pointers per
+//!   row), stops at the first level where any tree reaches a free column
+//!   — Pothen–Fan's lookahead generalized to a whole level — and then
+//!   harvests a set of vertex-disjoint augmenting paths by walking parent
+//!   pointers in deterministic merge order. Phases repeat until a forest
+//!   reaches no free column, which certifies maximality (Berge). The
+//!   forest is rebuilt per phase (the incremental grafting optimization of
+//!   Azad & Buluç is future work); the harvest order is deterministic, so
+//!   results are byte-identical across pool sizes.
+//!
+//! Both reuse [`AugmentWorkspace`] — the per-chunk scan buffers live there
+//! too — so engine batch solves stay allocation-free after warm-up.
+//!
+//! [`hopcroft_karp`]: crate::hopcroft_karp
+//! [`dfs_layered`]: crate::hopcroft_karp::dfs_layered
+
+use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+use rayon::prelude::*;
+
+use crate::hopcroft_karp::{dfs_layered, HopcroftKarpStats, INF};
+use crate::workspace::{load_initial, AugmentWorkspace, FrontierChunk};
+
+/// Work counters of a tree-grafting-style parallel Pothen–Fan run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PothenFanParStats {
+    /// BFS-forest phases executed (including the final certifying phase
+    /// that reaches no free column).
+    pub phases: usize,
+    /// Total frontier rows scanned across all levels of all phases.
+    pub rows_visited: usize,
+    /// Successful augmentations.
+    pub augmentations: usize,
+}
+
+/// Frontier rows per scan chunk, floor: below this a level is scanned
+/// inline (dispatch would cost more than the scan).
+const MIN_CHUNK: usize = 512;
+
+/// Upper bound on chunks per level (long frontiers get longer chunks), so
+/// one level never floods the pool's deques.
+const MAX_CHUNKS: usize = 128;
+
+/// Chunk length for a frontier of `len` rows. Depends only on `len` —
+/// never on the pool size — which is what makes the chunk-order merge, and
+/// with it the whole solve, reproducible at every thread count.
+fn chunk_len(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(MIN_CHUNK)
+}
+
+/// Scan `frontier` against `g`, classifying each neighbour of each row as
+/// a free-column hit or a discovery of the matched row behind it. Results
+/// land in `chunks[..n]` (`n` is returned); the caller merges them in
+/// chunk order. `discovered` filters rows already in the BFS structure
+/// (a stale read only costs a duplicate, which the merge drops).
+///
+/// The scan only *reads* shared state (`g`, `cmate`, whatever `discovered`
+/// captures) and writes exclusively to its own chunk buffer, so chunks run
+/// concurrently on the ambient pool without synchronization.
+fn scan_frontier<'a>(
+    g: &BipartiteGraph,
+    cmate: &[u32],
+    discovered: impl Fn(u32) -> bool + Sync,
+    frontier: &[u32],
+    chunks: &'a mut Vec<FrontierChunk>,
+) -> &'a [FrontierChunk] {
+    let chunk = chunk_len(frontier.len());
+    let n = frontier.len().div_ceil(chunk).max(1);
+    if chunks.len() < n {
+        chunks.resize_with(n, FrontierChunk::default);
+    }
+    let fill = |buf: &mut FrontierChunk, rows: &[u32]| {
+        buf.rows.clear();
+        buf.hits.clear();
+        for &i in rows {
+            for &j in g.row_adj(i as usize) {
+                let next = cmate[j as usize];
+                if next == NIL {
+                    buf.hits.push((i, j));
+                } else if !discovered(next) {
+                    buf.rows.push((next, j, i));
+                }
+            }
+        }
+    };
+    if n == 1 {
+        fill(&mut chunks[0], frontier);
+    } else {
+        chunks[..n]
+            .par_iter_mut()
+            .zip(frontier.par_chunks(chunk))
+            .with_max_len(1)
+            .for_each(|(buf, rows)| fill(buf, rows));
+    }
+    &chunks[..n]
+}
+
+/// One parallel level-synchronized BFS phase of `hk-par`: labels `ws.dist`
+/// exactly as sequential Hopcroft–Karp's queue BFS would (first discovery
+/// at level `d` ⇒ label `d`, layers beyond the first free column are cut
+/// off after being labeled) and reports whether a free column is
+/// reachable.
+fn bfs_level_sync(
+    g: &BipartiteGraph,
+    ws: &mut AugmentWorkspace,
+    stats: &mut HopcroftKarpStats,
+) -> bool {
+    ws.frontier.clear();
+    for i in 0..g.nrows() {
+        if ws.rmate[i] == NIL {
+            ws.dist[i] = 0;
+            ws.frontier.push(i as u32);
+        } else {
+            ws.dist[i] = INF;
+        }
+    }
+    let mut level = 0u32;
+    let mut found = false;
+    while !ws.frontier.is_empty() {
+        stats.bfs_visits += ws.frontier.len();
+        let AugmentWorkspace { frontier, next_frontier, dist, cmate, chunks, .. } = ws;
+        let scanned = scan_frontier(g, cmate, |r| dist[r as usize] != INF, frontier, chunks);
+        next_frontier.clear();
+        for c in scanned {
+            if !c.hits.is_empty() {
+                found = true;
+            }
+            for &(next, _, _) in &c.rows {
+                // First discovery wins, in chunk order — the same label
+                // the sequential queue would assign.
+                if dist[next as usize] == INF {
+                    dist[next as usize] = level + 1;
+                    next_frontier.push(next);
+                }
+            }
+        }
+        std::mem::swap(frontier, next_frontier);
+        if found {
+            // The next layer is labeled (sequential BFS labels it too
+            // before its cutoff fires) but not expanded: shortest
+            // augmenting paths end at this level. Sequential BFS dequeues
+            // exactly one row of that cut-off layer before its break;
+            // count it too so `bfs_visits` stays comparable across the
+            // two variants (e.g. in jump-start savings measurements).
+            if !frontier.is_empty() {
+                stats.bfs_visits += 1;
+            }
+            break;
+        }
+        level += 1;
+    }
+    found
+}
+
+/// Maximum-cardinality matching from scratch via [`hopcroft_karp_par_ws`].
+pub fn hopcroft_karp_par(g: &BipartiteGraph) -> Matching {
+    hopcroft_karp_par_ws(g, None, &mut AugmentWorkspace::new()).0
+}
+
+/// Hopcroft–Karp with a parallel level-synchronized BFS phase — the
+/// `hk-par` finisher. The result is **byte-identical** to sequential
+/// [`hopcroft_karp_ws`](crate::hopcroft_karp_ws) on the same input at
+/// every pool size (the parallel BFS assigns identical distance labels and
+/// the blocking DFS is shared); only wall time differs. `initial = None`
+/// means a from-scratch solve.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn hopcroft_karp_par_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) -> (Matching, HopcroftKarpStats) {
+    load_initial(g, initial, ws);
+    ws.dist.clear();
+    ws.dist.resize(g.nrows(), INF);
+    ws.iter.clear();
+    ws.iter.resize(g.nrows(), 0);
+
+    let mut stats = HopcroftKarpStats::default();
+    loop {
+        stats.phases += 1;
+        if !bfs_level_sync(g, ws, &mut stats) {
+            break;
+        }
+        ws.iter.iter_mut().for_each(|x| *x = 0);
+        for i in 0..g.nrows() {
+            if ws.rmate[i] == NIL && dfs_layered(g, ws, i) {
+                stats.augmentations += 1;
+            }
+        }
+    }
+    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+}
+
+/// Maximum-cardinality matching from scratch via [`pothen_fan_par_ws`].
+pub fn pothen_fan_par(g: &BipartiteGraph) -> Matching {
+    pothen_fan_par_ws(g, None, &mut AugmentWorkspace::new()).0
+}
+
+/// Tree-grafting-style parallel Pothen–Fan — the `pf-par` finisher.
+///
+/// Each phase grows a BFS forest from every free row (one parallel
+/// level-synchronized sweep per level, Pothen–Fan's lookahead generalized
+/// to whole levels), stops at the first level adjacent to a free column,
+/// and harvests vertex-disjoint augmenting paths along the forest's parent
+/// pointers in deterministic chunk-merge order. A phase that reaches no
+/// free column certifies the matching maximum (Berge) and ends the solve.
+/// Deterministic merges + sequential harvest make the result
+/// byte-identical at every pool size. `initial = None` means a
+/// from-scratch solve.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn pothen_fan_par_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) -> (Matching, PothenFanParStats) {
+    load_initial(g, initial, ws);
+    let n_r = g.nrows();
+    ws.visited.clear();
+    ws.visited.resize(n_r, 0);
+    ws.used.clear();
+    ws.used.resize(n_r, 0);
+    ws.parent_col.clear();
+    ws.parent_col.resize(n_r, NIL);
+    ws.parent_row.clear();
+    ws.parent_row.resize(n_r, NIL);
+
+    let mut stats = PothenFanParStats::default();
+    let mut stamp = 0u32;
+    loop {
+        stamp += 1;
+        stats.phases += 1;
+        // Roots: every still-free row with any support.
+        ws.frontier.clear();
+        for i in 0..n_r {
+            if ws.rmate[i] == NIL && g.row_degree(i) > 0 {
+                ws.visited[i] = stamp;
+                ws.parent_col[i] = NIL;
+                ws.frontier.push(i as u32);
+            }
+        }
+        let mut augmented = 0usize;
+        while !ws.frontier.is_empty() {
+            stats.rows_visited += ws.frontier.len();
+            let AugmentWorkspace {
+                frontier,
+                next_frontier,
+                visited,
+                used,
+                parent_col,
+                parent_row,
+                rmate,
+                cmate,
+                chunks,
+                ..
+            } = ws;
+            let scanned =
+                scan_frontier(g, cmate, |r| visited[r as usize] == stamp, frontier, chunks);
+            if scanned.iter().any(|c| !c.hits.is_empty()) {
+                // Shortest level with free columns: harvest disjoint
+                // augmenting paths in merge order. The first candidate
+                // always commits, so every non-final phase augments.
+                for c in scanned {
+                    'hit: for &(leaf, free_col) in &c.hits {
+                        if cmate[free_col as usize] != NIL {
+                            continue; // column taken earlier this harvest
+                        }
+                        // Validate: no row on the leaf→root walk may sit
+                        // on an already-flipped path (interior columns are
+                        // covered too — a path through column c must pass
+                        // through c's pre-flip mate row).
+                        let mut row = leaf;
+                        loop {
+                            if used[row as usize] == stamp {
+                                continue 'hit;
+                            }
+                            if parent_col[row as usize] == NIL {
+                                break;
+                            }
+                            row = parent_row[row as usize];
+                        }
+                        // Commit: flip matched/unmatched along the path.
+                        let mut row = leaf;
+                        let mut col = free_col;
+                        loop {
+                            let pc = parent_col[row as usize];
+                            let pr = parent_row[row as usize];
+                            rmate[row as usize] = col;
+                            cmate[col as usize] = row;
+                            used[row as usize] = stamp;
+                            if pc == NIL {
+                                break;
+                            }
+                            col = pc;
+                            row = pr;
+                        }
+                        augmented += 1;
+                    }
+                }
+                break; // phase done: longer paths wait for the next forest
+            }
+            // No free column at this level: graft the next level onto the
+            // forest (first discovery wins, in chunk order).
+            next_frontier.clear();
+            for c in scanned {
+                for &(next, via, from) in &c.rows {
+                    if visited[next as usize] != stamp {
+                        visited[next as usize] = stamp;
+                        parent_col[next as usize] = via;
+                        parent_row[next as usize] = from;
+                        next_frontier.push(next);
+                    }
+                }
+            }
+            std::mem::swap(frontier, next_frontier);
+        }
+        stats.augmentations += augmented;
+        if augmented == 0 {
+            // The forest reached no free column: maximum by Berge.
+            break;
+        }
+    }
+    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force_maximum, hopcroft_karp, hopcroft_karp_ws, pothen_fan};
+    use dsmatch_graph::{Csr, SplitMix64, TripletMatrix};
+
+    fn graph(rows: &[&[u8]]) -> BipartiteGraph {
+        BipartiteGraph::from_csr(Csr::from_dense(rows))
+    }
+
+    fn random_graph(n: usize, keep_one_in: u64, rng: &mut SplitMix64) -> BipartiteGraph {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if rng.next_below(keep_one_in) == 0 {
+                    t.push(i, j);
+                }
+            }
+        }
+        BipartiteGraph::from_csr(t.into_csr())
+    }
+
+    #[test]
+    fn hk_par_byte_identical_to_sequential_hk() {
+        let mut rng = SplitMix64::new(5);
+        for n in [1usize, 2, 3, 5, 9, 17, 40, 80] {
+            for trial in 0..25 {
+                let g = random_graph(n, 4, &mut rng);
+                let (seq, seq_stats) = hopcroft_karp_ws(&g, None, &mut AugmentWorkspace::new());
+                let (par, par_stats) = hopcroft_karp_par_ws(&g, None, &mut AugmentWorkspace::new());
+                assert_eq!(par.rmates(), seq.rmates(), "n = {n}, trial = {trial}");
+                assert_eq!(par.cmates(), seq.cmates(), "n = {n}, trial = {trial}");
+                // Work counters agree too: identical phases/augmentations,
+                // and the visit count mirrors the sequential cutoff.
+                assert_eq!(par_stats, seq_stats, "n = {n}, trial = {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn pf_par_agrees_with_brute_force_on_small_instances() {
+        let mut rng = SplitMix64::new(77);
+        for n in [1usize, 2, 3, 4, 5, 6] {
+            for trial in 0..60 {
+                let g = random_graph(n, 3, &mut rng);
+                let m = pothen_fan_par(&g);
+                m.verify(&g).unwrap();
+                let opt = brute_force_maximum(&g);
+                assert_eq!(m.cardinality(), opt, "n = {n}, trial = {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_finishers_match_sequential_cardinality_on_larger_instances() {
+        let mut rng = SplitMix64::new(11);
+        for n in [30usize, 60, 120, 250] {
+            let g = random_graph(n, 5, &mut rng);
+            let opt = hopcroft_karp(&g).cardinality();
+            let hkp = hopcroft_karp_par(&g);
+            hkp.verify(&g).unwrap();
+            assert_eq!(hkp.cardinality(), opt, "hk-par, n = {n}");
+            let pfp = pothen_fan_par(&g);
+            pfp.verify(&g).unwrap();
+            assert_eq!(pfp.cardinality(), opt, "pf-par, n = {n}");
+        }
+    }
+
+    #[test]
+    fn warm_start_is_honoured_and_completes() {
+        let g = graph(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 1]]);
+        let mut init = Matching::new(3, 3);
+        init.set(0, 0);
+        let (m, stats) = pothen_fan_par_ws(&g, Some(&init), &mut AugmentWorkspace::new());
+        assert_eq!(m.cardinality(), 3);
+        assert!(stats.augmentations <= 2, "warm start saved an augmentation");
+        let (m, stats) = hopcroft_karp_par_ws(&g, Some(&init), &mut AugmentWorkspace::new());
+        assert_eq!(m.cardinality(), 3);
+        assert!(stats.augmentations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start matching must be valid")]
+    fn warm_start_validated() {
+        let g = graph(&[&[0, 1], &[1, 0]]);
+        let mut bad = Matching::new(2, 2);
+        bad.set(0, 0); // not an edge
+        let _ = pothen_fan_par_ws(&g, Some(&bad), &mut AugmentWorkspace::new());
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable_across_solves() {
+        // Same-shaped solves after the first must not regrow any buffer.
+        let mut rng = SplitMix64::new(3);
+        let g = random_graph(200, 5, &mut rng);
+        let mut ws = AugmentWorkspace::new();
+        // Two warm-up solves: `frontier`/`next_frontier` are swapped
+        // during BFS, so their capacities settle on the second run.
+        let (first, _) = pothen_fan_par_ws(&g, None, &mut ws);
+        pothen_fan_par_ws(&g, None, &mut ws);
+        let footprint = (
+            ws.frontier.capacity(),
+            ws.parent_col.as_ptr() as usize,
+            ws.used.as_ptr() as usize,
+            ws.chunks.len(),
+        );
+        let (second, _) = pothen_fan_par_ws(&g, None, &mut ws);
+        assert_eq!(first.rmates(), second.rmates(), "reuse must not change the answer");
+        assert_eq!(
+            footprint,
+            (
+                ws.frontier.capacity(),
+                ws.parent_col.as_ptr() as usize,
+                ws.used.as_ptr() as usize,
+                ws.chunks.len(),
+            ),
+            "scratch reallocated on an identically-shaped solve"
+        );
+    }
+
+    #[test]
+    fn alternating_path_case() {
+        let g = graph(&[&[1, 1], &[1, 0]]);
+        assert_eq!(pothen_fan_par(&g).cardinality(), 2);
+        assert_eq!(hopcroft_karp_par(&g).cardinality(), 2);
+    }
+
+    #[test]
+    fn pf_par_agrees_with_pf_on_rectangles() {
+        for g in [
+            graph(&[&[1, 1, 1, 1]]),
+            graph(&[&[1], &[1], &[1], &[1]]),
+            graph(&[&[1, 0, 1], &[0, 1, 0]]),
+        ] {
+            assert_eq!(pothen_fan_par(&g).cardinality(), pothen_fan(&g).cardinality());
+        }
+    }
+
+    #[test]
+    fn chunking_is_pool_size_independent() {
+        // The chunk length is a pure function of the frontier length.
+        assert_eq!(chunk_len(1), MIN_CHUNK);
+        assert_eq!(chunk_len(MIN_CHUNK * MAX_CHUNKS), MIN_CHUNK);
+        let big = 10 * MIN_CHUNK * MAX_CHUNKS;
+        assert_eq!(chunk_len(big), big / MAX_CHUNKS);
+    }
+}

@@ -27,7 +27,7 @@ pub struct HopcroftKarpStats {
     pub augmentations: usize,
 }
 
-const INF: u32 = u32::MAX;
+pub(crate) const INF: u32 = u32::MAX;
 
 struct Hk<'g, 'w> {
     g: &'g BipartiteGraph,
@@ -76,50 +76,57 @@ impl<'g, 'w> Hk<'g, 'w> {
         found
     }
 
-    /// Iterative DFS along the layered structure from free row `root`;
-    /// augments along a shortest path if one is found. Iterative so the
-    /// paper-scale instances (10⁵–10⁷ vertices) cannot overflow the stack.
+    /// Blocking-DFS step for free row `root`; see [`dfs_layered`].
     fn dfs(&mut self, root: usize) -> bool {
-        // `stack` holds the row path; `entry_col[k]` is the column through
-        // which `stack[k]` was entered (unused sentinel for the root).
-        let ws = &mut *self.ws;
-        ws.stack.clear();
-        ws.stack.push(root as u32);
-        ws.entry_col.clear();
-        ws.entry_col.push(NIL);
-        loop {
-            let i = *ws.stack.last().unwrap() as usize;
-            let deg = self.g.row_degree(i);
-            let mut advanced = false;
-            while ws.iter[i] < deg {
-                let j = self.g.row_adj(i)[ws.iter[i]];
-                ws.iter[i] += 1;
-                let next = ws.cmate[j as usize];
-                if next == NIL {
-                    // Free column: augment along the whole stack.
-                    let mut col = j;
-                    while let (Some(row), Some(ec)) = (ws.stack.pop(), ws.entry_col.pop()) {
-                        ws.rmate[row as usize] = col;
-                        ws.cmate[col as usize] = row;
-                        col = ec;
-                    }
-                    return true;
+        dfs_layered(self.g, self.ws, root)
+    }
+}
+
+/// Iterative DFS along the layered structure (`ws.dist`) from free row
+/// `root`; augments along a shortest path if one is found. Iterative so
+/// the paper-scale instances (10⁵–10⁷ vertices) cannot overflow the
+/// stack. Shared by sequential [`hopcroft_karp_ws`] and the parallel-BFS
+/// variant [`crate::hopcroft_karp_par_ws`] — identical distance labels in,
+/// identical augmentations out.
+pub(crate) fn dfs_layered(g: &BipartiteGraph, ws: &mut AugmentWorkspace, root: usize) -> bool {
+    // `stack` holds the row path; `entry_col[k]` is the column through
+    // which `stack[k]` was entered (unused sentinel for the root).
+    ws.stack.clear();
+    ws.stack.push(root as u32);
+    ws.entry_col.clear();
+    ws.entry_col.push(NIL);
+    loop {
+        let i = *ws.stack.last().unwrap() as usize;
+        let deg = g.row_degree(i);
+        let mut advanced = false;
+        while ws.iter[i] < deg {
+            let j = g.row_adj(i)[ws.iter[i]];
+            ws.iter[i] += 1;
+            let next = ws.cmate[j as usize];
+            if next == NIL {
+                // Free column: augment along the whole stack.
+                let mut col = j;
+                while let (Some(row), Some(ec)) = (ws.stack.pop(), ws.entry_col.pop()) {
+                    ws.rmate[row as usize] = col;
+                    ws.cmate[col as usize] = row;
+                    col = ec;
                 }
-                if ws.dist[next as usize] == ws.dist[i] + 1 {
-                    ws.stack.push(next);
-                    ws.entry_col.push(j);
-                    advanced = true;
-                    break;
-                }
+                return true;
             }
-            if !advanced {
-                // Dead end: remove `i` from the layered structure.
-                ws.dist[i] = INF;
-                ws.stack.pop();
-                ws.entry_col.pop();
-                if ws.stack.is_empty() {
-                    return false;
-                }
+            if ws.dist[next as usize] == ws.dist[i] + 1 {
+                ws.stack.push(next);
+                ws.entry_col.push(j);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            // Dead end: remove `i` from the layered structure.
+            ws.dist[i] = INF;
+            ws.stack.pop();
+            ws.entry_col.pop();
+            if ws.stack.is_empty() {
+                return false;
             }
         }
     }
@@ -162,19 +169,7 @@ pub fn hopcroft_karp_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, HopcroftKarpStats) {
-    ws.rmate.clear();
-    ws.cmate.clear();
-    match initial {
-        Some(m) => {
-            m.verify(g).expect("warm-start matching must be valid");
-            ws.rmate.extend_from_slice(m.rmates());
-            ws.cmate.extend_from_slice(m.cmates());
-        }
-        None => {
-            ws.rmate.resize(g.nrows(), NIL);
-            ws.cmate.resize(g.ncols(), NIL);
-        }
-    }
+    crate::workspace::load_initial(g, initial, ws);
     ws.dist.clear();
     ws.dist.resize(g.nrows(), INF);
     ws.queue.clear();

@@ -11,6 +11,11 @@
 //!   *lookahead* optimization, accepting an arbitrary initial matching, so
 //!   the workspace can measure the paper's motivating use case: how much
 //!   augmentation work a jump-start heuristic saves;
+//! - [`hopcroft_karp_par`] / [`pothen_fan_par`] — the multicore finishers
+//!   (`hk-par` / `pf-par`): level-synchronized parallel BFS in the style
+//!   of the tree-grafting literature (Azad–Buluç–Pothen) feeding the same
+//!   augmentation machinery, byte-identical results at every pool size
+//!   (see the docs on [`hopcroft_karp_par_ws`] / [`pothen_fan_par_ws`]);
 //! - [`push_relabel`] — the auction/push-relabel scheme the paper's
 //!   related work (\[9\], \[21\]) evaluates as the main alternative to
 //!   augmenting-path solvers;
@@ -24,6 +29,7 @@
 
 mod bfs_augment;
 mod brute;
+mod graft;
 mod hopcroft_karp;
 mod pothen_fan;
 mod push_relabel;
@@ -31,10 +37,13 @@ mod workspace;
 
 pub use bfs_augment::{bfs_augment, bfs_augment_from, BfsAugmentStats};
 pub use brute::brute_force_maximum;
+pub use graft::{
+    hopcroft_karp_par, hopcroft_karp_par_ws, pothen_fan_par, pothen_fan_par_ws, PothenFanParStats,
+};
 pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats};
 pub use pothen_fan::{pothen_fan, pothen_fan_from, pothen_fan_ws, PothenFanStats};
 pub use push_relabel::{push_relabel, push_relabel_from, PushRelabelStats};
-pub use workspace::AugmentWorkspace;
+pub use workspace::{AugmentWorkspace, FrontierChunk};
 
 use dsmatch_graph::BipartiteGraph;
 

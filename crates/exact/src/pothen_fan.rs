@@ -49,19 +49,7 @@ pub fn pothen_fan_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, PothenFanStats) {
-    ws.rmate.clear();
-    ws.cmate.clear();
-    match initial {
-        Some(m) => {
-            m.verify(g).expect("warm-start matching must be valid");
-            ws.rmate.extend_from_slice(m.rmates());
-            ws.cmate.extend_from_slice(m.cmates());
-        }
-        None => {
-            ws.rmate.resize(g.nrows(), NIL);
-            ws.cmate.resize(g.ncols(), NIL);
-        }
-    }
+    crate::workspace::load_initial(g, initial, ws);
     let rmate = &mut ws.rmate;
     let cmate = &mut ws.cmate;
     let n_r = g.nrows();

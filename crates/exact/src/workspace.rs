@@ -4,17 +4,41 @@
 //! solve; re-allocating the BFS/DFS state per call costs more than the
 //! augmentation itself once a heuristic has matched ~87% of the rows.
 //! [`AugmentWorkspace`] owns every scratch vector the `*_ws` entry points
-//! ([`crate::hopcroft_karp_ws`], [`crate::pothen_fan_ws`]) need; buffers
+//! ([`crate::hopcroft_karp_ws`], [`crate::pothen_fan_ws`] and their
+//! parallel variants [`crate::hopcroft_karp_par_ws`],
+//! [`crate::pothen_fan_par_ws`]) need; buffers
 //! keep their allocation across solves, so only the returned
 //! [`dsmatch_graph::Matching`] is fresh.
 
-use dsmatch_graph::VertexId;
+use dsmatch_graph::{BipartiteGraph, Matching, VertexId, NIL};
+
+/// Per-chunk output buffer of one parallel frontier scan (see
+/// [`crate::hopcroft_karp_par_ws`] / [`crate::pothen_fan_par_ws`]).
+///
+/// The parallel finishers split the current BFS frontier into chunks whose
+/// boundaries depend only on the frontier length — never on the pool size —
+/// and each chunk writes its discoveries here. The caller merges the chunk
+/// buffers **sequentially in chunk order**, so the merged result (and with
+/// it the whole solve) is byte-identical at every thread count. Buffers
+/// keep their allocation across levels, phases and solves.
+#[derive(Debug, Default)]
+pub struct FrontierChunk {
+    /// Discovered `(next_row, via_column, parent_row)` triples: `next_row`
+    /// is the matched row behind `via_column`, reached while scanning
+    /// `parent_row`. May contain rows already discovered by another chunk
+    /// of the same level; the sequential merge deduplicates.
+    pub rows: Vec<(u32, u32, u32)>,
+    /// `(tree_row, free_column)` pairs: a free column directly adjacent to
+    /// a frontier row — the endpoint of an augmenting path.
+    pub hits: Vec<(u32, u32)>,
+}
 
 /// Reusable scratch for the warm-startable exact solvers.
 ///
-/// One instance serves both Hopcroft–Karp and Pothen–Fan (the buffers are
-/// a superset of what either needs). The fields are public so harnesses can
-/// assert pointer/capacity stability across solves.
+/// One instance serves Hopcroft–Karp, Pothen–Fan and their parallel
+/// variants (the buffers are a superset of what any of them needs). The
+/// fields are public so harnesses can assert pointer/capacity stability
+/// across solves.
 #[derive(Debug, Default)]
 pub struct AugmentWorkspace {
     /// Working row-mate array (copied from the warm start, then augmented).
@@ -35,11 +59,55 @@ pub struct AugmentWorkspace {
     pub stack: Vec<u32>,
     /// Column through which each stacked row was entered.
     pub entry_col: Vec<u32>,
+    /// Current BFS frontier of the parallel finishers (rows).
+    pub frontier: Vec<u32>,
+    /// Next-level frontier being merged (rows).
+    pub next_frontier: Vec<u32>,
+    /// BFS-forest parent: the matched column through which a row was
+    /// discovered (`NIL` for root rows).
+    pub parent_col: Vec<u32>,
+    /// BFS-forest grandparent: the row that scanned [`parent_col`]
+    /// (`NIL` for root rows).
+    ///
+    /// [`parent_col`]: AugmentWorkspace::parent_col
+    pub parent_row: Vec<u32>,
+    /// Per-phase "row is on an already-augmented path" stamps of the
+    /// tree-grafting harvest.
+    pub used: Vec<u32>,
+    /// Per-chunk scratch of the parallel frontier scans; one entry per
+    /// chunk, reused across levels and solves.
+    pub chunks: Vec<FrontierChunk>,
 }
 
 impl AugmentWorkspace {
     /// An empty workspace; buffers grow lazily on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Copy the warm start into the working mate arrays (validated), or reset
+/// them for a from-scratch solve — the shared prologue of every `*_ws`
+/// solver entry point in this crate.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub(crate) fn load_initial(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) {
+    ws.rmate.clear();
+    ws.cmate.clear();
+    match initial {
+        Some(m) => {
+            m.verify(g).expect("warm-start matching must be valid");
+            ws.rmate.extend_from_slice(m.rmates());
+            ws.cmate.extend_from_slice(m.cmates());
+        }
+        None => {
+            ws.rmate.resize(g.nrows(), NIL);
+            ws.cmate.resize(g.ncols(), NIL);
+        }
     }
 }

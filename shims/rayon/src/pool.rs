@@ -630,6 +630,23 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    /// Deadline for this module's bounded scheduler waits: the
+    /// `DSMATCH_TEST_TIMEOUT_SECS` environment variable when set to a
+    /// positive integer, else `default_secs`. One knob for every probe
+    /// deadline in the repo (the engine's observed-parallelism probe reads
+    /// the same variable; the reader is duplicated there because the
+    /// `real-rayon` CI leg compiles the workspace without this shim), so
+    /// loaded CI runners raise it in the workflow instead of these tests
+    /// flaking on hard-coded laptop-scale numbers.
+    fn test_timeout(default_secs: u64) -> std::time::Duration {
+        let secs = std::env::var("DSMATCH_TEST_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(default_secs);
+        std::time::Duration::from_secs(secs)
+    }
+
     fn drain(core: Arc<PoolCore>, workers: Vec<JoinHandle<()>>) {
         core.shutdown();
         for w in workers {
@@ -771,7 +788,7 @@ mod tests {
             for _ in 0..n {
                 s.spawn(|_| {
                     arrived.fetch_add(1, Ordering::SeqCst);
-                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                    let deadline = std::time::Instant::now() + test_timeout(10);
                     while arrived.load(Ordering::SeqCst) < n && std::time::Instant::now() < deadline
                     {
                         std::thread::yield_now();
@@ -813,8 +830,7 @@ mod tests {
                             done_tiny.fetch_add(1, Ordering::SeqCst);
                         });
                     }
-                    let deadline = std::time::Instant::now()
-                        + std::time::Duration::from_secs(10);
+                    let deadline = std::time::Instant::now() + test_timeout(10);
                     while done_tiny.load(Ordering::SeqCst) < tiny
                         && std::time::Instant::now() < deadline
                     {

@@ -4,7 +4,7 @@
 //! ```text
 //! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
 //!         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]]
-//!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs]
+//!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par]
 //!         [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T]
 //!         [--quality] [--json] [--output pairs.txt]
 //! ```
@@ -85,7 +85,7 @@ fn print_usage() {
     eprintln!(
         "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
          [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
-         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs] \
+         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par] \
          [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
          [--quality] [--json] [--output pairs.txt]"
     );
@@ -127,8 +127,25 @@ fn main() -> ExitCode {
             Pipeline::classic(algo, iters, seed)
         }
     };
-    let batch: usize = arg_value("batch").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let batch_arg = arg_value("batch");
     let batch_par = flag("batch-par");
+    if batch_par && batch_arg.is_none() {
+        eprintln!(
+            "--batch-par parallelizes across the runs of a batch and \
+             requires --batch N; pass both or drop --batch-par"
+        );
+        return ExitCode::FAILURE;
+    }
+    let batch: usize = match batch_arg {
+        None => 1,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--batch expects a positive number of runs, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let want_quality = flag("quality");
     let want_json = flag("json");
 
@@ -139,7 +156,23 @@ fn main() -> ExitCode {
     // workers. The probe below counts the distinct worker threads that
     // actually execute a parallel region, so the report states genuine
     // parallelism, not a configured wish.
-    let threads_requested = arg_value("threads").and_then(|v| v.parse::<usize>().ok());
+    let threads_requested = match arg_value("threads") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => {
+                eprintln!(
+                    "--threads 0 is not a thread count; pass a positive number \
+                     (or omit --threads for the ambient pool size)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(t) => Some(t),
+            Err(_) => {
+                eprintln!("--threads expects a positive number of workers, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let batch_pool = batch_par.then(|| Workspace::per_worker(threads_requested.unwrap_or(0)));
     let mut ws = match (&batch_pool, threads_requested) {
         (Some(_), _) => Workspace::new(), // unused; solves go through the pool

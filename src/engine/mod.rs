@@ -14,9 +14,10 @@
 //!            └────────────┘    └─────────────┘    └──────────────┘     · scaling iters/error
 //! ```
 //!
-//! - [`AlgorithmKind`] — the registry of all eleven algorithms, including
-//!   the paper's Algorithm 4 (`ksmt`) and the §5 one-out undirected
-//!   variant (`one-out`);
+//! - [`AlgorithmKind`] — the registry of all thirteen algorithms,
+//!   including the paper's Algorithm 4 (`ksmt`), the §5 one-out undirected
+//!   variant (`one-out`) and the multicore exact finishers
+//!   (`hk-par`/`pf-par`);
 //! - [`Pipeline`] — a parsed `[scale[:sk|ruiz][:iters],]<algo>[,<exact>]`
 //!   spec, solvable via the [`Solver`] trait;
 //! - [`Workspace`] — reusable scratch buffers threaded through every

@@ -6,7 +6,10 @@ use dsmatch_core::{
     cheap_random_edge, cheap_random_vertex, karp_sipser_ws, one_out_matching, one_sided_match_ws,
     two_sided_choices_into, two_sided_match_ws, KarpSipserConfig,
 };
-use dsmatch_exact::{bfs_augment_from, hopcroft_karp_ws, pothen_fan_ws, push_relabel_from};
+use dsmatch_exact::{
+    bfs_augment_from, hopcroft_karp_par_ws, hopcroft_karp_ws, pothen_fan_par_ws, pothen_fan_ws,
+    push_relabel_from,
+};
 use dsmatch_graph::{BipartiteGraph, Matching, NIL};
 use dsmatch_scale::{ruiz_into, sinkhorn_knopp_into, ScalingConfig};
 
@@ -225,6 +228,14 @@ fn run_algorithm(
             let (m, stats) = bfs_augment_from(g, Matching::new(g.nrows(), g.ncols()));
             (m, Some(stats.augmentations))
         }
+        AlgorithmKind::HopcroftKarpPar => {
+            let (m, stats) = hopcroft_karp_par_ws(g, None, &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PothenFanPar => {
+            let (m, stats) = pothen_fan_par_ws(g, None, &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
     }
 }
 
@@ -250,6 +261,14 @@ fn run_augment(
         }
         AlgorithmKind::BfsAugment => {
             let (m, stats) = bfs_augment_from(g, initial);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::HopcroftKarpPar => {
+            let (m, stats) = hopcroft_karp_par_ws(g, Some(&initial), &mut ws.augment);
+            (m, Some(stats.augmentations))
+        }
+        AlgorithmKind::PothenFanPar => {
+            let (m, stats) = pothen_fan_par_ws(g, Some(&initial), &mut ws.augment);
             (m, Some(stats.augmentations))
         }
         other => unreachable!("{other} is not exact; rejected at parse/validation time"),
@@ -386,6 +405,9 @@ mod tests {
             "scale:sk:5,two,pf",
             "scale:sk:0,ksmt,hk",
             "cheap,bfs",
+            "scale:sk:5,two,pf-par",
+            "scale:sk:5,two,hk-par",
+            "pf-par",
         ] {
             let p: Pipeline = spec.parse().unwrap();
             assert_eq!(p.spec(), spec, "roundtrip of {spec}");

@@ -39,11 +39,19 @@ pub enum AlgorithmKind {
     PushRelabel,
     /// Exact: single-path BFS augmentation.
     BfsAugment,
+    /// Exact, multicore: Hopcroft–Karp with a parallel level-synchronized
+    /// BFS phase (byte-identical to [`HopcroftKarp`] at every pool size).
+    ///
+    /// [`HopcroftKarp`]: AlgorithmKind::HopcroftKarp
+    HopcroftKarpPar,
+    /// Exact, multicore: tree-grafting-style parallel Pothen–Fan
+    /// (multi-source BFS forest + disjoint-path harvest).
+    PothenFanPar,
 }
 
 impl AlgorithmKind {
     /// All algorithms, heuristics first.
-    pub fn all() -> [AlgorithmKind; 11] {
+    pub fn all() -> [AlgorithmKind; 13] {
         use AlgorithmKind::*;
         [
             OneSided,
@@ -57,6 +65,8 @@ impl AlgorithmKind {
             PothenFan,
             PushRelabel,
             BfsAugment,
+            HopcroftKarpPar,
+            PothenFanPar,
         ]
     }
 
@@ -69,6 +79,8 @@ impl AlgorithmKind {
                 | AlgorithmKind::PothenFan
                 | AlgorithmKind::PushRelabel
                 | AlgorithmKind::BfsAugment
+                | AlgorithmKind::HopcroftKarpPar
+                | AlgorithmKind::PothenFanPar
         )
     }
 
@@ -98,6 +110,8 @@ impl AlgorithmKind {
             AlgorithmKind::PothenFan => "pf",
             AlgorithmKind::PushRelabel => "pr",
             AlgorithmKind::BfsAugment => "bfs",
+            AlgorithmKind::HopcroftKarpPar => "hk-par",
+            AlgorithmKind::PothenFanPar => "pf-par",
         }
     }
 }
@@ -133,8 +147,16 @@ mod tests {
     }
 
     #[test]
-    fn exactly_four_exact_engines() {
-        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.is_exact()).count(), 4);
+    fn exactly_six_exact_engines() {
+        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.is_exact()).count(), 6);
         assert_eq!(AlgorithmKind::all().iter().filter(|a| a.uses_scaling()).count(), 4);
+    }
+
+    #[test]
+    fn parallel_finishers_are_exact_and_unscaled() {
+        for a in [AlgorithmKind::HopcroftKarpPar, AlgorithmKind::PothenFanPar] {
+            assert!(a.is_exact(), "{a}");
+            assert!(!a.uses_scaling(), "{a}");
+        }
     }
 }

@@ -99,6 +99,23 @@ impl Default for Workspace {
     }
 }
 
+/// Bound on how long [`observed_parallelism`]'s rendezvous (and the
+/// repo's other scheduler-probing waits) may block: the
+/// `DSMATCH_TEST_TIMEOUT_SECS` environment variable when set to a positive
+/// integer, else `default_secs`. Loaded CI runners can stall a worker far
+/// past laptop-scale deadlines, so the CI workflow raises the knob rather
+/// than every call site hard-coding its own guess. The rayon shim's
+/// scheduler tests read the same variable (duplicated there, not shared:
+/// the `real-rayon` CI leg compiles the workspace without the shim).
+pub(crate) fn test_timeout(default_secs: u64) -> std::time::Duration {
+    let secs = std::env::var("DSMATCH_TEST_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(default_secs);
+    std::time::Duration::from_secs(secs)
+}
+
 /// Count the distinct worker threads that actually execute a parallel
 /// region in the **current** pool context — the honesty probe behind the
 /// CLI's `--threads` report.
@@ -117,7 +134,6 @@ impl Default for Workspace {
 pub fn observed_parallelism() -> usize {
     use std::collections::HashSet;
     use std::sync::{Condvar, Mutex};
-    use std::time::Duration;
 
     let expected = rayon::current_num_threads();
     if expected <= 1 {
@@ -144,13 +160,13 @@ pub fn observed_parallelism() -> usize {
                 *count += 1;
                 barrier.all_here.notify_all();
                 if !inline {
-                    let mut remaining = Duration::from_secs(2);
+                    let mut remaining = test_timeout(2);
                     while *count < expected && !remaining.is_zero() {
                         let (next, timeout) =
                             barrier.all_here.wait_timeout(count, remaining).unwrap();
                         count = next;
                         if timeout.timed_out() {
-                            remaining = Duration::ZERO;
+                            remaining = std::time::Duration::ZERO;
                         }
                     }
                 }

@@ -34,7 +34,7 @@ fn all_algorithms_valid_on_all_families() {
                 m.cardinality()
             })
             .collect();
-        // All four exact engines agree.
+        // All six exact engines (incl. `hk-par`/`pf-par`) agree.
         assert!(
             exact_cards.windows(2).all(|w| w[0] == w[1]),
             "{name}: exact engines disagree: {exact_cards:?}"

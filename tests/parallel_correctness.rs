@@ -8,7 +8,12 @@
 //!   may differ between schedules;
 //! - scaling (`sinkhorn_knopp_into`, `ruiz_into`): **byte-identical**
 //!   factors, error and history for every pool size, with the reused
-//!   output buffers staying pointer-stable.
+//!   output buffers staying pointer-stable;
+//! - the parallel exact finishers (`hk-par`, `pf-par`): valid matchings
+//!   whose cardinality equals the sequential finishers' (maximum is
+//!   maximum) and whose mate arrays are **byte-identical** across pool
+//!   sizes (deterministic chunk-order merges) — `hk-par` additionally
+//!   reproduces sequential `hk` byte-for-byte.
 
 use dsmatch::heur::{choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq};
 use dsmatch::prelude::*;
@@ -200,6 +205,73 @@ fn nested_scopes_complete_under_stealing() {
             }
         });
         assert_eq!(hits.load(Ordering::Relaxed), t * 7, "threads = {t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parallel-finisher property at pools 1/2/4: `pf-par`/`hk-par` are
+    /// valid, match sequential `pf`/`hk` cardinality exactly (all four are
+    /// maximum-cardinality solvers), and return byte-identical mate
+    /// arrays at every pool size. `hk-par` is further byte-identical to
+    /// sequential `hk` (its level-synchronized BFS assigns the same
+    /// distance labels, and the blocking DFS is shared code).
+    #[test]
+    fn parallel_finishers_exact_and_deterministic_across_pools(
+        nr in 1usize..50,
+        nc in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        use dsmatch::exact::{hopcroft_karp_par, pothen_fan, pothen_fan_par};
+        let mut rng = SplitMix64::new(seed);
+        let mut t = TripletMatrix::new(nr, nc);
+        for i in 0..nr {
+            for j in 0..nc {
+                if rng.next_below(4) == 0 {
+                    t.push(i, j);
+                }
+            }
+        }
+        let g = BipartiteGraph::from_csr(t.into_csr());
+        let opt = pothen_fan(&g).cardinality();
+        let hk_seq = hopcroft_karp(&g);
+        let hk_ref = pool(1).install(|| hopcroft_karp_par(&g));
+        let pf_ref = pool(1).install(|| pothen_fan_par(&g));
+        prop_assert_eq!(hk_ref.rmates(), hk_seq.rmates(), "hk-par must reproduce hk");
+        for t in [1usize, 2, 4] {
+            let hk_par = pool(t).install(|| hopcroft_karp_par(&g));
+            hk_par.verify(&g).unwrap();
+            prop_assert_eq!(hk_par.cardinality(), opt, "hk-par at {} threads", t);
+            prop_assert_eq!(hk_par.rmates(), hk_ref.rmates(), "hk-par differs at {} threads", t);
+            let pf_par = pool(t).install(|| pothen_fan_par(&g));
+            pf_par.verify(&g).unwrap();
+            prop_assert_eq!(pf_par.cardinality(), opt, "pf-par at {} threads", t);
+            prop_assert_eq!(pf_par.rmates(), pf_ref.rmates(), "pf-par differs at {} threads", t);
+        }
+    }
+}
+
+/// The finishers as *pipeline stages*: heuristic warm starts through the
+/// engine at pools 1/2/4 — the exact composition the CLI exposes as
+/// `scale:sk:5,two,pf-par` — must reach the optimum (cardinality equal to
+/// the sequential finisher pipelines) on an instance large enough that
+/// level scans genuinely fan out.
+#[test]
+fn finisher_pipelines_reach_the_optimum_across_pools() {
+    use dsmatch::engine::{Pipeline, Solver, Workspace};
+    let g = dsmatch::gen::erdos_renyi_square(20_000, 4.0, 17);
+    let opt = sprank(&g);
+    for spec in
+        ["scale:sk:5,two,pf-par", "scale:sk:5,two,hk-par", "scale:sk:0,one,pf-par", "cheap,hk-par"]
+    {
+        let pipeline: Pipeline = spec.parse().unwrap();
+        for t in [1usize, 2, 4] {
+            let mut ws = Workspace::with_threads(t);
+            let report = pipeline.clone().with_seed(9).solve(&g, &mut ws);
+            report.matching.verify(&g).unwrap();
+            assert_eq!(report.cardinality(), opt, "{spec} at {t} threads");
+        }
     }
 }
 
