@@ -62,7 +62,9 @@ fn time_kernel(pool: &rayon::ThreadPool, runs: usize, warmup: usize, k: &mut Ker
 }
 
 /// Append one kernel's thread-ladder timings to the table and the JSON
-/// kernel list (times, plus speedups relative to the 1-thread pool).
+/// kernel list (times, plus speedups relative to the 1-thread pool). The
+/// JSON shape comes from [`dsmatch_bench::speedup_doc`], the schema module
+/// `trendcheck` reads with — writer and gate cannot drift apart.
 fn record(
     name: &str,
     ts: &[usize],
@@ -76,25 +78,7 @@ fn record(
     row.extend(seconds.iter().map(|s| format!("{s:.5}")));
     row.push(format!("{:.2}x", speedups.last().copied().unwrap_or(1.0)));
     table.push(row);
-    kernel_docs.push(Json::obj(vec![
-        ("kernel", Json::from(name)),
-        (
-            "times",
-            Json::Arr(
-                ts.iter()
-                    .zip(seconds)
-                    .zip(&speedups)
-                    .map(|((&t, &s), &sp)| {
-                        Json::obj(vec![
-                            ("threads", Json::from(t)),
-                            ("seconds", Json::from(s)),
-                            ("speedup", Json::from(sp)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]));
+    kernel_docs.push(dsmatch_bench::speedup_doc::kernel_entry(name, ts, seconds, &speedups));
 }
 
 fn main() {

@@ -25,6 +25,7 @@
 //! input — this is the enforcement half of the ROADMAP's "speedup
 //! regression tracking" item.
 
+use dsmatch_bench::speedup_doc::speedups_at;
 use dsmatch_bench::{arg, geometric_mean, parse_json, JsonValue, Table};
 use std::process::ExitCode;
 
@@ -60,38 +61,6 @@ fn judge(baseline: f64, fresh: f64, tolerance: f64, slack: f64) -> Verdict {
 
 fn floor(baseline: f64, tolerance: f64, slack: f64) -> f64 {
     baseline * (1.0 - tolerance) - slack
-}
-
-/// `kernel name → speedup at the reference thread count`, from one sweep
-/// document.
-fn speedups_at(doc: &JsonValue, threads: f64) -> Result<Vec<(String, f64)>, String> {
-    let kernels = doc
-        .get("kernels")
-        .and_then(JsonValue::as_arr)
-        .ok_or("document has no \"kernels\" array")?;
-    let mut out = Vec::new();
-    for kernel in kernels {
-        let name = kernel
-            .get("kernel")
-            .and_then(JsonValue::as_str)
-            .ok_or("kernel entry without a name")?;
-        let times =
-            kernel.get("times").and_then(JsonValue::as_arr).ok_or("kernel entry without times")?;
-        // A kernel without an entry at the reference thread count is an
-        // error, not a skip: silently dropping it here would let that
-        // kernel fall out of the regression gate (a sweep regenerated
-        // with a truncated thread ladder would pass vacuously for it).
-        let entry = times
-            .iter()
-            .find(|t| t.get("threads").and_then(JsonValue::as_f64) == Some(threads))
-            .ok_or_else(|| format!("kernel {name}: no times entry at t={threads}"))?;
-        let speedup = entry
-            .get("speedup")
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("kernel {name}: no speedup at t={threads}"))?;
-        out.push((name.to_string(), speedup));
-    }
-    Ok(out)
 }
 
 fn load(path: &str) -> Result<JsonValue, String> {
@@ -242,25 +211,5 @@ mod tests {
         }
         // A NaN fresh value is a failure, not a pass.
         assert_eq!(judge(1.0, f64::NAN, 0.30, 0.15), Verdict::Regressed);
-    }
-
-    #[test]
-    fn speedups_at_reads_kernels_and_rejects_truncated_ladders() {
-        let doc = parse_json(
-            r#"{"kernels":[
-                {"kernel":"ksmt","times":[
-                    {"threads":1,"seconds":1.0,"speedup":1.0},
-                    {"threads":4,"seconds":0.5,"speedup":2.0}]},
-                {"kernel":"pf_par_finish","times":[
-                    {"threads":1,"seconds":1.0,"speedup":1.0},
-                    {"threads":4,"seconds":0.4,"speedup":2.5}]}
-            ]}"#,
-        )
-        .unwrap();
-        let s = speedups_at(&doc, 4.0).unwrap();
-        assert_eq!(s, vec![("ksmt".into(), 2.0), ("pf_par_finish".into(), 2.5)]);
-        // A kernel with no entry at the reference thread count is an
-        // error, not a silent skip.
-        assert!(speedups_at(&doc, 8.0).unwrap_err().contains("no times entry"));
     }
 }

@@ -8,10 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod harness;
-pub mod json_read;
+pub mod speedup_doc;
 
+pub use dsmatch_json::{parse_json, Json as JsonValue};
 pub use harness::{
     arg, flag, geometric_mean, median, min_of, thread_ladder, time_once, time_stats, with_threads,
     write_json_file, Row, Table,
 };
-pub use json_read::{parse_json, JsonValue};

@@ -1,0 +1,115 @@
+//! The `BENCH_speedup.json` kernel schema, shared by its writer (the
+//! `speedup` sweep) and its reader (the `trendcheck` regression gate).
+//!
+//! One kernel entry is
+//!
+//! ```text
+//! {"kernel":"ksmt","times":[{"threads":1,"seconds":…,"speedup":…}, …]}
+//! ```
+//!
+//! [`kernel_entry`] is the single place that shape is produced;
+//! [`speedups_at`] is the single place it is consumed. Keeping both in one
+//! module means a schema change cannot silently break the CI gate: writer
+//! and reader move together, under the round-trip test below.
+
+use dsmatch_json::Json;
+
+/// Build one kernel's entry for the sweep document's `"kernels"` array:
+/// the per-thread wall times plus speedups relative to the first (1-thread)
+/// measurement.
+pub fn kernel_entry(name: &str, threads: &[usize], seconds: &[f64], speedups: &[f64]) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::from(name)),
+        (
+            "times",
+            Json::Arr(
+                threads
+                    .iter()
+                    .zip(seconds)
+                    .zip(speedups)
+                    .map(|((&t, &s), &sp)| {
+                        Json::obj(vec![
+                            ("threads", Json::from(t)),
+                            ("seconds", Json::from(s)),
+                            ("speedup", Json::from(sp)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `kernel name → speedup at the reference thread count`, from one sweep
+/// document.
+///
+/// A kernel without an entry at the reference thread count is an error,
+/// not a skip: silently dropping it would let that kernel fall out of the
+/// regression gate (a sweep regenerated with a truncated thread ladder
+/// would pass vacuously for it).
+pub fn speedups_at(doc: &Json, threads: f64) -> Result<Vec<(String, f64)>, String> {
+    let kernels =
+        doc.get("kernels").and_then(Json::as_arr).ok_or("document has no \"kernels\" array")?;
+    let mut out = Vec::new();
+    for kernel in kernels {
+        let name =
+            kernel.get("kernel").and_then(Json::as_str).ok_or("kernel entry without a name")?;
+        let times =
+            kernel.get("times").and_then(Json::as_arr).ok_or("kernel entry without times")?;
+        let entry = times
+            .iter()
+            .find(|t| t.get("threads").and_then(Json::as_f64) == Some(threads))
+            .ok_or_else(|| format!("kernel {name}: no times entry at t={threads}"))?;
+        let speedup = entry
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("kernel {name}: no speedup at t={threads}"))?;
+        out.push((name.to_string(), speedup));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmatch_json::parse_json;
+
+    #[test]
+    fn speedups_at_reads_kernels_and_rejects_truncated_ladders() {
+        let doc = parse_json(
+            r#"{"kernels":[
+                {"kernel":"ksmt","times":[
+                    {"threads":1,"seconds":1.0,"speedup":1.0},
+                    {"threads":4,"seconds":0.5,"speedup":2.0}]},
+                {"kernel":"pf_par_finish","times":[
+                    {"threads":1,"seconds":1.0,"speedup":1.0},
+                    {"threads":4,"seconds":0.4,"speedup":2.5}]}
+            ]}"#,
+        )
+        .unwrap();
+        let s = speedups_at(&doc, 4.0).unwrap();
+        assert_eq!(s, vec![("ksmt".into(), 2.0), ("pf_par_finish".into(), 2.5)]);
+        // A kernel with no entry at the reference thread count is an
+        // error, not a silent skip.
+        assert!(speedups_at(&doc, 8.0).unwrap_err().contains("no times entry"));
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_the_reader() {
+        let doc = Json::obj(vec![(
+            "kernels",
+            Json::Arr(vec![kernel_entry(
+                "two_sided",
+                &[1, 2, 4],
+                &[1.0, 0.6, 0.4],
+                &[1.0, 1.6666, 2.5],
+            )]),
+        )]);
+        // Through text, exactly as CI sees it: write → parse → gate.
+        let parsed = parse_json(&doc.to_string()).unwrap();
+        let s = speedups_at(&parsed, 4.0).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, "two_sided");
+        assert!((s[0].1 - 2.5).abs() < 1e-12);
+    }
+}

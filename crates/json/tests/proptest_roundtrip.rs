@@ -1,0 +1,88 @@
+//! Round-trip property tests: whatever the writer emits, the parser reads
+//! back — structurally identical up to the writer's canonical number
+//! forms. This is the contract that lets the engine, the bench tooling and
+//! the serve protocol share one `Json` without drifting apart.
+
+use dsmatch_json::{parse_json, Json};
+use proptest::prelude::*;
+
+/// Decode a word stream into an arbitrary `Json` value (depth-bounded).
+/// Driving the generator from `Vec<u64>` keeps the strategy within the
+/// offline proptest shim's vocabulary while still covering every variant,
+/// nesting, escapes and extreme numeric values.
+fn decode(words: &mut std::vec::IntoIter<u64>, depth: usize) -> Json {
+    let w = match words.next() {
+        Some(w) => w,
+        None => return Json::Null,
+    };
+    let tag = if depth == 0 { w % 6 } else { w % 8 };
+    match tag {
+        0 => Json::Null,
+        1 => Json::Bool(w & 8 != 0),
+        2 => Json::Int(w as i64),
+        3 => Json::UInt(w),
+        4 => {
+            // Raw bit patterns cover subnormals, huge magnitudes and the
+            // non-finite values the writer must degrade to `null`.
+            Json::Num(f64::from_bits(w.rotate_left(17)))
+        }
+        5 => Json::Str(format!("s{}\n\"esc\\\u{1}é{}", w % 97, "☃")),
+        6 => Json::Arr((0..w % 4).map(|_| decode(words, depth - 1)).collect()),
+        _ => Json::Obj(
+            (0..w % 4)
+                .map(|k| (format!("k{k}\t\"{}\"", w % 13), decode(words, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// The writer's canonical form: what a value becomes after one
+/// write → parse cycle.
+///
+/// - non-finite floats render as `null`;
+/// - integral floats render without a fractional part, so they parse back
+///   as exact integers (`Int` when they fit, `UInt` for the upper half of
+///   the unsigned range);
+/// - unsigned values within `i64` range parse back as `Int` (the parser
+///   prefers the signed variant).
+fn canon(v: &Json) -> Json {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact in f64
+    const TWO_64: f64 = 18_446_744_073_709_551_616.0; // 2^64, exact in f64
+    match v {
+        Json::Num(x) if !x.is_finite() => Json::Null,
+        Json::Num(x) if x.fract() == 0.0 && *x >= -TWO_63 && *x < TWO_63 => Json::Int(*x as i64),
+        Json::Num(x) if x.fract() == 0.0 && *x >= TWO_63 && *x < TWO_64 => Json::UInt(*x as u64),
+        Json::UInt(n) if i64::try_from(*n).is_ok() => Json::Int(*n as i64),
+        Json::Arr(items) => Json::Arr(items.iter().map(canon).collect()),
+        Json::Obj(pairs) => Json::Obj(pairs.iter().map(|(k, v)| (k.clone(), canon(v))).collect()),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn write_then_parse_is_canonical_identity(
+        words in proptest::collection::vec(any::<u64>(), 1..96),
+    ) {
+        let value = decode(&mut words.into_iter(), 3);
+        let text = value.to_string();
+        let parsed = parse_json(&text)
+            .unwrap_or_else(|e| panic!("writer emitted unparseable JSON {text:?}: {e}"));
+        prop_assert_eq!(canon(&value), canon(&parsed), "document was {}", text);
+    }
+
+    #[test]
+    fn parse_then_write_is_a_fixpoint(
+        words in proptest::collection::vec(any::<u64>(), 1..96),
+    ) {
+        // After one write → parse cycle the representation is stable:
+        // re-writing and re-parsing changes nothing. This is what makes
+        // artifacts like BENCH_speedup.json safe to regenerate from
+        // parsed form.
+        let first = parse_json(&decode(&mut words.into_iter(), 3).to_string()).unwrap();
+        let second = parse_json(&first.to_string()).unwrap();
+        prop_assert_eq!(first, second);
+    }
+}

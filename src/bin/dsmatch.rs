@@ -26,8 +26,23 @@
 //! `--json` prints one machine-readable JSON object instead of text.
 //! `--output` writes the matched `(row, col)` pairs (1-based) of the best
 //! run to a file.
+//!
+//! ## Daemon mode
+//!
+//! ```text
+//! dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH]
+//! ```
+//!
+//! runs the matching-as-a-service daemon: newline-delimited JSON jobs in
+//! (stdin, or a Unix socket with `--socket`), one JSON report line out per
+//! job as it completes — each job carrying its own pipeline spec, instance
+//! reference (inline pattern, `gen:` spec, or a cached handle) and
+//! optionally an incremental `delta` re-solve against a cached instance.
+//! See [`dsmatch::engine::serve`] for the protocol.
 
-use dsmatch::engine::{Json, Pipeline, SolveReport, Solver, Workspace, WorkspacePool};
+use dsmatch::engine::{
+    Json, Pipeline, ServeOptions, SolveReport, Solver, Workspace, WorkspacePool,
+};
 use dsmatch::prelude::*;
 use std::io::Write;
 use std::process::ExitCode;
@@ -50,29 +65,15 @@ fn flag(name: &str) -> bool {
 /// (`gen:er:<n>:<avg_degree>[:<seed>]` — an n×n Erdős–Rényi pattern), so
 /// smoke tests and quick experiments need no matrix files on disk.
 fn load_graph(path: &str) -> Result<BipartiteGraph, String> {
-    let Some(spec) = path.strip_prefix("gen:") else {
-        let csr = dsmatch::graph::io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
-        return Ok(BipartiteGraph::from_csr(csr));
-    };
-    let usage = "expected gen:er:<n>:<avg_degree>[:<seed>]";
-    match spec.split(':').collect::<Vec<_>>().as_slice() {
-        ["er", n, d, rest @ ..] => {
-            let n: usize = n.parse().map_err(|_| format!("bad size {n:?}; {usage}"))?;
-            if n == 0 {
-                return Err(format!("size must be positive; {usage}"));
-            }
-            let d: f64 = d.parse().map_err(|_| format!("bad degree {d:?}; {usage}"))?;
-            if !d.is_finite() || d <= 0.0 {
-                return Err(format!("degree must be positive and finite; {usage}"));
-            }
-            let seed: u64 = match rest {
-                [] => 1,
-                [s] => s.parse().map_err(|_| format!("bad seed {s:?}; {usage}"))?,
-                _ => return Err(format!("trailing fields in gen spec {spec:?}; {usage}")),
-            };
-            Ok(dsmatch::gen::erdos_renyi_square(n, d, seed))
+    match path.strip_prefix("gen:") {
+        // One grammar for the CLI positional and the serve protocol's
+        // string instance refs: the engine owns the gen-spec parser.
+        Some(spec) => dsmatch::engine::parse_gen_spec(spec),
+        None => {
+            let csr =
+                dsmatch::graph::io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+            Ok(BipartiteGraph::from_csr(csr))
         }
-        _ => Err(format!("unsupported gen spec {spec:?}; {usage}")),
     }
 }
 
@@ -87,8 +88,74 @@ fn print_usage() {
          [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
          [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par] \
          [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
-         [--quality] [--json] [--output pairs.txt]"
+         [--quality] [--json] [--output pairs.txt]\n\
+         \x20      dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH]"
     );
+}
+
+/// `dsmatch serve`: run the matching daemon over stdin/stdout, or over a
+/// Unix socket with `--socket PATH`.
+fn serve_main() -> ExitCode {
+    let mut opts = ServeOptions::default();
+    for (name, slot) in [("threads", &mut opts.threads), ("max-queue", &mut opts.max_queue)] {
+        if let Some(v) = arg_value(name) {
+            match v.parse() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("--{name} expects a non-negative integer, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if opts.max_queue == 0 {
+        eprintln!("--max-queue 0 would reject every job; pass a positive bound");
+        return ExitCode::FAILURE;
+    }
+    if let Some(v) = arg_value("cache-mb") {
+        match v.parse::<usize>() {
+            Ok(mb) => opts.cache_bytes = mb << 20,
+            Err(_) => {
+                eprintln!("--cache-mb expects a non-negative integer, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match arg_value("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            match dsmatch::engine::serve_unix_socket(std::path::Path::new(&path), &opts) {
+                Ok(summary) => {
+                    eprintln!(
+                        "served {} jobs ({} ok, {} errors)",
+                        summary.jobs, summary.ok, summary.errors
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve: socket {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("serve: --socket {path} requires a Unix platform; use stdin mode");
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            // `Stdout` itself (not its non-Send lock) goes to the daemon:
+            // workers write whole reply lines, stdout's internal lock keeps
+            // them atomic.
+            let summary = dsmatch::engine::serve(stdin.lock(), std::io::stdout(), &opts);
+            eprintln!(
+                "served {} jobs ({} ok, {} errors)",
+                summary.jobs, summary.ok, summary.errors
+            );
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,6 +163,9 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
+    if path == "serve" {
+        return serve_main();
+    }
     let seed: u64 = arg_value("seed").and_then(|v| v.parse().ok()).unwrap_or(1);
     let pipeline = match arg_value("pipeline") {
         Some(spec) => {
@@ -286,7 +356,8 @@ fn main() -> ExitCode {
                     stage.cardinality.map_or(String::new(), |c| format!("  cardinality {c}"));
                 let augs =
                     stage.augmentations.map_or(String::new(), |a| format!("  augmentations {a}"));
-                println!("  {:<12}: {:>10.3?}{card}{augs}", stage.stage, stage.seconds);
+                let phases = stage.phases.map_or(String::new(), |p| format!("  phases {p}"));
+                println!("  {:<12}: {:>10.3?}{card}{augs}{phases}", stage.stage, stage.seconds);
             }
             println!("cardinality   : {}", report.cardinality());
             println!("time          : {:.3}s", report.total_seconds());

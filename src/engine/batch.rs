@@ -103,6 +103,12 @@ impl WorkspacePool {
         self.slots.len()
     }
 
+    /// The owned thread pool, if any — the scheduler `serve` mode submits
+    /// its stealable job tasks to.
+    pub(crate) fn rayon_pool(&self) -> Option<&Arc<rayon::ThreadPool>> {
+        self.pool.as_ref()
+    }
+
     /// Run `op` in this pool's execution context: inside the owned pool
     /// when there is one, in the ambient pool otherwise.
     pub fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
@@ -121,7 +127,7 @@ impl WorkspacePool {
     /// blocking, trading reuse for progress.
     ///
     /// [`ambient`]: WorkspacePool::ambient
-    fn with_workspace<R>(&self, op: impl FnOnce(&mut Workspace) -> R) -> R {
+    pub(crate) fn with_workspace<R>(&self, op: impl FnOnce(&mut Workspace) -> R) -> R {
         for slot in &self.slots {
             match slot.try_lock() {
                 Ok(mut ws) => return op(&mut ws),

@@ -28,8 +28,15 @@
 //!   fanned across the pool in stealable tasks (CLI `--batch-par`);
 //! - [`SolveReport`] — the matching plus per-stage wall times, scaling
 //!   iteration count/error, and an optional quality ratio;
-//! - [`Json`] — the hand-rolled JSON writer behind `--json` and the bench
-//!   harness's `BENCH_pipeline.json`.
+//! - [`SpecError`] — the typed reasons a pipeline spec can fail to parse,
+//!   surfaced verbatim by the CLI and the serve protocol;
+//! - [`serve`] — matching-as-a-service: a long-running daemon reading
+//!   newline-delimited JSON jobs (each with its own pipeline spec and
+//!   instance ref), streaming one report line per job, with an instance
+//!   cache and warm-started incremental `delta` re-solves;
+//! - [`Json`] — re-exported from the shared [`dsmatch_json`] crate: the
+//!   value type behind `--json`, the serve protocol, and the bench
+//!   harness's `BENCH_*.json` files.
 //!
 //! ## Example
 //!
@@ -48,15 +55,20 @@
 //! ```
 
 mod batch;
-pub mod json;
 mod pipeline;
 mod registry;
 mod report;
+mod serve;
+mod spec;
 mod workspace;
 
 pub use batch::WorkspacePool;
-pub use json::Json;
+pub use dsmatch_json::Json;
 pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
 pub use registry::AlgorithmKind;
 pub use report::{SolveReport, StageReport};
+#[cfg(unix)]
+pub use serve::serve_unix_socket;
+pub use serve::{parse_gen_spec, serve, ServeOptions, ServeSummary};
+pub use spec::SpecError;
 pub use workspace::{observed_parallelism, Workspace};

@@ -15,6 +15,7 @@ use dsmatch_scale::{ruiz_into, sinkhorn_knopp_into, ScalingConfig};
 
 use super::registry::AlgorithmKind;
 use super::report::{SolveReport, StageReport};
+use super::spec::SpecError;
 use super::workspace::Workspace;
 
 /// A solver: anything that maps a graph (plus reusable workspace) to an
@@ -142,13 +143,34 @@ impl Pipeline {
 }
 
 impl std::str::FromStr for Pipeline {
-    type Err = String;
+    type Err = SpecError;
 
     /// Parse `[scale[:sk|ruiz][:iters],]<algorithm>[,<exact-finisher>]`.
+    ///
+    /// Failures are typed ([`SpecError`]) so callers — the CLI, the
+    /// `dsmatch serve` protocol, tests — can branch on the variant while
+    /// `Display` carries the human-readable message:
+    ///
+    /// ```
+    /// use dsmatch::engine::{AlgorithmKind, Pipeline, SpecError};
+    ///
+    /// assert_eq!(
+    ///     "two,frobnicate".parse::<Pipeline>().unwrap_err(),
+    ///     SpecError::UnknownAlgorithm { name: "frobnicate".into() },
+    /// );
+    /// assert!(matches!(
+    ///     "two,ks".parse::<Pipeline>().unwrap_err(),
+    ///     SpecError::NonExactFinisher { finisher: AlgorithmKind::KarpSipser },
+    /// ));
+    /// assert!(matches!(
+    ///     "scale:1e2,two".parse::<Pipeline>().unwrap_err(),
+    ///     SpecError::BadIters { .. },
+    /// ));
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut stages: Vec<&str> = s.split(',').map(str::trim).collect();
         if stages.iter().any(|t| t.is_empty()) {
-            return Err(format!("empty stage in pipeline spec {s:?}"));
+            return Err(SpecError::EmptyStage { spec: s.to_string() });
         }
         let scale = if stages[0] == "scale" || stages[0].starts_with("scale:") {
             let mut method = ScaleMethod::SinkhornKnopp;
@@ -157,10 +179,19 @@ impl std::str::FromStr for Pipeline {
                 match part {
                     "sk" => method = ScaleMethod::SinkhornKnopp,
                     "ruiz" => method = ScaleMethod::Ruiz,
-                    other => {
-                        iters = other.parse().map_err(|_| {
-                            format!("bad scale option {other:?} in {s:?}; expected sk|ruiz|<iters>")
+                    // Numeric-looking tokens are iteration counts (and must
+                    // parse); anything else is a misspelled method name.
+                    other if other.starts_with(|c: char| c.is_ascii_digit()) => {
+                        iters = other.parse().map_err(|_| SpecError::BadIters {
+                            value: other.to_string(),
+                            spec: s.to_string(),
                         })?;
+                    }
+                    other => {
+                        return Err(SpecError::UnknownScaleMethod {
+                            option: other.to_string(),
+                            spec: s.to_string(),
+                        });
                     }
                 }
             }
@@ -170,21 +201,19 @@ impl std::str::FromStr for Pipeline {
             None
         };
         let (algorithm, augment) = match stages.as_slice() {
-            [] => return Err(format!("pipeline spec {s:?} names no algorithm")),
+            [] => return Err(SpecError::MissingAlgorithm { spec: s.to_string() }),
             [algo] => (algo.parse::<AlgorithmKind>()?, None),
             [algo, finisher] => {
                 (algo.parse::<AlgorithmKind>()?, Some(finisher.parse::<AlgorithmKind>()?))
             }
-            _ => return Err(format!("too many stages in pipeline spec {s:?}")),
+            _ => return Err(SpecError::TooManyStages { spec: s.to_string() }),
         };
         if let Some(a) = augment {
             if !a.is_exact() {
-                return Err(format!("augment stage {a} is not an exact algorithm"));
+                return Err(SpecError::NonExactFinisher { finisher: a });
             }
             if algorithm.is_exact() {
-                return Err(format!(
-                    "{algorithm} is already exact; augmenting with {a} is redundant"
-                ));
+                return Err(SpecError::RedundantFinisher { algorithm, finisher: a });
             }
         }
         Ok(Pipeline { scale, algorithm, augment, seed: 1 })
@@ -197,79 +226,102 @@ impl std::fmt::Display for Pipeline {
     }
 }
 
+/// Work counters one algorithm/augment stage reports (beyond its matching):
+/// the per-stage half of a [`StageReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StageCounters {
+    /// Augmenting paths applied (exact engines that count them).
+    pub augmentations: Option<usize>,
+    /// Search phases executed, including the final certifying phase
+    /// (Hopcroft–Karp and the tree-grafting Pothen–Fan variants).
+    pub phases: Option<usize>,
+}
+
 /// Run the algorithm stage, sampling from the workspace's current factors.
 fn run_algorithm(
     algo: AlgorithmKind,
     g: &BipartiteGraph,
     seed: u64,
     ws: &mut Workspace,
-) -> (Matching, Option<usize>) {
+) -> (Matching, StageCounters) {
+    let heuristic = StageCounters::default();
     match algo {
-        AlgorithmKind::OneSided => (one_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), None),
+        AlgorithmKind::OneSided => {
+            (one_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), heuristic)
+        }
         AlgorithmKind::TwoSided | AlgorithmKind::KarpSipserMt => {
-            (two_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), None)
+            (two_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), heuristic)
         }
-        AlgorithmKind::OneOutUndirected => (one_out_bipartite(g, seed, ws), None),
+        AlgorithmKind::OneOutUndirected => (one_out_bipartite(g, seed, ws), heuristic),
         AlgorithmKind::KarpSipser => {
-            (karp_sipser_ws(g, &KarpSipserConfig { seed }, &mut ws.heur.ks).matching, None)
+            (karp_sipser_ws(g, &KarpSipserConfig { seed }, &mut ws.heur.ks).matching, heuristic)
         }
-        AlgorithmKind::CheapEdge => (cheap_random_edge(g, seed), None),
-        AlgorithmKind::CheapVertex => (cheap_random_vertex(g, seed), None),
-        AlgorithmKind::HopcroftKarp => {
-            let (m, stats) = hopcroft_karp_ws(g, None, &mut ws.augment);
-            (m, Some(stats.augmentations))
-        }
-        AlgorithmKind::PothenFan => {
-            let (m, stats) = pothen_fan_ws(g, None, &mut ws.augment);
-            (m, Some(stats.augmentations))
-        }
-        AlgorithmKind::PushRelabel => (dsmatch_exact::push_relabel(g), None),
-        AlgorithmKind::BfsAugment => {
-            let (m, stats) = bfs_augment_from(g, Matching::new(g.nrows(), g.ncols()));
-            (m, Some(stats.augmentations))
-        }
-        AlgorithmKind::HopcroftKarpPar => {
-            let (m, stats) = hopcroft_karp_par_ws(g, None, &mut ws.augment);
-            (m, Some(stats.augmentations))
-        }
-        AlgorithmKind::PothenFanPar => {
-            let (m, stats) = pothen_fan_par_ws(g, None, &mut ws.augment);
-            (m, Some(stats.augmentations))
-        }
+        AlgorithmKind::CheapEdge => (cheap_random_edge(g, seed), heuristic),
+        AlgorithmKind::CheapVertex => (cheap_random_vertex(g, seed), heuristic),
+        AlgorithmKind::PushRelabel => (dsmatch_exact::push_relabel(g), heuristic),
+        AlgorithmKind::HopcroftKarp
+        | AlgorithmKind::PothenFan
+        | AlgorithmKind::BfsAugment
+        | AlgorithmKind::HopcroftKarpPar
+        | AlgorithmKind::PothenFanPar => run_augment(algo, g, None, ws),
     }
 }
 
-/// Feed `initial` into the exact finisher `algo`.
-fn run_augment(
+/// Feed `initial` into the exact finisher `algo` (`None`: solve cold).
+/// Shared by the pipeline's augment stage, the exact algorithm stages
+/// above, and the `serve` daemon's warm delta re-solves.
+pub(crate) fn run_augment(
     algo: AlgorithmKind,
     g: &BipartiteGraph,
-    initial: Matching,
+    initial: Option<Matching>,
     ws: &mut Workspace,
-) -> (Matching, Option<usize>) {
+) -> (Matching, StageCounters) {
     match algo {
         AlgorithmKind::HopcroftKarp => {
-            let (m, stats) = hopcroft_karp_ws(g, Some(&initial), &mut ws.augment);
-            (m, Some(stats.augmentations))
+            let (m, stats) = hopcroft_karp_ws(g, initial.as_ref(), &mut ws.augment);
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    phases: Some(stats.phases),
+                },
+            )
         }
         AlgorithmKind::PothenFan => {
-            let (m, stats) = pothen_fan_ws(g, Some(&initial), &mut ws.augment);
-            (m, Some(stats.augmentations))
+            let (m, stats) = pothen_fan_ws(g, initial.as_ref(), &mut ws.augment);
+            (m, StageCounters { augmentations: Some(stats.augmentations), phases: None })
         }
         AlgorithmKind::PushRelabel => {
-            let (m, _) = push_relabel_from(g, initial);
-            (m, None)
+            let (m, _) = push_relabel_from(
+                g,
+                initial.unwrap_or_else(|| Matching::new(g.nrows(), g.ncols())),
+            );
+            (m, StageCounters::default())
         }
         AlgorithmKind::BfsAugment => {
-            let (m, stats) = bfs_augment_from(g, initial);
-            (m, Some(stats.augmentations))
+            let (m, stats) =
+                bfs_augment_from(g, initial.unwrap_or_else(|| Matching::new(g.nrows(), g.ncols())));
+            (m, StageCounters { augmentations: Some(stats.augmentations), phases: None })
         }
         AlgorithmKind::HopcroftKarpPar => {
-            let (m, stats) = hopcroft_karp_par_ws(g, Some(&initial), &mut ws.augment);
-            (m, Some(stats.augmentations))
+            let (m, stats) = hopcroft_karp_par_ws(g, initial.as_ref(), &mut ws.augment);
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    phases: Some(stats.phases),
+                },
+            )
         }
         AlgorithmKind::PothenFanPar => {
-            let (m, stats) = pothen_fan_par_ws(g, Some(&initial), &mut ws.augment);
-            (m, Some(stats.augmentations))
+            let (m, stats) = pothen_fan_par_ws(g, initial.as_ref(), &mut ws.augment);
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    phases: Some(stats.phases),
+                },
+            )
         }
         other => unreachable!("{other} is not exact; rejected at parse/validation time"),
     }
@@ -343,6 +395,7 @@ impl Pipeline {
                 seconds: t0.elapsed().as_secs_f64(),
                 cardinality: None,
                 augmentations: None,
+                phases: None,
             });
             scaling_iterations = Some(ws.scaling.iterations);
             scaling_error = Some(ws.scaling.error);
@@ -353,22 +406,24 @@ impl Pipeline {
         }
 
         let t0 = Instant::now();
-        let (matching, augmentations) = run_algorithm(self.algorithm, g, self.seed, ws);
+        let (matching, counters) = run_algorithm(self.algorithm, g, self.seed, ws);
         stages.push(StageReport {
             stage: self.algorithm.name().to_string(),
             seconds: t0.elapsed().as_secs_f64(),
             cardinality: Some(matching.cardinality()),
-            augmentations,
+            augmentations: counters.augmentations,
+            phases: counters.phases,
         });
 
         let matching = if let Some(finisher) = self.augment {
             let t0 = Instant::now();
-            let (m, augs) = run_augment(finisher, g, matching, ws);
+            let (m, counters) = run_augment(finisher, g, Some(matching), ws);
             stages.push(StageReport {
                 stage: format!("augment:{finisher}"),
                 seconds: t0.elapsed().as_secs_f64(),
                 cardinality: Some(m.cardinality()),
-                augmentations: augs,
+                augmentations: counters.augmentations,
+                phases: counters.phases,
             });
             m
         } else {

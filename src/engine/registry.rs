@@ -117,12 +117,24 @@ impl AlgorithmKind {
 }
 
 impl std::str::FromStr for AlgorithmKind {
-    type Err = String;
+    type Err = super::spec::SpecError;
+
+    /// Look up a spec name in the registry.
+    ///
+    /// ```
+    /// use dsmatch::engine::{AlgorithmKind, SpecError};
+    ///
+    /// assert_eq!("pf-par".parse::<AlgorithmKind>(), Ok(AlgorithmKind::PothenFanPar));
+    /// assert_eq!(
+    ///     "nope".parse::<AlgorithmKind>(),
+    ///     Err(SpecError::UnknownAlgorithm { name: "nope".into() }),
+    /// );
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        AlgorithmKind::all().into_iter().find(|a| a.name() == s).ok_or_else(|| {
-            let names: Vec<&str> = AlgorithmKind::all().iter().map(|a| a.name()).collect();
-            format!("unknown algorithm {s:?}; expected one of {}", names.join("|"))
-        })
+        AlgorithmKind::all()
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| super::spec::SpecError::UnknownAlgorithm { name: s.to_string() })
     }
 }
 

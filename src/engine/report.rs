@@ -2,8 +2,7 @@
 //! run returns.
 
 use dsmatch_graph::Matching;
-
-use super::json::Json;
+use dsmatch_json::Json;
 
 /// Timing and outcome of one pipeline stage.
 #[derive(Clone, Debug)]
@@ -17,6 +16,11 @@ pub struct StageReport {
     /// Augmenting paths applied (augment finishers and exact stages that
     /// report work counters).
     pub augmentations: Option<usize>,
+    /// Search phases executed, including the final certifying phase
+    /// (the Hopcroft–Karp engines and the tree-grafting `pf-par`). A warm
+    /// start that is already maximum finishes in exactly one phase — the
+    /// counter behind the serve daemon's cheap delta re-solves.
+    pub phases: Option<usize>,
 }
 
 /// Result of one engine solve: the matching plus per-stage instrumentation.
@@ -63,6 +67,7 @@ impl SolveReport {
                     ("seconds", Json::from(s.seconds)),
                     ("cardinality", Json::opt(s.cardinality)),
                     ("augmentations", Json::opt(s.augmentations)),
+                    ("phases", Json::opt(s.phases)),
                 ])
             })
             .collect();
@@ -90,6 +95,7 @@ mod tests {
                 seconds: 0.5,
                 cardinality: Some(0),
                 augmentations: None,
+                phases: Some(3),
             }],
             scaling_iterations: Some(5),
             scaling_error: Some(1e-3),
@@ -97,6 +103,7 @@ mod tests {
         };
         let s = report.to_json().to_string();
         assert!(s.contains("\"stages\":[{\"stage\":\"two\""), "{s}");
+        assert!(s.contains("\"phases\":3"), "{s}");
         assert!(s.contains("\"scaling_iterations\":5"), "{s}");
         assert!(s.contains("\"quality\":null"), "{s}");
         assert_eq!(report.total_seconds(), 0.5);

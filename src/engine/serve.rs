@@ -1,0 +1,1169 @@
+//! Matching-as-a-service: the long-running daemon behind `dsmatch serve`.
+//!
+//! The one-shot CLI solves one instance per process; the ROADMAP's north
+//! star — heavy traffic from many clients — needs a front-end that stays
+//! up. [`serve`] reads **newline-delimited JSON jobs** from any
+//! [`BufRead`] (the CLI wires stdin, or a Unix socket via
+//! [`serve_unix_socket`]) and streams **one JSON reply line per job** as
+//! each finishes, tagged with the client's job id — *completion* order,
+//! not submission order.
+//!
+//! ## Job lines
+//!
+//! Every job is one JSON object with an `"id"` (echoed verbatim in the
+//! reply) and an `"op"` (default `"solve"`):
+//!
+//! ```text
+//! {"id":1,"op":"solve","pipeline":"scale:sk:5,two,pf-par","seed":7,
+//!  "instance":"gen:er:10000:4:1","store":"big","quality":true}
+//! {"id":2,"op":"solve","pipeline":"hk","instance":{"handle":"big"}}
+//! {"id":3,"op":"delta","handle":"big","add":[[0,5]],"remove":[[3,3]],
+//!  "finisher":"pf-par","mates":true}
+//! {"id":4,"op":"ping"}
+//! {"id":5,"op":"drop","handle":"big"}
+//! {"id":6,"op":"shutdown"}
+//! ```
+//!
+//! Instances are referenced three ways: a `gen:` spec (synthesized), an
+//! inline pattern (`{"nrows":N,"ncols":M,"edges":[[i,j],…]}`), or a
+//! `{"handle":"name"}` naming an instance a previous job `"store"`d in the
+//! daemon's cache. Each job carries its **own** pipeline spec — the
+//! Duff–Kaya–Uçar transversal methodology's per-instance algorithm choice,
+//! as a protocol.
+//!
+//! ## Scheduling & robustness
+//!
+//! Jobs are spawned onto the existing [`WorkspacePool`] as stealable
+//! tasks: concurrent jobs solve on distinct pinned-1-thread slot
+//! workspaces, so every result is byte-identical to a 1-thread solve of
+//! the same `(instance, seed)`. Jobs naming the same handle execute in
+//! submission order (a per-handle queue); jobs on different handles (or
+//! none) run concurrently. Admission control bounds the in-flight queue
+//! (`max_queue`): beyond it, jobs get an immediate structured `"queue"`
+//! error instead of unbounded memory growth. *Every* failure — malformed
+//! JSON, unknown algorithm, missing handle, even a solver panic — becomes
+//! an error reply; the daemon never dies on a bad job.
+//!
+//! ## Incremental re-solves
+//!
+//! A `"delta"` job mutates a cached instance (`add`/`remove` edge lists)
+//! and **re-augments from the cached mate array** with a warm-started
+//! exact finisher (`pf-par` by default) instead of solving from scratch —
+//! the tree-grafting warm-start lineage. The reply's `"warm":true` and the
+//! stage's `"phases"` counter make the saving observable: a delta whose
+//! cached matching survives the mutation certifies in one phase.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dsmatch_exact::sprank;
+use dsmatch_graph::{BipartiteGraph, Matching, TripletMatrix, NIL};
+use dsmatch_json::{parse_json, Json};
+
+use super::batch::WorkspacePool;
+use super::pipeline::{run_augment, Pipeline, Solver};
+use super::registry::AlgorithmKind;
+use super::report::{SolveReport, StageReport};
+use super::workspace::{observed_parallelism, Workspace};
+
+/// Error codes carried by `"ok":false` replies, stable for clients.
+mod code {
+    /// Malformed JSON, or a missing/ill-typed required field.
+    pub const PARSE: &str = "parse";
+    /// A pipeline/finisher spec error ([`SpecError`](crate::engine::SpecError) verbatim).
+    pub const SPEC: &str = "spec";
+    /// A bad instance reference: `gen:` spec, or out-of-bounds inline/delta edges.
+    pub const INSTANCE: &str = "instance";
+    /// An unknown handle, or a handle with no cached instance.
+    pub const HANDLE: &str = "handle";
+    /// Admission control: the in-flight queue is full.
+    pub const QUEUE: &str = "queue";
+    /// A daemon-side failure (solver panic, invalid matching).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Configuration for one [`serve`] daemon.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads in the job pool (`0` = the default size).
+    pub threads: usize,
+    /// Admission bound: maximum jobs in flight (running + queued). Jobs
+    /// beyond it are rejected with a `"queue"` error reply.
+    pub max_queue: usize,
+    /// Byte budget for the instance cache; least-recently-used idle
+    /// handles are evicted when the cached graphs + mates exceed it.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { threads: 0, max_queue: 64, cache_bytes: 256 << 20 }
+    }
+}
+
+/// What one [`serve`] session did, also emitted as the trailing
+/// `{"event":"shutdown",…}` line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Job lines received (including ones rejected with an error reply).
+    pub jobs: usize,
+    /// Replies with `"ok":true`.
+    pub ok: usize,
+    /// Replies with `"ok":false`.
+    pub errors: usize,
+    /// True when the session ended on a `shutdown` op (vs input EOF).
+    pub shutdown: bool,
+}
+
+/// Synthesize an instance from the spec grammar shared by the CLI
+/// positional argument and the serve protocol's string instance refs:
+/// `er:<n>:<avg_degree>[:<seed>]` (the part after the `gen:` prefix).
+pub fn parse_gen_spec(spec: &str) -> Result<BipartiteGraph, String> {
+    let usage = "expected gen:er:<n>:<avg_degree>[:<seed>]";
+    match spec.split(':').collect::<Vec<_>>().as_slice() {
+        ["er", n, d, rest @ ..] => {
+            let n: usize = n.parse().map_err(|_| format!("bad size {n:?}; {usage}"))?;
+            if n == 0 {
+                return Err(format!("size must be positive; {usage}"));
+            }
+            let d: f64 = d.parse().map_err(|_| format!("bad degree {d:?}; {usage}"))?;
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("degree must be positive and finite; {usage}"));
+            }
+            let seed: u64 = match rest {
+                [] => 1,
+                [s] => s.parse().map_err(|_| format!("bad seed {s:?}; {usage}"))?,
+                _ => return Err(format!("trailing fields in gen spec {spec:?}; {usage}")),
+            };
+            Ok(dsmatch_gen::erdos_renyi_square(n, d, seed))
+        }
+        _ => Err(format!("unsupported gen spec {spec:?}; {usage}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job model
+// ---------------------------------------------------------------------------
+
+/// `(code, message)` for an error reply.
+type JobError = (&'static str, String);
+
+#[derive(Clone, Debug)]
+enum InstanceRef {
+    /// `"gen:er:…"` — synthesized on the worker.
+    Gen(String),
+    /// `{"nrows":…,"ncols":…,"edges":[[i,j],…]}`.
+    Inline { nrows: usize, ncols: usize, edges: Vec<(usize, usize)> },
+    /// `{"handle":"name"}` — a previously `store`d instance.
+    Handle(String),
+}
+
+#[derive(Clone, Debug)]
+struct SolveJob {
+    pipeline: Pipeline,
+    seed: u64,
+    instance: InstanceRef,
+    store: Option<String>,
+    quality: bool,
+    mates: bool,
+}
+
+#[derive(Clone, Debug)]
+struct DeltaJob {
+    handle: String,
+    add: Vec<(usize, usize)>,
+    remove: Vec<(usize, usize)>,
+    finisher: AlgorithmKind,
+    quality: bool,
+    mates: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Solve(SolveJob),
+    Delta(DeltaJob),
+    /// Liveness probe, answered inline by the reader.
+    Ping,
+    /// Detach a cached handle (refused while it has jobs in flight).
+    Drop {
+        handle: String,
+    },
+    /// Occupy one worker for `ms` milliseconds — a scheduling/testing aid
+    /// that makes admission-control behaviour deterministic.
+    Sleep {
+        ms: u64,
+    },
+    /// Stop reading further jobs (and, on a socket, stop accepting).
+    Shutdown,
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    id: Json,
+    op: Op,
+}
+
+impl Job {
+    /// The handle this job's execution must serialize on, if any: the
+    /// mutation target for solves that `store`, the read source for
+    /// handle-referencing solves, the delta's subject.
+    fn primary_handle(&self) -> Option<&str> {
+        match &self.op {
+            Op::Solve(sj) => sj.store.as_deref().or(match &sj.instance {
+                InstanceRef::Handle(h) => Some(h),
+                _ => None,
+            }),
+            Op::Delta(dj) => Some(&dj.handle),
+            _ => None,
+        }
+    }
+}
+
+fn parse_edge_list(v: &Json, key: &str) -> Result<Vec<(usize, usize)>, JobError> {
+    let Some(field) = v.get(key) else { return Ok(Vec::new()) };
+    let items = field
+        .as_arr()
+        .ok_or_else(|| (code::PARSE, format!("{key:?} must be an array of [row,col] pairs")))?;
+    let mut edges = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+            (code::PARSE, format!("{key:?} entries must be [row,col] pairs, got {item}"))
+        })?;
+        let (i, j) = (pair[0].as_usize(), pair[1].as_usize());
+        match (i, j) {
+            (Some(i), Some(j)) => edges.push((i, j)),
+            _ => {
+                return Err((
+                    code::PARSE,
+                    format!("{key:?} entries must be non-negative integers, got {item}"),
+                ))
+            }
+        }
+    }
+    Ok(edges)
+}
+
+fn required_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, JobError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| (code::PARSE, format!("job needs a non-empty string {key:?} field")))
+}
+
+fn optional_bool(v: &Json, key: &str) -> Result<bool, JobError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(b) => b.as_bool().ok_or_else(|| (code::PARSE, format!("{key:?} must be a boolean"))),
+    }
+}
+
+fn parse_instance_ref(v: &Json) -> Result<InstanceRef, JobError> {
+    let field = v.get("instance").ok_or_else(|| {
+        (
+            code::PARSE,
+            "solve job needs an \"instance\": a \"gen:…\" spec, \
+         {\"handle\":…}, or {\"nrows\",\"ncols\",\"edges\"}"
+                .to_string(),
+        )
+    })?;
+    if let Some(s) = field.as_str() {
+        let Some(spec) = s.strip_prefix("gen:") else {
+            return Err((
+                code::PARSE,
+                format!("string instance refs must be \"gen:…\" specs, got {s:?}"),
+            ));
+        };
+        return Ok(InstanceRef::Gen(spec.to_string()));
+    }
+    if let Some(h) = field.get("handle") {
+        let h = h
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| (code::PARSE, "\"handle\" must be a non-empty string".to_string()))?;
+        return Ok(InstanceRef::Handle(h.to_string()));
+    }
+    let dims =
+        (field.get("nrows").and_then(Json::as_usize), field.get("ncols").and_then(Json::as_usize));
+    if let (Some(nrows), Some(ncols)) = dims {
+        let edges = parse_edge_list(field, "edges")?;
+        return Ok(InstanceRef::Inline { nrows, ncols, edges });
+    }
+    Err((
+        code::PARSE,
+        format!("unsupported instance ref {field}; expected a \"gen:…\" spec, {{\"handle\":…}}, or {{\"nrows\",\"ncols\",\"edges\"}}"),
+    ))
+}
+
+fn parse_job(v: &Json) -> Result<Job, (Json, JobError)> {
+    let id = match v.get("id") {
+        Some(id) => id.clone(),
+        None => {
+            return Err((
+                Json::Null,
+                (code::PARSE, "job has no \"id\"; replies are tagged with it".to_string()),
+            ))
+        }
+    };
+    let fail = |e: JobError| (id.clone(), e);
+    let op_name = match v.get("op") {
+        None => "solve",
+        Some(op) => {
+            op.as_str().ok_or_else(|| fail((code::PARSE, "\"op\" must be a string".to_string())))?
+        }
+    };
+    let seed = match v.get("seed") {
+        None => 1,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| fail((code::PARSE, "\"seed\" must be a non-negative integer".into())))?,
+    };
+    let op = match op_name {
+        "solve" => {
+            let spec = required_str(v, "pipeline").map_err(fail)?;
+            let pipeline: Pipeline =
+                spec.parse().map_err(|e| fail((code::SPEC, format!("{e}"))))?;
+            let instance = parse_instance_ref(v).map_err(fail)?;
+            let store = match v.get("store") {
+                None => None,
+                Some(s) => Some(
+                    s.as_str()
+                        .filter(|h| !h.is_empty())
+                        .ok_or_else(|| {
+                            fail((code::PARSE, "\"store\" must be a non-empty string".into()))
+                        })?
+                        .to_string(),
+                ),
+            };
+            Op::Solve(SolveJob {
+                pipeline,
+                seed,
+                instance,
+                store,
+                quality: optional_bool(v, "quality").map_err(fail)?,
+                mates: optional_bool(v, "mates").map_err(fail)?,
+            })
+        }
+        "delta" => {
+            let handle = required_str(v, "handle").map_err(fail)?.to_string();
+            let finisher = match v.get("finisher") {
+                None => AlgorithmKind::PothenFanPar,
+                Some(f) => {
+                    let name = f.as_str().ok_or_else(|| {
+                        fail((code::PARSE, "\"finisher\" must be a string".into()))
+                    })?;
+                    let kind: AlgorithmKind =
+                        name.parse().map_err(|e| fail((code::SPEC, format!("{e}"))))?;
+                    if !kind.is_exact() {
+                        let e = crate::engine::SpecError::NonExactFinisher { finisher: kind };
+                        return Err(fail((code::SPEC, e.to_string())));
+                    }
+                    kind
+                }
+            };
+            Op::Delta(DeltaJob {
+                handle,
+                add: parse_edge_list(v, "add").map_err(fail)?,
+                remove: parse_edge_list(v, "remove").map_err(fail)?,
+                finisher,
+                quality: optional_bool(v, "quality").map_err(fail)?,
+                mates: optional_bool(v, "mates").map_err(fail)?,
+            })
+        }
+        "ping" => Op::Ping,
+        "drop" => Op::Drop { handle: required_str(v, "handle").map_err(fail)?.to_string() },
+        "sleep" => {
+            let ms = v
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail((code::PARSE, "sleep job needs integer \"ms\"".into())))?;
+            Op::Sleep { ms }
+        }
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err(fail((
+                code::PARSE,
+                format!("unknown op {other:?}; expected solve|delta|ping|drop|sleep|shutdown"),
+            )))
+        }
+    };
+    Ok(Job { id, op })
+}
+
+// ---------------------------------------------------------------------------
+// Instance cache
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct HandleState {
+    graph: Option<Arc<BipartiteGraph>>,
+    mates: Option<Matching>,
+}
+
+impl HandleState {
+    fn approx_bytes(&self) -> usize {
+        let graph = self.mates.as_ref().map_or(0, |m| 4 * (m.nrows() + m.ncols()));
+        self.graph.as_ref().map_or(graph, |g| {
+            // CSR + CSC: two index arrays of nnz u32 entries plus two
+            // pointer arrays of (dim + 1) usize entries.
+            graph + 8 * g.nnz() + 8 * (g.nrows() + g.ncols() + 2)
+        })
+    }
+}
+
+#[derive(Default)]
+struct HandleQueue {
+    /// A job owning this handle is running (or scheduled to run).
+    busy: bool,
+    /// Jobs waiting for the handle, in submission order.
+    pending: VecDeque<Job>,
+}
+
+/// One cached instance: per-handle job serialization + the cached
+/// graph/mates + LRU bookkeeping.
+#[derive(Default)]
+struct HandleEntry {
+    queue: Mutex<HandleQueue>,
+    state: Mutex<HandleState>,
+    bytes: AtomicUsize,
+    touched: AtomicU64,
+}
+
+struct Cache {
+    entries: HashMap<String, Arc<HandleEntry>>,
+    clock: u64,
+    budget: usize,
+}
+
+impl Cache {
+    fn touch(&mut self, entry: &HandleEntry) {
+        self.clock += 1;
+        entry.touched.store(self.clock, Ordering::Relaxed);
+    }
+
+    fn entry_for(&mut self, handle: &str) -> Arc<HandleEntry> {
+        let entry = Arc::clone(self.entries.entry(handle.to_string()).or_default());
+        self.touch(&entry);
+        entry
+    }
+
+    /// Evict least-recently-touched idle entries until the byte budget
+    /// holds. `protect` (the handle just written) is never evicted, so a
+    /// single oversized instance stays usable for the job that loaded it.
+    fn evict_to_budget(&mut self, protect: &str) {
+        loop {
+            let total: usize = self.entries.values().map(|e| e.bytes.load(Ordering::Relaxed)).sum();
+            if total <= self.budget {
+                return;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(name, entry)| {
+                    if name.as_str() == protect {
+                        return false;
+                    }
+                    // Never evict a handle with jobs in flight; lock order
+                    // is cache → queue everywhere, so this cannot deadlock.
+                    let q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
+                    !q.busy && q.pending.is_empty()
+                })
+                .min_by_key(|(_, entry)| entry.touched.load(Ordering::Relaxed))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.entries.remove(&name);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+/// State shared across every connection of one daemon process.
+struct ServeCore {
+    pool: WorkspacePool,
+    cache: Mutex<Cache>,
+    opts: ServeOptions,
+    observed_workers: usize,
+    shutdown: AtomicBool,
+}
+
+impl ServeCore {
+    fn new(opts: &ServeOptions) -> Self {
+        let pool = Workspace::per_worker(opts.threads);
+        let observed_workers = pool.run(observed_parallelism);
+        ServeCore {
+            pool,
+            cache: Mutex::new(Cache {
+                entries: HashMap::new(),
+                clock: 0,
+                budget: opts.cache_bytes,
+            }),
+            opts: opts.clone(),
+            observed_workers,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, Cache> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Per-connection reply stream + counters.
+struct Conn<'c, W: Write + Send> {
+    core: &'c ServeCore,
+    out: Mutex<W>,
+    out_broken: AtomicBool,
+    in_flight: AtomicUsize,
+    jobs: AtomicUsize,
+    ok: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+impl<'c, W: Write + Send> Conn<'c, W> {
+    fn new(core: &'c ServeCore, output: W) -> Self {
+        Conn {
+            core,
+            out: Mutex::new(output),
+            out_broken: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            ok: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+        }
+    }
+
+    /// Write one protocol line; a failed write (client gone) latches
+    /// `out_broken` so the reader stops instead of solving into the void.
+    fn line(&self, doc: &Json) {
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        if writeln!(out, "{doc}").and_then(|()| out.flush()).is_err() {
+            self.out_broken.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn reply(&self, doc: Json) {
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => self.ok.fetch_add(1, Ordering::Relaxed),
+            _ => self.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        self.line(&doc);
+    }
+
+    fn reply_error(&self, id: &Json, code: &'static str, message: &str) {
+        self.reply(Json::obj(vec![
+            ("id", id.clone()),
+            ("ok", Json::Bool(false)),
+            ("code", Json::from(code)),
+            ("error", Json::from(message)),
+        ]));
+    }
+
+    /// Reserve an in-flight slot, or refuse (admission control).
+    fn admit(&self) -> bool {
+        self.in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < self.core.opts.max_queue).then_some(cur + 1)
+            })
+            .is_ok()
+    }
+
+    fn summary(&self, shutdown: bool) -> ServeSummary {
+        ServeSummary {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shutdown,
+        }
+    }
+}
+
+fn mates_json(m: &Matching) -> Json {
+    Json::Arr(
+        m.rmates()
+            .iter()
+            .map(|&j| if j == NIL { Json::Null } else { Json::Int(j as i64) })
+            .collect(),
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".to_string())
+}
+
+/// Build the bipartite graph for an inline instance ref, bounds-checked
+/// (an out-of-range edge must become an error reply, not a worker panic).
+fn build_inline(
+    nrows: usize,
+    ncols: usize,
+    edges: &[(usize, usize)],
+) -> Result<BipartiteGraph, JobError> {
+    if nrows == 0 || ncols == 0 {
+        return Err((code::INSTANCE, "inline instances need nrows ≥ 1 and ncols ≥ 1".into()));
+    }
+    let mut t = TripletMatrix::with_capacity(nrows, ncols, edges.len());
+    for &(i, j) in edges {
+        if i >= nrows || j >= ncols {
+            return Err((
+                code::INSTANCE,
+                format!("edge ({i},{j}) out of bounds for {nrows}×{ncols}"),
+            ));
+        }
+        t.push(i, j);
+    }
+    Ok(BipartiteGraph::from_csr(t.into_csr()))
+}
+
+// ---------------------------------------------------------------------------
+// Job execution (on pool workers)
+// ---------------------------------------------------------------------------
+
+fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<Json, JobError> {
+    let graph: Arc<BipartiteGraph> = match &job.instance {
+        InstanceRef::Gen(spec) => Arc::new(parse_gen_spec(spec).map_err(|e| (code::INSTANCE, e))?),
+        InstanceRef::Inline { nrows, ncols, edges } => {
+            Arc::new(build_inline(*nrows, *ncols, edges)?)
+        }
+        InstanceRef::Handle(h) => {
+            let entry =
+                conn.core.cache_lock().entries.get(h).cloned().ok_or_else(|| {
+                    (code::HANDLE, format!("no instance cached under handle {h:?}"))
+                })?;
+            let state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.graph.clone().ok_or_else(|| {
+                (code::HANDLE, format!("handle {h:?} exists but has no cached instance yet"))
+            })?
+        }
+    };
+
+    let mut report = conn
+        .core
+        .pool
+        .with_workspace(|ws| job.pipeline.clone().with_seed(job.seed).solve(&graph, ws));
+    report
+        .matching
+        .verify(&graph)
+        .map_err(|e| (code::INTERNAL, format!("produced an invalid matching: {e}")))?;
+    if job.quality {
+        report.set_quality(sprank(&graph));
+    }
+
+    if let Some(handle) = &job.store {
+        let entry = conn.core.cache_lock().entry_for(handle);
+        {
+            let mut state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.graph = Some(Arc::clone(&graph));
+            state.mates = Some(report.matching.clone());
+            entry.bytes.store(state.approx_bytes(), Ordering::Relaxed);
+        }
+        conn.core.cache_lock().evict_to_budget(handle);
+    }
+
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::from("solve")),
+        ("pipeline".to_string(), Json::from(job.pipeline.spec())),
+        ("seed".to_string(), Json::from(job.seed)),
+    ];
+    if let Some(h) = &job.store {
+        pairs.push(("handle".to_string(), Json::from(h.as_str())));
+    }
+    pairs.push(("report".to_string(), report.to_json()));
+    if job.mates {
+        pairs.push(("rmate".to_string(), mates_json(&report.matching)));
+    }
+    Ok(Json::Obj(pairs))
+}
+
+fn execute_delta<W: Write + Send>(
+    conn: &Conn<'_, W>,
+    job: &DeltaJob,
+    entry: &Arc<HandleEntry>,
+) -> Result<Json, JobError> {
+    let (graph, cached_mates) = {
+        let state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
+        (state.graph.clone(), state.mates.clone())
+    };
+    let graph = graph.ok_or_else(|| {
+        (code::HANDLE, format!("no instance cached under handle {:?}", job.handle))
+    })?;
+    let (nrows, ncols) = (graph.nrows(), graph.ncols());
+    for &(i, j) in job.add.iter().chain(&job.remove) {
+        if i >= nrows || j >= ncols {
+            return Err((
+                code::INSTANCE,
+                format!("delta edge ({i},{j}) out of bounds for {nrows}×{ncols}"),
+            ));
+        }
+    }
+
+    // Rebuild the pattern with the delta applied. Removing an absent edge
+    // or adding a present one is a no-op, so clients need not track the
+    // exact current pattern.
+    let removed: HashSet<(usize, usize)> = job.remove.iter().copied().collect();
+    let mut t = TripletMatrix::with_capacity(nrows, ncols, graph.nnz() + job.add.len());
+    for (i, j) in graph.csr().iter_entries() {
+        if !removed.contains(&(i, j)) {
+            t.push(i, j);
+        }
+    }
+    for &(i, j) in &job.add {
+        t.push(i, j);
+    }
+    let mutated = BipartiteGraph::from_csr(t.into_csr());
+
+    // Warm start: the cached mates, minus pairs whose edge was removed —
+    // still a valid matching of the mutated graph, so the finisher only
+    // re-augments what the delta actually broke.
+    let warm = cached_mates.is_some();
+    let initial = cached_mates.map(|m| {
+        let mut rmate = m.rmates().to_vec();
+        let mut cmate = m.cmates().to_vec();
+        for i in 0..rmate.len() {
+            let j = rmate[i];
+            if j != NIL && !mutated.csr().contains(i, j as usize) {
+                cmate[j as usize] = NIL;
+                rmate[i] = NIL;
+            }
+        }
+        Matching::from_mates(rmate, cmate)
+    });
+
+    let t0 = Instant::now();
+    let mutated_ref = &mutated;
+    let (matching, counters) = conn.core.pool.with_workspace(|ws| {
+        let slot_pool = ws.pool().cloned();
+        let run = move |ws: &mut Workspace| run_augment(job.finisher, mutated_ref, initial, ws);
+        match slot_pool {
+            Some(p) => p.install(|| run(ws)),
+            None => run(ws),
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    matching
+        .verify(&mutated)
+        .map_err(|e| (code::INTERNAL, format!("produced an invalid matching: {e}")))?;
+
+    let mut report = SolveReport {
+        stages: vec![StageReport {
+            stage: format!("delta:{}", job.finisher),
+            seconds,
+            cardinality: Some(matching.cardinality()),
+            augmentations: counters.augmentations,
+            phases: counters.phases,
+        }],
+        scaling_iterations: None,
+        scaling_error: None,
+        quality: None,
+        matching,
+    };
+    if job.quality {
+        report.set_quality(sprank(&mutated));
+    }
+
+    {
+        let mut state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.graph = Some(Arc::new(mutated));
+        state.mates = Some(report.matching.clone());
+        entry.bytes.store(state.approx_bytes(), Ordering::Relaxed);
+    }
+    {
+        let mut cache = conn.core.cache_lock();
+        cache.touch(entry);
+        cache.evict_to_budget(&job.handle);
+    }
+
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::from("delta")),
+        ("handle".to_string(), Json::from(job.handle.as_str())),
+        ("warm".to_string(), Json::Bool(warm)),
+        ("added".to_string(), Json::from(job.add.len())),
+        ("removed".to_string(), Json::from(job.remove.len())),
+        ("report".to_string(), report.to_json()),
+    ];
+    if job.mates {
+        pairs.push(("rmate".to_string(), mates_json(&report.matching)));
+    }
+    Ok(Json::Obj(pairs))
+}
+
+fn execute<W: Write + Send>(
+    conn: &Conn<'_, W>,
+    job: &Job,
+    entry: Option<&Arc<HandleEntry>>,
+) -> Result<Json, JobError> {
+    match &job.op {
+        Op::Solve(sj) => execute_solve(conn, sj),
+        Op::Delta(dj) => {
+            let entry = entry.expect("delta jobs are always scheduled with their handle entry");
+            execute_delta(conn, dj, entry)
+        }
+        Op::Sleep { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis((*ms).min(60_000)));
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::from("sleep")),
+                ("ms", Json::from(*ms)),
+            ]))
+        }
+        // Inline ops never reach the workers.
+        Op::Ping | Op::Drop { .. } | Op::Shutdown => unreachable!("handled by the reader"),
+    }
+}
+
+/// Run one scheduled job on a worker: execute (panic-safe), reply, release
+/// the admission slot, then start the handle's next pending job, if any.
+fn run_job<'s, W: Write + Send>(
+    conn: &'s Conn<'s, W>,
+    scope: &rayon::Scope<'s>,
+    job: Job,
+    entry: Option<Arc<HandleEntry>>,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(conn, &job, entry.as_ref())));
+    let reply = match outcome {
+        Ok(Ok(body)) => {
+            let Json::Obj(mut pairs) = body else { unreachable!("replies are objects") };
+            pairs.insert(0, ("id".to_string(), job.id.clone()));
+            Json::Obj(pairs)
+        }
+        Ok(Err((code, message))) => {
+            let mut doc = Json::obj(vec![
+                ("id", job.id.clone()),
+                ("ok", Json::Bool(false)),
+                ("code", Json::from(code)),
+                ("error", Json::from(message)),
+            ]);
+            if let (Json::Obj(pairs), Some(h)) = (&mut doc, job.primary_handle()) {
+                pairs.push(("handle".to_string(), Json::from(h)));
+            }
+            doc
+        }
+        Err(payload) => Json::obj(vec![
+            ("id", job.id.clone()),
+            ("ok", Json::Bool(false)),
+            ("code", Json::from(code::INTERNAL)),
+            ("error", Json::from(panic_message(payload))),
+        ]),
+    };
+    // Release the handle (and start its next pending job) *before* the
+    // reply goes out: a client that reacts to the reply instantly — e.g.
+    // with a `drop` — must observe the handle idle, not racily busy.
+    if let Some(entry) = entry {
+        let next = {
+            let mut q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
+            match q.pending.pop_front() {
+                Some(job) => Some(job), // stays busy
+                None => {
+                    q.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(job) = next {
+            scope.spawn(move |s| run_job(conn, s, job, Some(entry)));
+        }
+    }
+    conn.in_flight.fetch_sub(1, Ordering::SeqCst);
+    conn.reply(reply);
+}
+
+/// Admit + schedule one worker-bound job: direct spawn when it touches no
+/// handle, per-handle FIFO when it does.
+fn schedule<'s, W: Write + Send>(conn: &'s Conn<'s, W>, scope: &rayon::Scope<'s>, job: Job) {
+    if !conn.admit() {
+        conn.reply_error(
+            &job.id,
+            code::QUEUE,
+            &format!(
+                "queue full: {} jobs in flight (max_queue {})",
+                conn.in_flight.load(Ordering::SeqCst),
+                conn.core.opts.max_queue
+            ),
+        );
+        return;
+    }
+    let entry = job.primary_handle().map(|h| conn.core.cache_lock().entry_for(h));
+    match entry {
+        None => scope.spawn(move |s| run_job(conn, s, job, None)),
+        Some(entry) => {
+            let run_now = {
+                let mut q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
+                if q.busy {
+                    q.pending.push_back(job.clone());
+                    false
+                } else {
+                    q.busy = true;
+                    true
+                }
+            };
+            if run_now {
+                scope.spawn(move |s| run_job(conn, s, job, Some(entry)));
+            }
+        }
+    }
+}
+
+/// The reader loop: runs on the submitting thread while workers solve.
+/// Returns true when the session ended on a `shutdown` op.
+fn read_loop<'s, R: BufRead, W: Write + Send>(
+    conn: &'s Conn<'s, W>,
+    input: &mut R,
+    scope: &rayon::Scope<'s>,
+) -> bool {
+    let mut line = String::new();
+    loop {
+        if conn.out_broken.load(Ordering::Relaxed) {
+            return false;
+        }
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        conn.jobs.fetch_add(1, Ordering::Relaxed);
+        let doc = match parse_json(text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                conn.reply_error(&Json::Null, code::PARSE, &format!("malformed job line: {e}"));
+                continue;
+            }
+        };
+        let job = match parse_job(&doc) {
+            Ok(job) => job,
+            Err((id, (code, message))) => {
+                conn.reply_error(&id, code, &message);
+                continue;
+            }
+        };
+        match &job.op {
+            Op::Ping => {
+                conn.reply(Json::obj(vec![
+                    ("id", job.id.clone()),
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::from("ping")),
+                ]));
+            }
+            Op::Shutdown => {
+                conn.core.shutdown.store(true, Ordering::SeqCst);
+                conn.reply(Json::obj(vec![
+                    ("id", job.id.clone()),
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::from("shutdown")),
+                ]));
+                return true;
+            }
+            Op::Drop { handle } => {
+                let mut cache = conn.core.cache_lock();
+                let dropped = match cache.entries.get(handle) {
+                    None => Err(format!("no instance cached under handle {handle:?}")),
+                    Some(entry) => {
+                        let q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
+                        if q.busy || !q.pending.is_empty() {
+                            Err(format!("handle {handle:?} has jobs in flight; retry later"))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                };
+                match dropped {
+                    Ok(()) => {
+                        cache.entries.remove(handle);
+                        drop(cache);
+                        conn.reply(Json::obj(vec![
+                            ("id", job.id.clone()),
+                            ("ok", Json::Bool(true)),
+                            ("op", Json::from("drop")),
+                            ("handle", Json::from(handle.as_str())),
+                        ]));
+                    }
+                    Err(message) => {
+                        drop(cache);
+                        conn.reply_error(&job.id, code::HANDLE, &message);
+                    }
+                }
+            }
+            Op::Solve(_) | Op::Delta(_) | Op::Sleep { .. } => schedule(conn, scope, job),
+        }
+    }
+}
+
+fn serve_stream<R: BufRead, W: Write + Send>(
+    core: &ServeCore,
+    mut input: R,
+    output: W,
+) -> ServeSummary {
+    let conn = Conn::new(core, output);
+    conn.line(&Json::obj(vec![
+        ("event", Json::from("ready")),
+        ("threads", Json::from(core.pool.threads())),
+        ("observed_workers", Json::from(core.observed_workers)),
+        ("max_queue", Json::from(core.opts.max_queue)),
+        ("cache_bytes", Json::from(core.opts.cache_bytes)),
+    ]));
+    // The reader runs the scope body; workers drain jobs concurrently and
+    // the scope joins every outstanding job before the summary line.
+    let shutdown = match core.pool.rayon_pool().cloned() {
+        Some(pool) => pool.scope(|s| read_loop(&conn, &mut input, s)),
+        None => rayon::scope(|s| read_loop(&conn, &mut input, s)),
+    };
+    let summary = conn.summary(shutdown);
+    conn.line(&Json::obj(vec![
+        ("event", Json::from("shutdown")),
+        ("jobs", Json::from(summary.jobs)),
+        ("ok", Json::from(summary.ok)),
+        ("errors", Json::from(summary.errors)),
+    ]));
+    summary
+}
+
+/// Run a serve session over an arbitrary line stream: read jobs from
+/// `input` until EOF or a `shutdown` op, stream one reply line per job to
+/// `output` (completion order), framed by `{"event":"ready",…}` and
+/// `{"event":"shutdown",…}` lines. This is `dsmatch serve`'s stdin mode.
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    opts: &ServeOptions,
+) -> ServeSummary {
+    serve_stream(&ServeCore::new(opts), input, output)
+}
+
+/// Serve connections on a Unix domain socket, sequentially, sharing one
+/// instance cache and worker pool across connections, until a client
+/// sends `{"op":"shutdown"}`. The socket file is created fresh (a stale
+/// one is removed) and unlinked on exit.
+#[cfg(unix)]
+pub fn serve_unix_socket(
+    path: &std::path::Path,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let core = ServeCore::new(opts);
+    let mut total = ServeSummary::default();
+    while !core.shutdown.load(Ordering::SeqCst) {
+        let (stream, _addr) = listener.accept()?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let summary = serve_stream(&core, reader, stream);
+        total.jobs += summary.jobs;
+        total.ok += summary.ok;
+        total.errors += summary.errors;
+        total.shutdown = summary.shutdown;
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str, opts: &ServeOptions) -> (ServeSummary, Vec<Json>) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(std::io::Cursor::new(input.to_string()), &mut out, opts);
+        let lines = String::from_utf8(out)
+            .expect("utf8 output")
+            .lines()
+            .map(|l| parse_json(l).unwrap_or_else(|e| panic!("bad reply line {l:?}: {e}")))
+            .collect();
+        (summary, lines)
+    }
+
+    fn opts(threads: usize) -> ServeOptions {
+        ServeOptions { threads, ..ServeOptions::default() }
+    }
+
+    #[test]
+    fn frames_sessions_with_ready_and_shutdown_events() {
+        let (summary, lines) = run("", &opts(1));
+        assert_eq!(summary, ServeSummary::default());
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("event").unwrap().as_str(), Some("ready"));
+        assert!(lines[0].get("observed_workers").unwrap().as_usize().is_some());
+        assert_eq!(lines[1].get("event").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn job_parse_errors_are_structured_and_typed() {
+        let input = concat!(
+            "{not json\n",
+            "{\"op\":\"solve\"}\n",
+            "{\"id\":1,\"op\":\"warp\"}\n",
+            "{\"id\":2,\"pipeline\":\"two,frobnicate\",\"instance\":\"gen:er:50:3\"}\n",
+            "{\"id\":3,\"pipeline\":\"two\",\"instance\":\"file.mtx\"}\n",
+            "{\"id\":4,\"op\":\"delta\",\"handle\":\"h\",\"finisher\":\"two\"}\n",
+        );
+        let (summary, lines) = run(input, &opts(1));
+        assert_eq!(summary.jobs, 6);
+        assert_eq!(summary.errors, 6);
+        assert_eq!(summary.ok, 0);
+        let code_of = |k: usize| lines[k + 1].get("code").unwrap().as_str().unwrap().to_string();
+        assert_eq!(code_of(0), "parse", "malformed JSON");
+        assert_eq!(code_of(1), "parse", "missing id");
+        assert_eq!(code_of(2), "parse", "unknown op");
+        assert_eq!(code_of(3), "spec", "unknown algorithm surfaces SpecError");
+        assert!(
+            lines[4].get("error").unwrap().as_str().unwrap().contains("unknown algorithm"),
+            "SpecError Display is carried verbatim"
+        );
+        assert_eq!(code_of(4), "parse", "non-gen string instance");
+        assert_eq!(code_of(5), "spec", "non-exact finisher");
+    }
+
+    #[test]
+    fn cache_evicts_lru_idle_entries_but_never_the_protected_one() {
+        let mut cache = Cache { entries: HashMap::new(), clock: 0, budget: 100 };
+        for name in ["a", "b", "c"] {
+            let entry = cache.entry_for(name);
+            entry.bytes.store(60, Ordering::Relaxed);
+        }
+        // Budget 100, total 180: evict the two least-recently-touched.
+        cache.evict_to_budget("c");
+        assert!(!cache.entries.contains_key("a"));
+        assert!(!cache.entries.contains_key("b"));
+        assert!(cache.entries.contains_key("c"), "the just-written handle survives");
+
+        // Busy entries are pinned even when oldest.
+        let busy = cache.entry_for("busy");
+        busy.bytes.store(60, Ordering::Relaxed);
+        busy.queue.lock().unwrap().busy = true;
+        let idle = cache.entry_for("idle");
+        idle.bytes.store(60, Ordering::Relaxed);
+        cache.evict_to_budget("idle");
+        assert!(cache.entries.contains_key("busy"));
+        assert!(cache.entries.contains_key("idle"));
+        assert!(!cache.entries.contains_key("c"), "the idle LRU entry went instead");
+    }
+
+    #[test]
+    fn sleep_solve_and_ping_round_trip() {
+        let input = concat!(
+            "{\"id\":\"s\",\"op\":\"sleep\",\"ms\":1}\n",
+            "{\"id\":\"p\",\"op\":\"ping\"}\n",
+        );
+        let (summary, lines) = run(input, &opts(2));
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.errors, 0);
+        let ids: Vec<&str> =
+            lines[1..=2].iter().map(|l| l.get("id").unwrap().as_str().unwrap()).collect();
+        assert!(ids.contains(&"s") && ids.contains(&"p"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Typed errors for the pipeline spec grammar
+//! (`[scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]`).
+//!
+//! Every surface that parses a spec — the CLI's `--pipeline`/`--algo`
+//! flags, the `dsmatch serve` job protocol, programmatic
+//! [`Pipeline`](crate::engine::Pipeline) construction — gets the same
+//! [`SpecError`], so callers can match on *what* went wrong instead of
+//! grepping an error string, while `Display` keeps the exact human-readable
+//! messages the CLI has always printed.
+
+use super::registry::AlgorithmKind;
+
+/// Why a pipeline or algorithm spec failed to parse.
+///
+/// ```
+/// use dsmatch::engine::{Pipeline, SpecError};
+///
+/// let err = "scale:sk:5,frobnicate".parse::<Pipeline>().unwrap_err();
+/// assert_eq!(err, SpecError::UnknownAlgorithm { name: "frobnicate".into() });
+///
+/// let err = "scale:bogus,two".parse::<Pipeline>().unwrap_err();
+/// assert!(matches!(err, SpecError::UnknownScaleMethod { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// A comma-separated stage was empty (`"two,,pf"`).
+    EmptyStage {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// The spec named no algorithm stage (`""`, or `"scale"` alone).
+    MissingAlgorithm {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// More stages than `scale,algorithm,finisher`.
+    TooManyStages {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// An algorithm name not in the [`AlgorithmKind`] registry.
+    UnknownAlgorithm {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A `scale:` option that is neither `sk`/`ruiz` nor an iteration
+    /// count.
+    UnknownScaleMethod {
+        /// The unrecognized option token.
+        option: String,
+        /// The full offending spec.
+        spec: String,
+    },
+    /// A numeric-looking `scale:` iteration count that did not parse as an
+    /// unsigned integer.
+    BadIters {
+        /// The unparseable token.
+        value: String,
+        /// The full offending spec.
+        spec: String,
+    },
+    /// The finisher stage is not an exact algorithm.
+    NonExactFinisher {
+        /// The rejected finisher.
+        finisher: AlgorithmKind,
+    },
+    /// The algorithm stage is already exact; a finisher adds nothing.
+    RedundantFinisher {
+        /// The (exact) algorithm stage.
+        algorithm: AlgorithmKind,
+        /// The redundant finisher.
+        finisher: AlgorithmKind,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyStage { spec } => {
+                write!(f, "empty stage in pipeline spec {spec:?}")
+            }
+            SpecError::MissingAlgorithm { spec } => {
+                write!(f, "pipeline spec {spec:?} names no algorithm")
+            }
+            SpecError::TooManyStages { spec } => {
+                write!(f, "too many stages in pipeline spec {spec:?}")
+            }
+            SpecError::UnknownAlgorithm { name } => {
+                let names: Vec<&str> = AlgorithmKind::all().iter().map(|a| a.name()).collect();
+                write!(f, "unknown algorithm {name:?}; expected one of {}", names.join("|"))
+            }
+            SpecError::UnknownScaleMethod { option, spec } => {
+                write!(f, "bad scale option {option:?} in {spec:?}; expected sk|ruiz|<iters>")
+            }
+            SpecError::BadIters { value, spec } => {
+                write!(
+                    f,
+                    "bad scale iteration count {value:?} in {spec:?}; expected sk|ruiz|<iters>"
+                )
+            }
+            SpecError::NonExactFinisher { finisher } => {
+                write!(f, "augment stage {finisher} is not an exact algorithm")
+            }
+            SpecError::RedundantFinisher { algorithm, finisher } => {
+                write!(f, "{algorithm} is already exact; augmenting with {finisher} is redundant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_and_error_impl_exists() {
+        let e = SpecError::UnknownAlgorithm { name: "nope".into() };
+        assert!(e.to_string().starts_with("unknown algorithm \"nope\""));
+        assert!(e.to_string().contains("pf-par"), "lists the registry");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.source().is_none());
+
+        let e = SpecError::RedundantFinisher {
+            algorithm: AlgorithmKind::HopcroftKarp,
+            finisher: AlgorithmKind::PothenFan,
+        };
+        assert_eq!(e.to_string(), "hk is already exact; augmenting with pf is redundant");
+    }
+
+    #[test]
+    fn variants_are_matchable() {
+        // The point of the typed enum: callers branch on the variant
+        // instead of substring-matching a message.
+        let errs = [
+            SpecError::EmptyStage { spec: "two,,pf".into() },
+            SpecError::BadIters { value: "9e9".into(), spec: "scale:9e9,two".into() },
+            SpecError::UnknownScaleMethod {
+                option: "bogus".into(),
+                spec: "scale:bogus,two".into(),
+            },
+        ];
+        assert!(matches!(errs[0], SpecError::EmptyStage { .. }));
+        assert!(matches!(errs[1], SpecError::BadIters { .. }));
+        assert!(matches!(errs[2], SpecError::UnknownScaleMethod { .. }));
+    }
+}
