@@ -17,11 +17,16 @@
 //!   [`ScalingResult`];
 //! - `one_sided` / `two_sided` — the full pipelines
 //!   `scale:sk:5,one` / `scale:sk:5,two` through the engine;
-//! - `pf_par_finish` / `hk_par_finish` — the parallel exact finishers
-//!   (`pf-par` tree-grafting BFS, `hk-par` level-synchronized BFS)
+//! - `pf_par_finish` / `hk_par_finish` / `pf_graft_finish` / `pr_finish` /
+//!   `auto_finish` — the exact finishers (`pf-par` tree-grafting BFS,
+//!   `hk-par` level-synchronized BFS, `pf-graft` incremental tree
+//!   grafting, `pr` push-relabel, and the statistics-driven `auto` pick)
 //!   warm-started from a pre-computed two-sided heuristic matching: only
 //!   finisher work (the paper pipelines' last sequential bottleneck) is
-//!   timed;
+//!   timed. Finishers with phase structure also report their
+//!   deterministic phase count (measured once, untimed) — the work
+//!   measure behind `pf-graft`'s fewer-forest-rebuilds win, gated by
+//!   `trendcheck`;
 //! - `batch32` — 32 small instances solved through
 //!   [`Pipeline::solve_batch`] over a per-worker [`WorkspacePool`] of the
 //!   ladder's thread count: batch-level parallelism, one stealable task
@@ -37,17 +42,26 @@
 //!     [--max-threads 8] [--out BENCH_speedup.json]
 //! ```
 
-use dsmatch::engine::{Json, Pipeline, Solver, Workspace, WorkspacePool};
+use dsmatch::engine::{
+    select_finisher, AlgorithmKind, Json, Pipeline, Solver, Workspace, WorkspacePool,
+};
 use dsmatch_bench::{arg, write_json_file, Table};
 use dsmatch_core::{karp_sipser_mt_ws, two_sided_choices, KsMtScratch};
-use dsmatch_exact::{hopcroft_karp_par_ws, pothen_fan_par_ws, AugmentWorkspace};
+use dsmatch_exact::{
+    hopcroft_karp_par_ws, pothen_fan_graft_ws, pothen_fan_par_ws, push_relabel_from,
+    AugmentWorkspace,
+};
 use dsmatch_graph::BipartiteGraph;
 use dsmatch_scale::{ruiz_into, sinkhorn_knopp, sinkhorn_knopp_into, ScalingConfig, ScalingResult};
 
-/// One timed kernel: a name plus a closure run entirely inside the pool.
+/// One timed kernel: a name, a closure run entirely inside the pool, and
+/// (for the exact finishers) the kernel's deterministic phase count,
+/// measured once untimed — the parallel finishers are byte-identical at
+/// every pool size, so one count describes the whole ladder.
 struct Kernel<'a> {
     name: &'static str,
     run: Box<dyn FnMut() + Send + 'a>,
+    phases: Option<usize>,
 }
 
 fn ladder(max: usize) -> Vec<usize> {
@@ -69,6 +83,7 @@ fn record(
     name: &str,
     ts: &[usize],
     seconds: &[f64],
+    phases: Option<usize>,
     table: &mut Table,
     kernel_docs: &mut Vec<Json>,
 ) {
@@ -77,8 +92,10 @@ fn record(
     let mut row = vec![name.to_string()];
     row.extend(seconds.iter().map(|s| format!("{s:.5}")));
     row.push(format!("{:.2}x", speedups.last().copied().unwrap_or(1.0)));
+    row.push(phases.map_or_else(|| "—".into(), |p| p.to_string()));
     table.push(row);
-    kernel_docs.push(dsmatch_bench::speedup_doc::kernel_entry(name, ts, seconds, &speedups));
+    kernel_docs
+        .push(dsmatch_bench::speedup_doc::kernel_entry(name, ts, seconds, &speedups, phases));
 }
 
 fn main() {
@@ -106,7 +123,7 @@ fn main() {
     let mut table = Table::new(
         std::iter::once("kernel".to_string())
             .chain(ts.iter().map(|t| format!("t={t} (s)")))
-            .chain(std::iter::once("speedup@max".to_string()))
+            .chain(["speedup@max".to_string(), "phases".to_string()])
             .collect(),
     );
     let mut kernel_docs: Vec<Json> = Vec::new();
@@ -129,6 +146,28 @@ fn main() {
         two_pipeline.clone().with_seed(seed).solve(&g, &mut Workspace::new()).matching;
     let mut pf_par_ws = AugmentWorkspace::new();
     let mut hk_par_ws = AugmentWorkspace::new();
+    let mut pf_graft_ws = AugmentWorkspace::new();
+    let mut auto_ws = AugmentWorkspace::new();
+
+    // Deterministic phase counts of the finisher kernels, one untimed run
+    // each (byte-identical at every pool size, so also phase-identical).
+    let pf_par_phases =
+        pothen_fan_par_ws(&g, Some(&finisher_init), &mut AugmentWorkspace::new()).1.phases;
+    let hk_par_phases =
+        hopcroft_karp_par_ws(&g, Some(&finisher_init), &mut AugmentWorkspace::new()).1.phases;
+    let pf_graft_phases =
+        pothen_fan_graft_ws(&g, Some(&finisher_init), &mut AugmentWorkspace::new()).1.phases;
+
+    // The statistics-driven pick, resolved once (the policy is a pure
+    // function of the instance) and dispatched directly so the kernel
+    // times only finisher work — the engine would add pipeline plumbing.
+    let auto_pick = select_finisher(&g);
+    let auto_phases = match auto_pick {
+        AlgorithmKind::PothenFanGraft => Some(pf_graft_phases),
+        AlgorithmKind::HopcroftKarpPar => Some(hk_par_phases),
+        _ => None,
+    };
+    println!("auto finisher pick for this instance: {auto_pick}");
 
     let mut kernels: Vec<Kernel> = vec![
         Kernel {
@@ -136,6 +175,7 @@ fn main() {
             run: Box::new(|| {
                 std::hint::black_box(karp_sipser_mt_ws(&rchoice, &cchoice, &mut ksmt_ws));
             }),
+            phases: None,
         },
         Kernel {
             name: "scale_sk5",
@@ -143,6 +183,7 @@ fn main() {
                 sinkhorn_knopp_into(&g, &sk_cfg, &mut sk_out);
                 std::hint::black_box(sk_out.error);
             }),
+            phases: None,
         },
         Kernel {
             name: "scale_ruiz5",
@@ -150,6 +191,7 @@ fn main() {
                 ruiz_into(&g, &sk_cfg, &mut ruiz_out);
                 std::hint::black_box(ruiz_out.error);
             }),
+            phases: None,
         },
         Kernel {
             name: "one_sided",
@@ -158,6 +200,7 @@ fn main() {
                     one_pipeline.clone().with_seed(seed).solve(&g, &mut one_ws).cardinality(),
                 );
             }),
+            phases: None,
         },
         Kernel {
             name: "two_sided",
@@ -166,6 +209,7 @@ fn main() {
                     two_pipeline.clone().with_seed(seed).solve(&g, &mut two_ws).cardinality(),
                 );
             }),
+            phases: None,
         },
         Kernel {
             name: "pf_par_finish",
@@ -174,6 +218,7 @@ fn main() {
                     pothen_fan_par_ws(&g, Some(&finisher_init), &mut pf_par_ws).0.cardinality(),
                 );
             }),
+            phases: Some(pf_par_phases),
         },
         Kernel {
             name: "hk_par_finish",
@@ -182,6 +227,40 @@ fn main() {
                     hopcroft_karp_par_ws(&g, Some(&finisher_init), &mut hk_par_ws).0.cardinality(),
                 );
             }),
+            phases: Some(hk_par_phases),
+        },
+        Kernel {
+            name: "pf_graft_finish",
+            run: Box::new(|| {
+                std::hint::black_box(
+                    pothen_fan_graft_ws(&g, Some(&finisher_init), &mut pf_graft_ws).0.cardinality(),
+                );
+            }),
+            phases: Some(pf_graft_phases),
+        },
+        Kernel {
+            name: "pr_finish",
+            // `push_relabel_from` consumes its warm start; the O(n) clone
+            // is timed but is noise next to the O(nnz)+ augmentation work.
+            run: Box::new(|| {
+                std::hint::black_box(push_relabel_from(&g, finisher_init.clone()).0.cardinality());
+            }),
+            phases: None,
+        },
+        Kernel {
+            name: "auto_finish",
+            run: Box::new(|| {
+                std::hint::black_box(match auto_pick {
+                    AlgorithmKind::PothenFanGraft => {
+                        pothen_fan_graft_ws(&g, Some(&finisher_init), &mut auto_ws).0.cardinality()
+                    }
+                    AlgorithmKind::HopcroftKarpPar => {
+                        hopcroft_karp_par_ws(&g, Some(&finisher_init), &mut auto_ws).0.cardinality()
+                    }
+                    _ => push_relabel_from(&g, finisher_init.clone()).0.cardinality(),
+                });
+            }),
+            phases: auto_phases,
         },
     ];
 
@@ -191,7 +270,7 @@ fn main() {
             let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool build");
             seconds.push(time_kernel(&pool, runs, warmup, kernel));
         }
-        record(kernel.name, &ts, &seconds, &mut table, &mut kernel_docs);
+        record(kernel.name, &ts, &seconds, kernel.phases, &mut table, &mut kernel_docs);
     }
 
     // Batch-level parallelism: 32 small instances fanned across a
@@ -211,7 +290,7 @@ fn main() {
             std::hint::black_box(batch_pipeline.solve_batch(&batch_jobs, &wsp).len());
         }));
     }
-    record("batch32", &ts, &batch_seconds, &mut table, &mut kernel_docs);
+    record("batch32", &ts, &batch_seconds, None, &mut table, &mut kernel_docs);
     table.print();
 
     let doc = Json::obj(vec![

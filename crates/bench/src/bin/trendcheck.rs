@@ -24,8 +24,15 @@
 //! any regression, degenerate baseline, missing kernel, or unreadable
 //! input — this is the enforcement half of the ROADMAP's "speedup
 //! regression tracking" item.
+//!
+//! The gate also enforces the **phase-reduction win** of the incremental
+//! tree-grafting finisher: in the fresh sweep, `pf_graft_finish` must
+//! report strictly fewer deterministic phases than `pf_par_finish` (the
+//! per-phase forest rebuild it eliminates). Either kernel or counter
+//! missing from the fresh sweep fails loudly — a truncated sweep must not
+//! pass the gate vacuously.
 
-use dsmatch_bench::speedup_doc::speedups_at;
+use dsmatch_bench::speedup_doc::{kernel_phases, speedups_at};
 use dsmatch_bench::{arg, geometric_mean, parse_json, JsonValue, Table};
 use std::process::ExitCode;
 
@@ -61,6 +68,28 @@ fn judge(baseline: f64, fresh: f64, tolerance: f64, slack: f64) -> Verdict {
 
 fn floor(baseline: f64, tolerance: f64, slack: f64) -> f64 {
     baseline * (1.0 - tolerance) - slack
+}
+
+/// The grafted finisher's reason to exist, as a gate: strictly fewer
+/// search phases than the rebuild-per-phase `pf-par` on the same warm
+/// start. Judged on the fresh sweep (phase counts are deterministic, so
+/// there is no noise band to absorb); any missing kernel or counter is a
+/// loud failure, not a skip.
+fn judge_phase_reduction(fresh: &JsonValue) -> Result<(f64, f64), String> {
+    let graft = kernel_phases(fresh, "pf_graft_finish")?
+        .ok_or("fresh sweep: pf_graft_finish has no \"phases\" counter")?;
+    let par = kernel_phases(fresh, "pf_par_finish")?
+        .ok_or("fresh sweep: pf_par_finish has no \"phases\" counter")?;
+    if !(graft.is_finite() && par.is_finite() && graft >= 1.0 && par >= 1.0) {
+        return Err(format!("phase counters are not meaningful (graft {graft}, pf-par {par})"));
+    }
+    if graft >= par {
+        return Err(format!(
+            "pf_graft_finish ran {graft} phases vs pf_par_finish's {par} — the incremental \
+             forest saved nothing; the grafting win has regressed"
+        ));
+    }
+    Ok((graft, par))
 }
 
 fn load(path: &str) -> Result<JsonValue, String> {
@@ -181,6 +210,16 @@ fn main() -> ExitCode {
         gm(&fresh_speedups),
         tolerance * 100.0,
     );
+    match judge_phase_reduction(&fresh) {
+        Ok((graft, par)) => println!(
+            "phase reduction: pf_graft_finish {graft} phases < pf_par_finish {par} phases — ok"
+        ),
+        Err(e) => {
+            failures += 1;
+            eprintln!("trendcheck: {e}");
+        }
+    }
+
     if failures > 0 {
         eprintln!("trendcheck: {failures} kernel(s) regressed, went missing, or had a degenerate baseline");
         return ExitCode::FAILURE;
@@ -211,5 +250,27 @@ mod tests {
         }
         // A NaN fresh value is a failure, not a pass.
         assert_eq!(judge(1.0, f64::NAN, 0.30, 0.15), Verdict::Regressed);
+    }
+
+    #[test]
+    fn phase_reduction_gate_demands_a_strict_win_and_fails_loudly() {
+        let doc = |graft: &str, par: &str| {
+            parse_json(&format!(
+                r#"{{"kernels":[
+                    {{"kernel":"pf_graft_finish","phases":{graft},"times":[]}},
+                    {{"kernel":"pf_par_finish","phases":{par},"times":[]}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        assert_eq!(judge_phase_reduction(&doc("4", "17")).unwrap(), (4.0, 17.0));
+        // A tie means the incremental forest saved nothing.
+        assert!(judge_phase_reduction(&doc("17", "17")).unwrap_err().contains("saved nothing"));
+        assert!(judge_phase_reduction(&doc("18", "17")).is_err());
+        // Degenerate or missing counters fail loudly instead of skipping.
+        assert!(judge_phase_reduction(&doc("0", "17")).is_err());
+        assert!(judge_phase_reduction(&doc("null", "17")).unwrap_err().contains("no \"phases\""));
+        let truncated = parse_json(r#"{"kernels":[]}"#).unwrap();
+        assert!(judge_phase_reduction(&truncated).unwrap_err().contains("no kernel"));
     }
 }

@@ -4,22 +4,36 @@
 //! One kernel entry is
 //!
 //! ```text
-//! {"kernel":"ksmt","times":[{"threads":1,"seconds":…,"speedup":…}, …]}
+//! {"kernel":"ksmt","phases":null,"times":[{"threads":1,"seconds":…,"speedup":…}, …]}
 //! ```
 //!
+//! `"phases"` is the kernel's deterministic search-phase count (the
+//! wall-time-independent work measure behind the grafted finisher's win),
+//! `null` for kernels without a phase structure.
+//!
 //! [`kernel_entry`] is the single place that shape is produced;
-//! [`speedups_at`] is the single place it is consumed. Keeping both in one
-//! module means a schema change cannot silently break the CI gate: writer
-//! and reader move together, under the round-trip test below.
+//! [`speedups_at`] and [`kernel_phases`] are the single places it is
+//! consumed. Keeping both in one module means a schema change cannot
+//! silently break the CI gate: writer and reader move together, under the
+//! round-trip test below.
 
 use dsmatch_json::Json;
 
 /// Build one kernel's entry for the sweep document's `"kernels"` array:
 /// the per-thread wall times plus speedups relative to the first (1-thread)
-/// measurement.
-pub fn kernel_entry(name: &str, threads: &[usize], seconds: &[f64], speedups: &[f64]) -> Json {
+/// measurement, plus the kernel's deterministic phase count (`None` for
+/// kernels without one — measured once, untimed, since the parallel
+/// finishers are byte-identical at every pool size).
+pub fn kernel_entry(
+    name: &str,
+    threads: &[usize],
+    seconds: &[f64],
+    speedups: &[f64],
+    phases: Option<usize>,
+) -> Json {
     Json::obj(vec![
         ("kernel", Json::from(name)),
+        ("phases", Json::opt(phases)),
         (
             "times",
             Json::Arr(
@@ -69,6 +83,21 @@ pub fn speedups_at(doc: &Json, threads: f64) -> Result<Vec<(String, f64)>, Strin
     Ok(out)
 }
 
+/// The deterministic phase count of one named kernel in a sweep document.
+///
+/// A missing **kernel** is an error (a gate keyed on it would otherwise
+/// pass vacuously against a truncated sweep); a present kernel without a
+/// `"phases"` value is `Ok(None)` — not every kernel has phase structure.
+pub fn kernel_phases(doc: &Json, name: &str) -> Result<Option<f64>, String> {
+    let kernels =
+        doc.get("kernels").and_then(Json::as_arr).ok_or("document has no \"kernels\" array")?;
+    let kernel = kernels
+        .iter()
+        .find(|k| k.get("kernel").and_then(Json::as_str) == Some(name))
+        .ok_or_else(|| format!("document has no kernel {name:?}"))?;
+    Ok(kernel.get("phases").and_then(Json::as_f64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,18 +127,21 @@ mod tests {
     fn writer_output_round_trips_through_the_reader() {
         let doc = Json::obj(vec![(
             "kernels",
-            Json::Arr(vec![kernel_entry(
-                "two_sided",
-                &[1, 2, 4],
-                &[1.0, 0.6, 0.4],
-                &[1.0, 1.6666, 2.5],
-            )]),
+            Json::Arr(vec![
+                kernel_entry("two_sided", &[1, 2, 4], &[1.0, 0.6, 0.4], &[1.0, 1.6666, 2.5], None),
+                kernel_entry("pf_graft_finish", &[1, 4], &[1.0, 0.5], &[1.0, 2.0], Some(7)),
+            ]),
         )]);
         // Through text, exactly as CI sees it: write → parse → gate.
         let parsed = parse_json(&doc.to_string()).unwrap();
         let s = speedups_at(&parsed, 4.0).unwrap();
-        assert_eq!(s.len(), 1);
+        assert_eq!(s.len(), 2);
         assert_eq!(s[0].0, "two_sided");
         assert!((s[0].1 - 2.5).abs() < 1e-12);
+        // Phase counters: None for phase-less kernels, the count otherwise,
+        // and a loud error (not a silent None) for a kernel that fell out.
+        assert_eq!(kernel_phases(&parsed, "two_sided").unwrap(), None);
+        assert_eq!(kernel_phases(&parsed, "pf_graft_finish").unwrap(), Some(7.0));
+        assert!(kernel_phases(&parsed, "gone").unwrap_err().contains("no kernel"));
     }
 }

@@ -30,9 +30,24 @@
 //!   harvests a set of vertex-disjoint augmenting paths by walking parent
 //!   pointers in deterministic merge order. Phases repeat until a forest
 //!   reaches no free column, which certifies maximality (Berge). The
-//!   forest is rebuilt per phase (the incremental grafting optimization of
-//!   Azad & Buluç is future work); the harvest order is deterministic, so
+//!   forest is rebuilt per phase; the harvest order is deterministic, so
 //!   results are byte-identical across pool sizes.
+//! - [`pothen_fan_graft`] (`pf-graft`): the incremental renewable-forest
+//!   variant of `pf-par` (Azad–Buluç–Pothen's tree grafting). Where
+//!   `pf-par` throws its forest away after every harvest and rebuilds it
+//!   from the free rows, `pf-graft` keeps the same forest alive across
+//!   harvests within an *epoch*: after harvesting a level's augmenting
+//!   paths it keeps growing the surviving trees deeper, lazily pruning
+//!   subtrees orphaned by the harvest (an ancestor walk per attachment,
+//!   memoized in `used`/`alive` stamps, amortized O(1) per row). An epoch
+//!   ends when the frontier drains; a whole epoch with zero augmentations
+//!   is exactly a full `pf-par` certifying phase, so the Berge maximality
+//!   argument carries over unchanged. One epoch harvests at many levels,
+//!   so the O(n) forest rebuild runs far fewer times — `phases` counts
+//!   epochs and drops sharply versus `pf-par` on high-phase-count
+//!   instances. The chunk-merge harvest and pruning walks are sequential
+//!   in deterministic order, so `pf-graft` is byte-identical across pool
+//!   sizes too (its mates may differ from `pf-par`'s — both are maximum).
 //!
 //! Both reuse [`AugmentWorkspace`] — the per-chunk scan buffers live there
 //! too — so engine batch solves stay allocation-free after warm-up.
@@ -351,6 +366,192 @@ pub fn pothen_fan_par_ws(
     (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
 }
 
+/// Maximum-cardinality matching from scratch via [`pothen_fan_graft_ws`].
+pub fn pothen_fan_graft(g: &BipartiteGraph) -> Matching {
+    pothen_fan_graft_ws(g, None, &mut AugmentWorkspace::new()).0
+}
+
+/// Incremental tree-grafting parallel Pothen–Fan — the `pf-graft`
+/// finisher (Azad–Buluç–Pothen's renewable-forest scheme).
+///
+/// [`pothen_fan_par_ws`] discards its BFS forest after every harvest and
+/// rebuilds it from the free rows — an O(n)-per-phase cost that dominates
+/// on high-phase-count instances. This variant keeps the
+/// `parent_col`/`parent_row` forest alive across harvests: one **epoch**
+/// grows a forest level by level, harvests vertex-disjoint augmenting
+/// paths at *every* level where the scan reaches free columns (same
+/// deterministic chunk-merge order as `pf-par`), and keeps extending the
+/// surviving trees instead of starting over. Vertices consumed by a
+/// harvest are invalidated by their `used` stamps; subtrees they orphan
+/// are pruned lazily — each attachment after a harvest walks its
+/// ancestors, memoizing "dead" into `used` (dead is permanent within an
+/// epoch) and "alive" into per-level `alive` stamps — so grafting costs
+/// amortized O(1) per attachment. An epoch ends when its frontier drains;
+/// the solve ends when an entire epoch augments nothing, which is
+/// literally `pf-par`'s certifying phase (no harvest ⇒ no pruning ⇒ the
+/// full BFS forest from every free row), so maximality follows from Berge
+/// exactly as before. [`PothenFanParStats::phases`] counts epochs: one
+/// epoch replaces many `pf-par` phases, which is the measured win.
+///
+/// Harvest, merge and pruning walks are sequential in deterministic chunk
+/// order, so the result is **byte-identical at every pool size**; the
+/// mates may legitimately differ from `pf-par`'s (both are maximum
+/// matchings). `initial = None` means a from-scratch solve.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn pothen_fan_graft_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+) -> (Matching, PothenFanParStats) {
+    load_initial(g, initial, ws);
+    let n_r = g.nrows();
+    ws.visited.clear();
+    ws.visited.resize(n_r, 0);
+    ws.used.clear();
+    ws.used.resize(n_r, 0);
+    ws.alive.clear();
+    ws.alive.resize(n_r, 0);
+    ws.parent_col.clear();
+    ws.parent_col.resize(n_r, NIL);
+    ws.parent_row.clear();
+    ws.parent_row.resize(n_r, NIL);
+
+    let mut stats = PothenFanParStats::default();
+    let mut stamp = 0u32;
+    // `alive` memos expire per level (a later harvest can kill a subtree
+    // confirmed alive earlier), so they stamp against their own counter.
+    let mut alive_stamp = 0u32;
+    loop {
+        // One epoch = one renewable forest, harvested at many levels.
+        stamp += 1;
+        stats.phases += 1;
+        ws.frontier.clear();
+        for i in 0..n_r {
+            if ws.rmate[i] == NIL && g.row_degree(i) > 0 {
+                ws.visited[i] = stamp;
+                ws.parent_col[i] = NIL;
+                ws.frontier.push(i as u32);
+            }
+        }
+        let mut epoch_augmented = 0usize;
+        while !ws.frontier.is_empty() {
+            stats.rows_visited += ws.frontier.len();
+            alive_stamp += 1;
+            let AugmentWorkspace {
+                frontier,
+                next_frontier,
+                visited,
+                used,
+                alive,
+                parent_col,
+                parent_row,
+                rmate,
+                cmate,
+                chunks,
+                ..
+            } = ws;
+            let scanned =
+                scan_frontier(g, cmate, |r| visited[r as usize] == stamp, frontier, chunks);
+            // Harvest whatever free columns this level reached, in merge
+            // order — identical validation and flip to `pf-par`'s harvest.
+            // The forest invariant it relies on (`cmate[parent_col[r]] == r`
+            // for every non-`used` tree row `r`) survives earlier harvests:
+            // a column's mate only changes when its pre-flip mate row is on
+            // the flipped path, and every such row is stamped `used`.
+            for c in scanned {
+                'hit: for &(leaf, free_col) in &c.hits {
+                    if cmate[free_col as usize] != NIL {
+                        continue; // column taken earlier this harvest
+                    }
+                    let mut row = leaf;
+                    loop {
+                        if used[row as usize] == stamp {
+                            continue 'hit;
+                        }
+                        if parent_col[row as usize] == NIL {
+                            break;
+                        }
+                        row = parent_row[row as usize];
+                    }
+                    let mut row = leaf;
+                    let mut col = free_col;
+                    loop {
+                        let pc = parent_col[row as usize];
+                        let pr = parent_row[row as usize];
+                        rmate[row as usize] = col;
+                        cmate[col as usize] = row;
+                        used[row as usize] = stamp;
+                        if pc == NIL {
+                            break;
+                        }
+                        col = pc;
+                        row = pr;
+                    }
+                    epoch_augmented += 1;
+                }
+            }
+            // Graft the next level onto the *surviving* forest. Rows freshly
+            // matched by the harvest are already `visited`, so their stale
+            // discoveries drop out; attachments under a consumed ancestor
+            // are pruned by a memoized root walk (only needed once the
+            // epoch has harvested — before that every tree is alive).
+            next_frontier.clear();
+            for c in scanned {
+                for &(next, via, from) in &c.rows {
+                    if visited[next as usize] != stamp {
+                        if epoch_augmented > 0 {
+                            let mut row = from;
+                            let live = loop {
+                                if used[row as usize] == stamp {
+                                    break false;
+                                }
+                                if alive[row as usize] == alive_stamp
+                                    || parent_col[row as usize] == NIL
+                                {
+                                    break true;
+                                }
+                                row = parent_row[row as usize];
+                            };
+                            // Memoize the walk: dead rows can never carry a
+                            // valid path again this epoch (their root walk
+                            // stays broken), so `used` records them
+                            // permanently; alive is only good until the
+                            // next harvest, hence the per-level stamp.
+                            let (memo, memo_stamp) =
+                                if live { (&mut *alive, alive_stamp) } else { (&mut *used, stamp) };
+                            let mut r = from;
+                            while memo[r as usize] != memo_stamp {
+                                memo[r as usize] = memo_stamp;
+                                if parent_col[r as usize] == NIL {
+                                    break;
+                                }
+                                r = parent_row[r as usize];
+                            }
+                            if !live {
+                                continue;
+                            }
+                        }
+                        visited[next as usize] = stamp;
+                        parent_col[next as usize] = via;
+                        parent_row[next as usize] = from;
+                        next_frontier.push(next);
+                    }
+                }
+            }
+            std::mem::swap(frontier, next_frontier);
+        }
+        stats.augmentations += epoch_augmented;
+        if epoch_augmented == 0 {
+            // A whole epoch without a harvest is a full BFS forest from
+            // every free row reaching no free column: maximum by Berge.
+            break;
+        }
+    }
+    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,9 +673,116 @@ mod tests {
     }
 
     #[test]
+    fn pf_graft_agrees_with_brute_force_on_small_instances() {
+        let mut rng = SplitMix64::new(123);
+        for n in [1usize, 2, 3, 4, 5, 6] {
+            for trial in 0..60 {
+                let g = random_graph(n, 3, &mut rng);
+                let m = pothen_fan_graft(&g);
+                m.verify(&g).unwrap();
+                let opt = brute_force_maximum(&g);
+                assert_eq!(m.cardinality(), opt, "n = {n}, trial = {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn pf_graft_matches_optimum_with_fewer_epochs_than_pf_par_phases() {
+        let mut rng = SplitMix64::new(19);
+        let mut ws = AugmentWorkspace::new();
+        // Dense instances finish in 2–3 shallow phases and leave nothing to
+        // graft; avg-degree-2 instances are the high-phase-count regime the
+        // renewable forest is for (deep, narrow augmenting paths).
+        for (n, keep_one_in) in [(400usize, 130u64), (1000, 330), (2000, 700), (5000, 1700)] {
+            let g = random_graph(n, keep_one_in, &mut rng);
+            let opt = hopcroft_karp(&g).cardinality();
+            let (graft, graft_stats) = pothen_fan_graft_ws(&g, None, &mut ws);
+            graft.verify(&g).unwrap();
+            assert_eq!(graft.cardinality(), opt, "pf-graft, n = {n}");
+            let (_, par_stats) = pothen_fan_par_ws(&g, None, &mut ws);
+            // The renewable forest is the point: one epoch harvests at many
+            // levels, so far fewer forests get built and far fewer rows
+            // scanned building them.
+            assert!(
+                graft_stats.phases < par_stats.phases,
+                "n = {n}: grafting saved no phase ({} epochs vs {} phases)",
+                graft_stats.phases,
+                par_stats.phases
+            );
+            assert!(
+                graft_stats.rows_visited < par_stats.rows_visited,
+                "n = {n}: grafting scanned no fewer rows ({} vs {})",
+                graft_stats.rows_visited,
+                par_stats.rows_visited
+            );
+        }
+    }
+
+    #[test]
+    fn pf_graft_warm_start_is_honoured() {
+        let g = graph(&[&[1, 1, 0], &[0, 1, 1], &[1, 0, 1]]);
+        let mut init = Matching::new(3, 3);
+        init.set(0, 0);
+        let (m, stats) = pothen_fan_graft_ws(&g, Some(&init), &mut AugmentWorkspace::new());
+        assert_eq!(m.cardinality(), 3);
+        assert!(stats.augmentations <= 2, "warm start saved an augmentation");
+    }
+
+    #[test]
+    fn pf_graft_maximum_warm_start_is_a_single_certifying_epoch() {
+        let mut rng = SplitMix64::new(9);
+        let g = random_graph(150, 4, &mut rng);
+        let best = hopcroft_karp(&g);
+        let (m, stats) = pothen_fan_graft_ws(&g, Some(&best), &mut AugmentWorkspace::new());
+        assert_eq!(m.rmates(), best.rmates());
+        assert_eq!(m.cmates(), best.cmates());
+        assert_eq!(stats.augmentations, 0);
+        assert_eq!(stats.phases, 1, "a maximum warm start certifies in one epoch");
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start matching must be valid")]
+    fn pf_graft_warm_start_validated() {
+        let g = graph(&[&[0, 1], &[1, 0]]);
+        let mut bad = Matching::new(2, 2);
+        bad.set(0, 0); // not an edge
+        let _ = pothen_fan_graft_ws(&g, Some(&bad), &mut AugmentWorkspace::new());
+    }
+
+    #[test]
+    fn pf_graft_workspace_reuse_is_stable_across_solves() {
+        let mut rng = SplitMix64::new(31);
+        let g = random_graph(200, 5, &mut rng);
+        let mut ws = AugmentWorkspace::new();
+        let (first, _) = pothen_fan_graft_ws(&g, None, &mut ws);
+        pothen_fan_graft_ws(&g, None, &mut ws);
+        let footprint = (
+            ws.frontier.capacity(),
+            ws.parent_col.as_ptr() as usize,
+            ws.used.as_ptr() as usize,
+            ws.alive.as_ptr() as usize,
+            ws.chunks.len(),
+        );
+        let (second, _) = pothen_fan_graft_ws(&g, None, &mut ws);
+        assert_eq!(first.rmates(), second.rmates(), "reuse must not change the answer");
+        assert_eq!(
+            footprint,
+            (
+                ws.frontier.capacity(),
+                ws.parent_col.as_ptr() as usize,
+                ws.used.as_ptr() as usize,
+                ws.alive.as_ptr() as usize,
+                ws.chunks.len(),
+            ),
+            "scratch reallocated on an identically-shaped solve"
+        );
+    }
+
+    #[test]
     fn alternating_path_case() {
         let g = graph(&[&[1, 1], &[1, 0]]);
         assert_eq!(pothen_fan_par(&g).cardinality(), 2);
+        assert_eq!(pothen_fan_graft(&g).cardinality(), 2);
         assert_eq!(hopcroft_karp_par(&g).cardinality(), 2);
     }
 

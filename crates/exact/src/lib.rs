@@ -16,6 +16,10 @@
 //!   of the tree-grafting literature (Azad–Buluç–Pothen) feeding the same
 //!   augmentation machinery, byte-identical results at every pool size
 //!   (see the docs on [`hopcroft_karp_par_ws`] / [`pothen_fan_par_ws`]);
+//! - [`pothen_fan_graft`] — the incremental renewable-forest variant of
+//!   `pf-par` (`pf-graft`): the BFS forest survives across harvests
+//!   within an epoch instead of being rebuilt per phase, with lazy
+//!   orphan-subtree pruning (see [`pothen_fan_graft_ws`]);
 //! - [`push_relabel`] — the auction/push-relabel scheme the paper's
 //!   related work (\[9\], \[21\]) evaluates as the main alternative to
 //!   augmenting-path solvers;
@@ -38,7 +42,8 @@ mod workspace;
 pub use bfs_augment::{bfs_augment, bfs_augment_from, BfsAugmentStats};
 pub use brute::brute_force_maximum;
 pub use graft::{
-    hopcroft_karp_par, hopcroft_karp_par_ws, pothen_fan_par, pothen_fan_par_ws, PothenFanParStats,
+    hopcroft_karp_par, hopcroft_karp_par_ws, pothen_fan_graft, pothen_fan_graft_ws, pothen_fan_par,
+    pothen_fan_par_ws, PothenFanParStats,
 };
 pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats};
 pub use pothen_fan::{pothen_fan, pothen_fan_from, pothen_fan_ws, PothenFanStats};

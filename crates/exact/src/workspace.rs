@@ -74,6 +74,9 @@ pub struct AugmentWorkspace {
     /// Per-phase "row is on an already-augmented path" stamps of the
     /// tree-grafting harvest.
     pub used: Vec<u32>,
+    /// Per-level "subtree confirmed alive" stamps of the grafted finisher's
+    /// lazy orphan pruning (see [`crate::pothen_fan_graft_ws`]).
+    pub alive: Vec<u32>,
     /// Per-chunk scratch of the parallel frontier scans; one entry per
     /// chunk, reused across levels and solves.
     pub chunks: Vec<FrontierChunk>,

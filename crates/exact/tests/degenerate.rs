@@ -1,12 +1,15 @@
 //! Degenerate-input coverage for the exact finishers — empty graphs,
 //! 0-row/0-col instances, duplicate edges, isolated vertices, and
-//! fully-matched warm starts — uniformly over `pf`, `hk` and the parallel
-//! variants `pf-par`, `hk-par`. A finisher fed a perfect matching must be
-//! a strict no-op (zero augmentations, mates returned byte-identical).
+//! fully-matched warm starts — uniformly over `pf`, `hk`, `pr`, `bfs`, the
+//! parallel variants `pf-par`, `hk-par`, and the incremental `pf-graft`.
+//! A finisher fed a perfect matching must be a strict no-op (zero
+//! augmentations, mates returned byte-identical); every finisher except
+//! `pr` (whose bidding may re-route mates) extends that to maximum-but-
+//! imperfect warm starts.
 
 use dsmatch_exact::{
-    brute_force_maximum, hopcroft_karp, hopcroft_karp_par_ws, hopcroft_karp_ws, pothen_fan_par_ws,
-    pothen_fan_ws, AugmentWorkspace,
+    bfs_augment_from, brute_force_maximum, hopcroft_karp, hopcroft_karp_par_ws, hopcroft_karp_ws,
+    pothen_fan_graft_ws, pothen_fan_par_ws, pothen_fan_ws, push_relabel_from, AugmentWorkspace,
 };
 use dsmatch_graph::{BipartiteGraph, Csr, Matching, TripletMatrix};
 
@@ -33,8 +36,34 @@ fn hk_par(g: &BipartiteGraph, init: Option<&Matching>) -> (Matching, usize) {
     (m, s.augmentations)
 }
 
-const FINISHERS: [(&str, Finisher); 4] =
-    [("pf", pf), ("hk", hk), ("pf-par", pf_par), ("hk-par", hk_par)];
+fn pf_graft(g: &BipartiteGraph, init: Option<&Matching>) -> (Matching, usize) {
+    let (m, s) = pothen_fan_graft_ws(g, init, &mut AugmentWorkspace::new());
+    (m, s.augmentations)
+}
+
+fn pr(g: &BipartiteGraph, init: Option<&Matching>) -> (Matching, usize) {
+    let init = init.cloned().unwrap_or_else(|| Matching::new(g.nrows(), g.ncols()));
+    let (m, s) = push_relabel_from(g, init);
+    // Pushes are `pr`'s unit of work: 0 pushes ⇔ the warm start was
+    // untouched, playing the role `augmentations` plays elsewhere.
+    (m, s.pushes)
+}
+
+fn bfs(g: &BipartiteGraph, init: Option<&Matching>) -> (Matching, usize) {
+    let init = init.cloned().unwrap_or_else(|| Matching::new(g.nrows(), g.ncols()));
+    let (m, s) = bfs_augment_from(g, init);
+    (m, s.augmentations)
+}
+
+const FINISHERS: [(&str, Finisher); 7] = [
+    ("pf", pf),
+    ("hk", hk),
+    ("pr", pr),
+    ("bfs", bfs),
+    ("pf-par", pf_par),
+    ("hk-par", hk_par),
+    ("pf-graft", pf_graft),
+];
 
 #[test]
 fn empty_graph_yields_empty_matching() {
@@ -131,11 +160,14 @@ fn fully_matched_warm_start_is_a_noop() {
 #[test]
 fn maximum_but_imperfect_warm_start_is_a_noop() {
     // Maximum yet deficient (row 2 duplicates row 0's support): still
-    // nothing to augment.
+    // nothing to augment. `pr` is excluded — its free rows keep bidding
+    // (evicting mates) until retired, so only cardinality is preserved;
+    // that weaker contract is pinned separately below.
+    let augmenters = FINISHERS.iter().filter(|(name, _)| *name != "pr");
     let g = BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 0], &[0, 1, 0], &[1, 1, 0]]));
     let maximum = hopcroft_karp(&g);
     assert_eq!(maximum.cardinality(), 2);
-    for (name, f) in FINISHERS {
+    for (name, f) in augmenters.clone() {
         let (m, augs) = f(&g, Some(&maximum));
         assert_eq!(augs, 0, "{name}");
         assert_eq!(m.rmates(), maximum.rmates(), "{name}");
@@ -144,9 +176,23 @@ fn maximum_but_imperfect_warm_start_is_a_noop() {
     // typically imperfect.
     let g = dsmatch_gen::erdos_renyi_square(300, 2.0, 42);
     let maximum = hopcroft_karp(&g);
-    for (name, f) in FINISHERS {
+    for (name, f) in augmenters {
         let (m, augs) = f(&g, Some(&maximum));
         assert_eq!(augs, 0, "{name}: augmented a maximum matching");
         assert_eq!(m.rmates(), maximum.rmates(), "{name}");
     }
+}
+
+#[test]
+fn push_relabel_keeps_maximum_warm_starts_maximum() {
+    // The augmenting-path finishers certify a maximum warm start without
+    // touching it; `pr` instead lets the deficient rows bid, which may
+    // re-route individual mates. Its contract is therefore cardinality
+    // preservation + validity, not byte-identity.
+    let g = dsmatch_gen::erdos_renyi_square(300, 2.0, 42);
+    let maximum = hopcroft_karp(&g);
+    assert!(!maximum.is_perfect(), "test needs a deficient maximum");
+    let (m, _) = pr(&g, Some(&maximum));
+    m.verify(&g).unwrap();
+    assert_eq!(m.cardinality(), maximum.cardinality());
 }

@@ -234,6 +234,95 @@ impl Csr {
         Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx }
     }
 
+    /// Apply an edge-list patch: the result contains every entry of `self`
+    /// plus `add` minus `remove`, without round-tripping through a triplet
+    /// rebuild. Rows named by neither list are copied wholesale; touched
+    /// rows get a sorted-merge rebuild. Adding a present edge and removing
+    /// an absent one are no-ops, and `add` wins when both lists name the
+    /// same edge (removals apply to `self`, then additions land on top) —
+    /// the exact semantics of rebuilding from the filtered entry set plus
+    /// the additions, pinned against that rebuild in the serve tests.
+    /// `O(nnz)` worst case, `O(touched rows + patch)` sort work.
+    ///
+    /// # Panics
+    /// If any patch coordinate is out of bounds.
+    pub fn patched(&self, add: &[(usize, usize)], remove: &[(usize, usize)]) -> Csr {
+        let check = |list: &[(usize, usize)], what: &str| {
+            for &(i, j) in list {
+                assert!(
+                    i < self.nrows && j < self.ncols,
+                    "{what} edge ({i}, {j}) out of bounds for {} × {}",
+                    self.nrows,
+                    self.ncols
+                );
+            }
+        };
+        check(add, "patch add");
+        check(remove, "patch remove");
+        // Group the patch by row: per touched row, the sorted deduped
+        // additions and removals.
+        let mut by_row: std::collections::BTreeMap<usize, (Vec<VertexId>, Vec<VertexId>)> =
+            std::collections::BTreeMap::new();
+        for &(i, j) in add {
+            by_row.entry(i).or_default().0.push(j as VertexId);
+        }
+        for &(i, j) in remove {
+            by_row.entry(i).or_default().1.push(j as VertexId);
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity((self.nnz() + add.len()).saturating_sub(remove.len()));
+        row_ptr.push(0usize);
+        let mut next_touched = by_row.iter_mut();
+        let mut pending = next_touched.next();
+        for i in 0..self.nrows {
+            match &mut pending {
+                Some((ti, (adds, removes))) if **ti == i => {
+                    adds.sort_unstable();
+                    adds.dedup();
+                    removes.sort_unstable();
+                    // Merge the old row (minus `removes`) with `adds`; an
+                    // edge in both lists stays present, because additions
+                    // land after removals — same as the triplet rebuild.
+                    let old = self.row(i);
+                    let (mut a, mut b) = (0usize, 0usize);
+                    while a < old.len() || b < adds.len() {
+                        match (old.get(a), adds.get(b)) {
+                            (Some(&x), Some(&y)) if x == y => {
+                                a += 1;
+                                b += 1;
+                                col_idx.push(x);
+                            }
+                            (Some(&x), Some(&y)) if x > y => {
+                                b += 1;
+                                col_idx.push(y);
+                            }
+                            (Some(&x), _) => {
+                                a += 1;
+                                if removes.binary_search(&x).is_err() {
+                                    col_idx.push(x);
+                                }
+                            }
+                            (None, Some(&y)) => {
+                                b += 1;
+                                col_idx.push(y);
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                    pending = next_touched.next();
+                }
+                _ => col_idx.extend_from_slice(self.row(i)),
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let patched = Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx };
+        debug_assert!(
+            (0..patched.nrows).all(|i| patched.row(i).windows(2).all(|w| w[0] < w[1])),
+            "patched rows must stay strictly increasing"
+        );
+        patched
+    }
+
     /// Extract the submatrix with the given (sorted, unique) rows and columns,
     /// relabelling indices to `0..`.
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Csr {
@@ -373,6 +462,57 @@ mod tests {
     fn permuted_rejects_non_permutation() {
         let a = small();
         let _ = a.permuted(&[0, 0, 1], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn patched_applies_adds_and_removes() {
+        let a = small();
+        let p = a.patched(&[(1, 0), (0, 2)], &[(2, 2), (0, 1)]);
+        assert_eq!(p.row(0), &[0, 2]);
+        assert_eq!(p.row(1), &[0, 2]);
+        assert_eq!(p.row(2), &[0]);
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn patched_tolerates_noops_and_duplicates() {
+        let a = small();
+        // Adding a present edge, removing an absent one, duplicate adds,
+        // and an edge both added and removed (add wins: removals apply to
+        // the old pattern, additions land after).
+        let p = a.patched(&[(0, 0), (1, 1), (1, 1), (2, 1)], &[(1, 0), (2, 1)]);
+        assert_eq!(p.row(0), a.row(0));
+        assert_eq!(p.row(1), &[1, 2]);
+        assert_eq!(p.row(2), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn patched_matches_triplet_rebuild() {
+        // The semantics pin: patched == rebuild-from-filtered-entries.
+        let a = small();
+        let add = [(1usize, 0usize), (1, 1), (0, 2)];
+        let remove = [(0usize, 0usize), (2, 2), (1, 1)];
+        let removed: std::collections::HashSet<_> = remove.iter().copied().collect();
+        let mut t = TripletMatrix::new(a.nrows(), a.ncols());
+        for (i, j) in a.iter_entries().filter(|e| !removed.contains(e)) {
+            t.push(i, j);
+        }
+        for &(i, j) in &add {
+            t.push(i, j);
+        }
+        assert_eq!(a.patched(&add, &remove), t.into_csr());
+    }
+
+    #[test]
+    fn patched_empty_patch_is_identity() {
+        let a = small();
+        assert_eq!(a.patched(&[], &[]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch add edge (0, 9) out of bounds")]
+    fn patched_bounds_checked() {
+        let _ = small().patched(&[(0, 9)], &[]);
     }
 
     #[test]

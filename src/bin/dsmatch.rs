@@ -4,7 +4,7 @@
 //! ```text
 //! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
 //!         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]]
-//!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par]
+//!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par|pf-graft|auto]
 //!         [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T]
 //!         [--quality] [--json] [--output pairs.txt]
 //! ```
@@ -86,7 +86,7 @@ fn print_usage() {
     eprintln!(
         "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
          [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
-         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par] \
+         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par|pf-graft|auto] \
          [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
          [--quality] [--json] [--output pairs.txt]\n\
          \x20      dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH]"
@@ -357,7 +357,12 @@ fn main() -> ExitCode {
                 let augs =
                     stage.augmentations.map_or(String::new(), |a| format!("  augmentations {a}"));
                 let phases = stage.phases.map_or(String::new(), |p| format!("  phases {p}"));
-                println!("  {:<12}: {:>10.3?}{card}{augs}{phases}", stage.stage, stage.seconds);
+                let sel =
+                    stage.selected.as_deref().map_or(String::new(), |s| format!("  selected {s}"));
+                println!(
+                    "  {:<12}: {:>10.3?}{card}{augs}{phases}{sel}",
+                    stage.stage, stage.seconds
+                );
             }
             println!("cardinality   : {}", report.cardinality());
             println!("time          : {:.3}s", report.total_seconds());

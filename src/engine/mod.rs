@@ -14,10 +14,11 @@
 //!            └────────────┘    └─────────────┘    └──────────────┘     · scaling iters/error
 //! ```
 //!
-//! - [`AlgorithmKind`] — the registry of all thirteen algorithms,
+//! - [`AlgorithmKind`] — the registry of all fifteen algorithms,
 //!   including the paper's Algorithm 4 (`ksmt`), the §5 one-out undirected
-//!   variant (`one-out`) and the multicore exact finishers
-//!   (`hk-par`/`pf-par`);
+//!   variant (`one-out`), the multicore exact finishers
+//!   (`hk-par`/`pf-par`/`pf-graft`) and the statistics-driven `auto`
+//!   finisher ([`select_finisher`]);
 //! - [`Pipeline`] — a parsed `[scale[:sk|ruiz][:iters],]<algo>[,<exact>]`
 //!   spec, solvable via the [`Solver`] trait;
 //! - [`Workspace`] — reusable scratch buffers threaded through every
@@ -65,7 +66,7 @@ mod workspace;
 pub use batch::WorkspacePool;
 pub use dsmatch_json::Json;
 pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
-pub use registry::AlgorithmKind;
+pub use registry::{select_finisher, AlgorithmKind};
 pub use report::{SolveReport, StageReport};
 #[cfg(unix)]
 pub use serve::serve_unix_socket;

@@ -7,8 +7,8 @@ use dsmatch_core::{
     two_sided_choices_into, two_sided_match_ws, KarpSipserConfig,
 };
 use dsmatch_exact::{
-    bfs_augment_from, hopcroft_karp_par_ws, hopcroft_karp_ws, pothen_fan_par_ws, pothen_fan_ws,
-    push_relabel_from,
+    bfs_augment_from, hopcroft_karp_par_ws, hopcroft_karp_ws, pothen_fan_graft_ws,
+    pothen_fan_par_ws, pothen_fan_ws, push_relabel_from,
 };
 use dsmatch_graph::{BipartiteGraph, Matching, NIL};
 use dsmatch_scale::{ruiz_into, sinkhorn_knopp_into, ScalingConfig};
@@ -235,6 +235,8 @@ pub(crate) struct StageCounters {
     /// Search phases executed, including the final certifying phase
     /// (Hopcroft–Karp and the tree-grafting Pothen–Fan variants).
     pub phases: Option<usize>,
+    /// The concrete engine an [`AlgorithmKind::Auto`] stage picked.
+    pub selected: Option<AlgorithmKind>,
 }
 
 /// Run the algorithm stage, sampling from the workspace's current factors.
@@ -263,7 +265,9 @@ fn run_algorithm(
         | AlgorithmKind::PothenFan
         | AlgorithmKind::BfsAugment
         | AlgorithmKind::HopcroftKarpPar
-        | AlgorithmKind::PothenFanPar => run_augment(algo, g, None, ws),
+        | AlgorithmKind::PothenFanPar
+        | AlgorithmKind::PothenFanGraft
+        | AlgorithmKind::Auto => run_augment(algo, g, None, ws),
     }
 }
 
@@ -284,12 +288,19 @@ pub(crate) fn run_augment(
                 StageCounters {
                     augmentations: Some(stats.augmentations),
                     phases: Some(stats.phases),
+                    ..StageCounters::default()
                 },
             )
         }
         AlgorithmKind::PothenFan => {
             let (m, stats) = pothen_fan_ws(g, initial.as_ref(), &mut ws.augment);
-            (m, StageCounters { augmentations: Some(stats.augmentations), phases: None })
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    ..StageCounters::default()
+                },
+            )
         }
         AlgorithmKind::PushRelabel => {
             let (m, _) = push_relabel_from(
@@ -301,7 +312,13 @@ pub(crate) fn run_augment(
         AlgorithmKind::BfsAugment => {
             let (m, stats) =
                 bfs_augment_from(g, initial.unwrap_or_else(|| Matching::new(g.nrows(), g.ncols())));
-            (m, StageCounters { augmentations: Some(stats.augmentations), phases: None })
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    ..StageCounters::default()
+                },
+            )
         }
         AlgorithmKind::HopcroftKarpPar => {
             let (m, stats) = hopcroft_karp_par_ws(g, initial.as_ref(), &mut ws.augment);
@@ -310,6 +327,7 @@ pub(crate) fn run_augment(
                 StageCounters {
                     augmentations: Some(stats.augmentations),
                     phases: Some(stats.phases),
+                    ..StageCounters::default()
                 },
             )
         }
@@ -320,8 +338,29 @@ pub(crate) fn run_augment(
                 StageCounters {
                     augmentations: Some(stats.augmentations),
                     phases: Some(stats.phases),
+                    ..StageCounters::default()
                 },
             )
+        }
+        AlgorithmKind::PothenFanGraft => {
+            let (m, stats) = pothen_fan_graft_ws(g, initial.as_ref(), &mut ws.augment);
+            (
+                m,
+                StageCounters {
+                    augmentations: Some(stats.augmentations),
+                    phases: Some(stats.phases),
+                    ..StageCounters::default()
+                },
+            )
+        }
+        AlgorithmKind::Auto => {
+            // Pick from instance statistics, run the pick, and surface the
+            // decision so reports (and serve delta replies) can show it.
+            let pick = super::registry::select_finisher(g);
+            debug_assert!(pick.is_exact() && pick != AlgorithmKind::Auto);
+            let (m, mut counters) = run_augment(pick, g, initial, ws);
+            counters.selected = Some(pick);
+            (m, counters)
         }
         other => unreachable!("{other} is not exact; rejected at parse/validation time"),
     }
@@ -396,6 +435,7 @@ impl Pipeline {
                 cardinality: None,
                 augmentations: None,
                 phases: None,
+                selected: None,
             });
             scaling_iterations = Some(ws.scaling.iterations);
             scaling_error = Some(ws.scaling.error);
@@ -413,6 +453,7 @@ impl Pipeline {
             cardinality: Some(matching.cardinality()),
             augmentations: counters.augmentations,
             phases: counters.phases,
+            selected: counters.selected.map(|k| k.name().to_string()),
         });
 
         let matching = if let Some(finisher) = self.augment {
@@ -424,6 +465,7 @@ impl Pipeline {
                 cardinality: Some(m.cardinality()),
                 augmentations: counters.augmentations,
                 phases: counters.phases,
+                selected: counters.selected.map(|k| k.name().to_string()),
             });
             m
         } else {
@@ -462,7 +504,10 @@ mod tests {
             "cheap,bfs",
             "scale:sk:5,two,pf-par",
             "scale:sk:5,two,hk-par",
+            "scale:sk:5,two,pf-graft",
+            "scale:sk:5,two,auto",
             "pf-par",
+            "auto",
         ] {
             let p: Pipeline = spec.parse().unwrap();
             assert_eq!(p.spec(), spec, "roundtrip of {spec}");

@@ -1,6 +1,9 @@
 //! The algorithm registry: every matching algorithm in the workspace under
 //! one enum, each usable as a pipeline stage.
 
+use dsmatch_graph::stats::InstanceStats;
+use dsmatch_graph::BipartiteGraph;
+
 /// Every matching algorithm the workspace implements.
 ///
 /// Heuristic stages sample from the **current scaling factors** in the
@@ -47,11 +50,28 @@ pub enum AlgorithmKind {
     /// Exact, multicore: tree-grafting-style parallel Pothen–Fan
     /// (multi-source BFS forest + disjoint-path harvest).
     PothenFanPar,
+    /// Exact, multicore: incremental tree grafting — [`PothenFanPar`]'s
+    /// BFS forest kept alive across harvests (Azad–Buluç–Pothen renewable
+    /// forests), cutting the per-phase rebuild on high-phase-count
+    /// instances.
+    ///
+    /// [`PothenFanPar`]: AlgorithmKind::PothenFanPar
+    PothenFanGraft,
+    /// Exact: statistics-driven auto-selection between [`PushRelabel`],
+    /// [`HopcroftKarpPar`] and [`PothenFanGraft`] (see [`select_finisher`])
+    /// — the Kaya–Langguth–Manne–Uçar (2013) finding that the winning
+    /// finisher is matrix-family-dependent, as a registry entry. The
+    /// choice lands in the stage report's `selected` field.
+    ///
+    /// [`PushRelabel`]: AlgorithmKind::PushRelabel
+    /// [`HopcroftKarpPar`]: AlgorithmKind::HopcroftKarpPar
+    /// [`PothenFanGraft`]: AlgorithmKind::PothenFanGraft
+    Auto,
 }
 
 impl AlgorithmKind {
     /// All algorithms, heuristics first.
-    pub fn all() -> [AlgorithmKind; 13] {
+    pub fn all() -> [AlgorithmKind; 15] {
         use AlgorithmKind::*;
         [
             OneSided,
@@ -67,6 +87,8 @@ impl AlgorithmKind {
             BfsAugment,
             HopcroftKarpPar,
             PothenFanPar,
+            PothenFanGraft,
+            Auto,
         ]
     }
 
@@ -81,6 +103,8 @@ impl AlgorithmKind {
                 | AlgorithmKind::BfsAugment
                 | AlgorithmKind::HopcroftKarpPar
                 | AlgorithmKind::PothenFanPar
+                | AlgorithmKind::PothenFanGraft
+                | AlgorithmKind::Auto
         )
     }
 
@@ -112,7 +136,39 @@ impl AlgorithmKind {
             AlgorithmKind::BfsAugment => "bfs",
             AlgorithmKind::HopcroftKarpPar => "hk-par",
             AlgorithmKind::PothenFanPar => "pf-par",
+            AlgorithmKind::PothenFanGraft => "pf-graft",
+            AlgorithmKind::Auto => "auto",
         }
+    }
+}
+
+/// Pick the exact finisher for an instance from its shape statistics — the
+/// policy behind [`AlgorithmKind::Auto`].
+///
+/// Kaya–Langguth–Manne–Uçar (2013) measured that no augmenting-path or
+/// push-relabel solver wins across matrix families; the family signals they
+/// identify map onto two cheap shape measures:
+///
+/// - **dense** instances (fill ≥ 5%) have short augmenting paths and wide
+///   BFS levels — Hopcroft–Karp's shortest-path phases shine, so `hk-par`;
+/// - **skewed** degree sequences (coefficient of variation > 1 on either
+///   side, the RMAT/power-law regime) imbalance BFS forests, while
+///   push-relabel's local row-by-row bidding is indifferent to hubs, so
+///   `pr`;
+/// - everything else — the uniform sparse regime of `gen:er` and meshes —
+///   goes to the grafted Pothen–Fan forest, `pf-graft`.
+///
+/// The policy is deterministic, costs one O(n + m) statistics pass
+/// ([`InstanceStats`]), and is pinned per generator family by the
+/// engine-matrix tests.
+pub fn select_finisher(g: &BipartiteGraph) -> AlgorithmKind {
+    let stats = InstanceStats::of(g.csr());
+    if stats.density() >= 0.05 {
+        AlgorithmKind::HopcroftKarpPar
+    } else if stats.degree_skew() > 1.0 {
+        AlgorithmKind::PushRelabel
+    } else {
+        AlgorithmKind::PothenFanGraft
     }
 }
 
@@ -159,16 +215,46 @@ mod tests {
     }
 
     #[test]
-    fn exactly_six_exact_engines() {
-        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.is_exact()).count(), 6);
+    fn exactly_eight_exact_engines() {
+        assert_eq!(AlgorithmKind::all().len(), 15);
+        assert_eq!(AlgorithmKind::all().iter().filter(|a| a.is_exact()).count(), 8);
         assert_eq!(AlgorithmKind::all().iter().filter(|a| a.uses_scaling()).count(), 4);
     }
 
     #[test]
     fn parallel_finishers_are_exact_and_unscaled() {
-        for a in [AlgorithmKind::HopcroftKarpPar, AlgorithmKind::PothenFanPar] {
+        for a in [
+            AlgorithmKind::HopcroftKarpPar,
+            AlgorithmKind::PothenFanPar,
+            AlgorithmKind::PothenFanGraft,
+            AlgorithmKind::Auto,
+        ] {
             assert!(a.is_exact(), "{a}");
             assert!(!a.uses_scaling(), "{a}");
         }
+    }
+
+    #[test]
+    fn auto_policy_is_shape_driven() {
+        use dsmatch_graph::Csr;
+        // Dense: every cell filled ⇒ hk-par.
+        let dense =
+            BipartiteGraph::from_csr(Csr::from_dense(&[&[1, 1, 1], &[1, 1, 1], &[1, 1, 1]]));
+        assert_eq!(select_finisher(&dense), AlgorithmKind::HopcroftKarpPar);
+        // Sparse + uniform (one diagonal) ⇒ pf-graft.
+        let mut t = dsmatch_graph::TripletMatrix::new(100, 100);
+        for i in 0..100 {
+            t.push(i, i);
+        }
+        let uniform = BipartiteGraph::from_csr(t.into_csr());
+        assert_eq!(select_finisher(&uniform), AlgorithmKind::PothenFanGraft);
+        // Sparse + one hub column (star + diagonal) ⇒ skew > 1 ⇒ pr.
+        let mut t = dsmatch_graph::TripletMatrix::new(100, 100);
+        for i in 0..100 {
+            t.push(i, i);
+            t.push(i, 0);
+        }
+        let skewed = BipartiteGraph::from_csr(t.into_csr());
+        assert_eq!(select_finisher(&skewed), AlgorithmKind::PushRelabel);
     }
 }

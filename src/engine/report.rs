@@ -21,6 +21,9 @@ pub struct StageReport {
     /// start that is already maximum finishes in exactly one phase — the
     /// counter behind the serve daemon's cheap delta re-solves.
     pub phases: Option<usize>,
+    /// For the `auto` finisher: the spec name of the exact engine its
+    /// statistics policy actually ran (`None` for every other stage).
+    pub selected: Option<String>,
 }
 
 /// Result of one engine solve: the matching plus per-stage instrumentation.
@@ -68,6 +71,7 @@ impl SolveReport {
                     ("cardinality", Json::opt(s.cardinality)),
                     ("augmentations", Json::opt(s.augmentations)),
                     ("phases", Json::opt(s.phases)),
+                    ("selected", Json::opt(s.selected.as_deref())),
                 ])
             })
             .collect();
@@ -96,6 +100,7 @@ mod tests {
                 cardinality: Some(0),
                 augmentations: None,
                 phases: Some(3),
+                selected: Some("pr".into()),
             }],
             scaling_iterations: Some(5),
             scaling_error: Some(1e-3),
@@ -104,6 +109,7 @@ mod tests {
         let s = report.to_json().to_string();
         assert!(s.contains("\"stages\":[{\"stage\":\"two\""), "{s}");
         assert!(s.contains("\"phases\":3"), "{s}");
+        assert!(s.contains("\"selected\":\"pr\""), "{s}");
         assert!(s.contains("\"scaling_iterations\":5"), "{s}");
         assert!(s.contains("\"quality\":null"), "{s}");
         assert_eq!(report.total_seconds(), 0.5);

@@ -47,13 +47,18 @@
 //! ## Incremental re-solves
 //!
 //! A `"delta"` job mutates a cached instance (`add`/`remove` edge lists)
-//! and **re-augments from the cached mate array** with a warm-started
-//! exact finisher (`pf-par` by default) instead of solving from scratch —
-//! the tree-grafting warm-start lineage. The reply's `"warm":true` and the
-//! stage's `"phases"` counter make the saving observable: a delta whose
-//! cached matching survives the mutation certifies in one phase.
+//! by **patching the cached CSR in place** ([`Csr::patched`]: one merge
+//! pass over the touched rows, byte-identical to a full rebuild) and
+//! **re-augments from the cached mate array** with a warm-started exact
+//! finisher (`pf-par` by default, `auto` for the statistics-driven pick)
+//! instead of solving from scratch — the tree-grafting warm-start lineage.
+//! The reply's `"warm":true`, the stage's `"phases"` counter and (under
+//! `auto`) its `"selected"` engine make the saving observable: a delta
+//! whose cached matching survives the mutation certifies in one phase.
+//!
+//! [`Csr::patched`]: dsmatch_graph::Csr::patched
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -710,20 +715,11 @@ fn execute_delta<W: Write + Send>(
         }
     }
 
-    // Rebuild the pattern with the delta applied. Removing an absent edge
-    // or adding a present one is a no-op, so clients need not track the
-    // exact current pattern.
-    let removed: HashSet<(usize, usize)> = job.remove.iter().copied().collect();
-    let mut t = TripletMatrix::with_capacity(nrows, ncols, graph.nnz() + job.add.len());
-    for (i, j) in graph.csr().iter_entries() {
-        if !removed.contains(&(i, j)) {
-            t.push(i, j);
-        }
-    }
-    for &(i, j) in &job.add {
-        t.push(i, j);
-    }
-    let mutated = BipartiteGraph::from_csr(t.into_csr());
+    // Patch the cached CSR in place (one merge pass over the touched rows)
+    // instead of re-sorting the whole pattern through a triplet rebuild.
+    // Removing an absent edge or adding a present one is a no-op, so
+    // clients need not track the exact current pattern.
+    let mutated = BipartiteGraph::from_csr(graph.csr().patched(&job.add, &job.remove));
 
     // Warm start: the cached mates, minus pairs whose edge was removed —
     // still a valid matching of the mutated graph, so the finisher only
@@ -764,6 +760,7 @@ fn execute_delta<W: Write + Send>(
             cardinality: Some(matching.cardinality()),
             augmentations: counters.augmentations,
             phases: counters.phases,
+            selected: counters.selected.map(|k| k.name().to_string()),
         }],
         scaling_iterations: None,
         scaling_error: None,

@@ -34,7 +34,8 @@ fn all_algorithms_valid_on_all_families() {
                 m.cardinality()
             })
             .collect();
-        // All six exact engines (incl. `hk-par`/`pf-par`) agree.
+        // All eight exact engines (incl. `hk-par`/`pf-par`/`pf-graft` and
+        // the statistics-driven `auto`) agree.
         assert!(
             exact_cards.windows(2).all(|w| w[0] == w[1]),
             "{name}: exact engines disagree: {exact_cards:?}"
@@ -48,6 +49,40 @@ fn all_algorithms_valid_on_all_families() {
             m.verify(&g).unwrap_or_else(|e| panic!("{a} invalid on {name}: {e}"));
             assert!(m.cardinality() <= opt, "{a} above optimum on {name}");
         }
+    }
+}
+
+#[test]
+fn auto_finisher_choice_is_family_dependent_and_reported() {
+    // The Kaya–Langguth–Manne–Uçar motivation for `auto`: different
+    // families have different winning finishers. Pin the policy's pick on
+    // three families spanning all three outcomes — the uniform sparse
+    // `er_d4` (grafted forest), the heavy-tailed `rmat` (push-relabel,
+    // degree CV ≈ 2.5), and the dense-blocked `adversarial` (fill ≈ 27%,
+    // Hopcroft–Karp) — and check the pick surfaces as the augment stage's
+    // `selected` field in both the report struct and its JSON.
+    use dsmatch::engine::select_finisher;
+    let expected = [
+        ("er_d4", AlgorithmKind::PothenFanGraft),
+        ("rmat", AlgorithmKind::PushRelabel),
+        ("adversarial", AlgorithmKind::HopcroftKarpPar),
+    ];
+    let families = families();
+    for (name, want) in expected {
+        let (_, g) = families.iter().find(|(n, _)| *n == name).unwrap();
+        assert_eq!(select_finisher(g), want, "{name}");
+
+        let pipeline: Pipeline = "cheap,auto".parse().unwrap();
+        let report = pipeline.solve(g, &mut Workspace::new());
+        assert_eq!(report.cardinality(), sprank(g), "{name}: auto finisher must be exact");
+        let augment = report.stages.last().unwrap();
+        assert_eq!(augment.stage, "augment:auto", "{name}");
+        assert_eq!(augment.selected.as_deref(), Some(want.name()), "{name}");
+        let json = report.to_json().to_string();
+        assert!(
+            json.contains(&format!("\"selected\":\"{}\"", want.name())),
+            "{name}: selected engine missing from JSON: {json}"
+        );
     }
 }
 

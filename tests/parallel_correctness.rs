@@ -9,11 +9,12 @@
 //! - scaling (`sinkhorn_knopp_into`, `ruiz_into`): **byte-identical**
 //!   factors, error and history for every pool size, with the reused
 //!   output buffers staying pointer-stable;
-//! - the parallel exact finishers (`hk-par`, `pf-par`): valid matchings
-//!   whose cardinality equals the sequential finishers' (maximum is
-//!   maximum) and whose mate arrays are **byte-identical** across pool
-//!   sizes (deterministic chunk-order merges) — `hk-par` additionally
-//!   reproduces sequential `hk` byte-for-byte.
+//! - the parallel exact finishers (`hk-par`, `pf-par`, and the
+//!   incremental-forest `pf-graft`): valid matchings whose cardinality
+//!   equals the sequential finishers' (maximum is maximum) and whose mate
+//!   arrays are **byte-identical** across pool sizes (deterministic
+//!   chunk-order merges) — `hk-par` additionally reproduces sequential
+//!   `hk` byte-for-byte.
 
 use dsmatch::heur::{choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq};
 use dsmatch::prelude::*;
@@ -250,6 +251,38 @@ proptest! {
             prop_assert_eq!(pf_par.rmates(), pf_ref.rmates(), "pf-par differs at {} threads", t);
         }
     }
+
+    /// The incremental tree-grafting finisher at pools 1/2/4: exact, and
+    /// byte-identical mate arrays at every pool size — grafting keeps the
+    /// forest across harvests, but the chunk-merge order it harvests in
+    /// depends only on frontier content, never the schedule.
+    #[test]
+    fn pf_graft_exact_and_deterministic_across_pools(
+        nr in 1usize..50,
+        nc in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        use dsmatch::exact::{pothen_fan, pothen_fan_graft};
+        let mut rng = SplitMix64::new(seed);
+        let mut t = TripletMatrix::new(nr, nc);
+        for i in 0..nr {
+            for j in 0..nc {
+                if rng.next_below(4) == 0 {
+                    t.push(i, j);
+                }
+            }
+        }
+        let g = BipartiteGraph::from_csr(t.into_csr());
+        let opt = pothen_fan(&g).cardinality();
+        let reference = pool(1).install(|| pothen_fan_graft(&g));
+        for t in [1usize, 2, 4] {
+            let m = pool(t).install(|| pothen_fan_graft(&g));
+            m.verify(&g).unwrap();
+            prop_assert_eq!(m.cardinality(), opt, "pf-graft at {} threads", t);
+            prop_assert_eq!(m.rmates(), reference.rmates(), "pf-graft differs at {} threads", t);
+            prop_assert_eq!(m.cmates(), reference.cmates(), "pf-graft differs at {} threads", t);
+        }
+    }
 }
 
 /// The finishers as *pipeline stages*: heuristic warm starts through the
@@ -262,9 +295,15 @@ fn finisher_pipelines_reach_the_optimum_across_pools() {
     use dsmatch::engine::{Pipeline, Solver, Workspace};
     let g = dsmatch::gen::erdos_renyi_square(20_000, 4.0, 17);
     let opt = sprank(&g);
-    for spec in
-        ["scale:sk:5,two,pf-par", "scale:sk:5,two,hk-par", "scale:sk:0,one,pf-par", "cheap,hk-par"]
-    {
+    for spec in [
+        "scale:sk:5,two,pf-par",
+        "scale:sk:5,two,hk-par",
+        "scale:sk:5,two,pf-graft",
+        "scale:sk:5,two,auto",
+        "scale:sk:0,one,pf-par",
+        "cheap,hk-par",
+        "cheap,pf-graft",
+    ] {
         let pipeline: Pipeline = spec.parse().unwrap();
         for t in [1usize, 2, 4] {
             let mut ws = Workspace::with_threads(t);

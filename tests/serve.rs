@@ -195,6 +195,75 @@ fn delta_after_removing_matched_edges_reaches_the_exact_optimum() {
     assert_eq!(card, expected, "delta must reach the mutated instance's sprank");
 }
 
+/// The in-place CSR patch behind delta jobs is byte-identical to a full
+/// rebuild, including the overlap semantics: an edge in both lists is
+/// added (add wins), removing an absent edge and adding a present one are
+/// no-ops. A delta whose add/remove cancel out must therefore return
+/// exactly the base solve's mates, certifying in one phase.
+#[test]
+fn delta_patch_with_overlapping_noops_matches_the_unpatched_instance() {
+    let n = 48;
+    let base = triangular_edges(n);
+    // (9,2) is present: removed AND re-added (add wins ⇒ still present);
+    // (9,9) is present: re-added (no-op); (2,9) is absent: removed (no-op).
+    assert!(base.contains(&(9, 2)) && base.contains(&(9, 9)) && !base.contains(&(2, 9)));
+    let input = format!(
+        "{{\"id\":\"seed\",\"pipeline\":\"hk-par\",\"instance\":{},\"store\":\"h\",\"mates\":true}}\n\
+         {{\"id\":\"noop\",\"op\":\"delta\",\"handle\":\"h\",\"remove\":{},\"add\":{},\"finisher\":\"hk-par\",\"mates\":true}}\n",
+        inline_instance(n, n, &base),
+        edges_json(&[(9, 2), (2, 9)]),
+        edges_json(&[(9, 2), (9, 9)]),
+    );
+    let lines = run_serve(&input, &ServeOptions { threads: 2, ..ServeOptions::default() });
+    let seed = reply(&lines, "seed");
+    let noop = reply(&lines, "noop");
+    assert_ok(seed);
+    assert_ok(noop);
+    assert_eq!(rmate_of(noop), rmate_of(seed), "cancelling patch must not move any mate");
+    assert_eq!(last_stage_phases(noop), 1, "nothing to re-augment: one certifying phase");
+}
+
+/// A delta job may name `auto` as its finisher: the statistics policy
+/// picks the engine for the *mutated* instance and the reply's stage
+/// reports which one ran in its `selected` field.
+#[test]
+fn delta_with_auto_finisher_reports_the_selected_engine() {
+    let g = dsmatch::gen::erdos_renyi_square(400, 3.0, 11);
+    let base: Vec<(usize, usize)> = g.csr().iter_entries().collect();
+    let remove: Vec<(usize, usize)> = base.iter().copied().step_by(151).take(5).collect();
+    let add: Vec<(usize, usize)> = vec![(7, 301), (399, 12)];
+    let mutated: Vec<(usize, usize)> =
+        base.iter().copied().filter(|e| !remove.contains(e)).chain(add.iter().copied()).collect();
+    let expected = sprank(&graph_from_edges(400, 400, &mutated));
+
+    let input = format!(
+        "{{\"id\":\"seed\",\"pipeline\":\"scale:sk:3,two,pf-par\",\"instance\":{},\"store\":\"g\"}}\n\
+         {{\"id\":\"delta\",\"op\":\"delta\",\"handle\":\"g\",\"remove\":{},\"add\":{},\"finisher\":\"auto\"}}\n",
+        inline_instance(400, 400, &base),
+        edges_json(&remove),
+        edges_json(&add),
+    );
+    let lines = run_serve(&input, &ServeOptions { threads: 2, ..ServeOptions::default() });
+    let delta = reply(&lines, "delta");
+    assert_ok(delta);
+    assert_eq!(delta.get("warm").and_then(Json::as_bool), Some(true));
+    let stages = delta
+        .get("report")
+        .and_then(|r| r.get("stages"))
+        .and_then(Json::as_arr)
+        .expect("delta report stages");
+    let stage = stages.last().expect("delta stage");
+    assert_eq!(stage.get("stage").and_then(Json::as_str), Some("delta:auto"));
+    // Sparse + uniform degrees: the policy resolves to the grafted forest.
+    assert_eq!(stage.get("selected").and_then(Json::as_str), Some("pf-graft"));
+    let card = delta
+        .get("report")
+        .and_then(|r| r.get("cardinality"))
+        .and_then(Json::as_usize)
+        .expect("delta report cardinality");
+    assert_eq!(card, expected, "auto delta must reach the mutated instance's sprank");
+}
+
 /// One cached instance, many pipeline specs: parse once, solve under
 /// per-job specs, exact jobs all landing on quality 1.
 #[test]
