@@ -55,7 +55,7 @@
 //! [`hopcroft_karp`]: crate::hopcroft_karp
 //! [`dfs_layered`]: crate::hopcroft_karp::dfs_layered
 
-use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, NIL};
 use rayon::prelude::*;
 
 use crate::hopcroft_karp::{dfs_layered, HopcroftKarpStats, INF};
@@ -211,6 +211,23 @@ pub fn hopcroft_karp_par_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, HopcroftKarpStats) {
+    hopcroft_karp_par_cancel(g, initial, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// [`hopcroft_karp_par_ws`] with cooperative cancellation: the token is
+/// polled once per phase, so cancellation is observed within one BFS+DFS
+/// phase. On [`Cancelled`] the workspace is left in a reusable state (no
+/// poisoning; the next solve reloads every buffer it reads).
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn hopcroft_karp_par_cancel(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+    token: &CancelToken,
+) -> Result<(Matching, HopcroftKarpStats), Cancelled> {
     load_initial(g, initial, ws);
     ws.dist.clear();
     ws.dist.resize(g.nrows(), INF);
@@ -219,6 +236,7 @@ pub fn hopcroft_karp_par_ws(
 
     let mut stats = HopcroftKarpStats::default();
     loop {
+        token.check()?;
         stats.phases += 1;
         if !bfs_level_sync(g, ws, &mut stats) {
             break;
@@ -230,7 +248,7 @@ pub fn hopcroft_karp_par_ws(
             }
         }
     }
-    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+    Ok((Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats))
 }
 
 /// Maximum-cardinality matching from scratch via [`pothen_fan_par_ws`].
@@ -257,6 +275,22 @@ pub fn pothen_fan_par_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, PothenFanParStats) {
+    pothen_fan_par_cancel(g, initial, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// [`pothen_fan_par_ws`] with cooperative cancellation: the token is
+/// polled once per forest phase, so cancellation is observed within one
+/// phase. On [`Cancelled`] the workspace is left reusable.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn pothen_fan_par_cancel(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+    token: &CancelToken,
+) -> Result<(Matching, PothenFanParStats), Cancelled> {
     load_initial(g, initial, ws);
     let n_r = g.nrows();
     ws.visited.clear();
@@ -271,6 +305,7 @@ pub fn pothen_fan_par_ws(
     let mut stats = PothenFanParStats::default();
     let mut stamp = 0u32;
     loop {
+        token.check()?;
         stamp += 1;
         stats.phases += 1;
         // Roots: every still-free row with any support.
@@ -363,7 +398,7 @@ pub fn pothen_fan_par_ws(
             break;
         }
     }
-    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+    Ok((Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats))
 }
 
 /// Maximum-cardinality matching from scratch via [`pothen_fan_graft_ws`].
@@ -405,6 +440,22 @@ pub fn pothen_fan_graft_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, PothenFanParStats) {
+    pothen_fan_graft_cancel(g, initial, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// [`pothen_fan_graft_ws`] with cooperative cancellation: the token is
+/// polled once per epoch, so cancellation is observed within one epoch.
+/// On [`Cancelled`] the workspace is left reusable.
+///
+/// # Panics
+/// If `initial` is `Some` and not a valid matching of `g`.
+pub fn pothen_fan_graft_cancel(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+    token: &CancelToken,
+) -> Result<(Matching, PothenFanParStats), Cancelled> {
     load_initial(g, initial, ws);
     let n_r = g.nrows();
     ws.visited.clear();
@@ -425,6 +476,7 @@ pub fn pothen_fan_graft_ws(
     let mut alive_stamp = 0u32;
     loop {
         // One epoch = one renewable forest, harvested at many levels.
+        token.check()?;
         stamp += 1;
         stats.phases += 1;
         ws.frontier.clear();
@@ -437,6 +489,9 @@ pub fn pothen_fan_graft_ws(
         }
         let mut epoch_augmented = 0usize;
         while !ws.frontier.is_empty() {
+            // One epoch replaces many `pf-par` phases, so poll per level to
+            // keep cancellation latency at one-phase granularity.
+            token.check()?;
             stats.rows_visited += ws.frontier.len();
             alive_stamp += 1;
             let AugmentWorkspace {
@@ -549,7 +604,7 @@ pub fn pothen_fan_graft_ws(
             break;
         }
     }
-    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+    Ok((Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats))
 }
 
 #[cfg(test)]
@@ -804,5 +859,50 @@ mod tests {
         assert_eq!(chunk_len(MIN_CHUNK * MAX_CHUNKS), MIN_CHUNK);
         let big = 10 * MIN_CHUNK * MAX_CHUNKS;
         assert_eq!(chunk_len(big), big / MAX_CHUNKS);
+    }
+
+    #[test]
+    fn cancelled_token_errors_before_any_phase_runs() {
+        let mut rng = SplitMix64::new(11);
+        let g = random_graph(40, 4, &mut rng);
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let mut ws = AugmentWorkspace::new();
+        assert!(hopcroft_karp_par_cancel(&g, None, &mut ws, &token).is_err());
+        assert!(pothen_fan_par_cancel(&g, None, &mut ws, &token).is_err());
+        assert!(pothen_fan_graft_cancel(&g, None, &mut ws, &token).is_err());
+    }
+
+    #[test]
+    fn workspace_reused_after_cancel_is_byte_identical_to_fresh() {
+        // The serve daemon's reuse-after-cancel contract: a cancelled run
+        // leaves no poisoned scratch state behind, so re-solving on the
+        // same workspace matches a fresh-workspace solve byte for byte.
+        let mut rng = SplitMix64::new(23);
+        let g = random_graph(60, 4, &mut rng);
+        let dead = CancelToken::unbounded();
+        dead.cancel();
+        let live = CancelToken::unbounded();
+        let mut ws = AugmentWorkspace::new();
+
+        assert!(hopcroft_karp_par_cancel(&g, None, &mut ws, &dead).is_err());
+        let (reused, reused_stats) =
+            hopcroft_karp_par_cancel(&g, None, &mut ws, &live).expect("live token");
+        let (fresh, fresh_stats) = hopcroft_karp_par_ws(&g, None, &mut AugmentWorkspace::new());
+        assert_eq!(reused.rmates(), fresh.rmates());
+        assert_eq!(reused.cmates(), fresh.cmates());
+        assert_eq!(reused_stats, fresh_stats);
+
+        assert!(pothen_fan_graft_cancel(&g, None, &mut ws, &dead).is_err());
+        let (reused, _) = pothen_fan_graft_cancel(&g, None, &mut ws, &live).expect("live token");
+        let (fresh, _) = pothen_fan_graft_ws(&g, None, &mut AugmentWorkspace::new());
+        assert_eq!(reused.rmates(), fresh.rmates());
+        assert_eq!(reused.cmates(), fresh.cmates());
+
+        assert!(pothen_fan_par_cancel(&g, None, &mut ws, &dead).is_err());
+        let (reused, _) = pothen_fan_par_cancel(&g, None, &mut ws, &live).expect("live token");
+        let (fresh, _) = pothen_fan_par_ws(&g, None, &mut AugmentWorkspace::new());
+        assert_eq!(reused.rmates(), fresh.rmates());
+        assert_eq!(reused.cmates(), fresh.cmates());
     }
 }

@@ -27,6 +27,14 @@
 //!   cardinality), paper Table 3's `sprank/n` column;
 //! - [`brute_force_maximum`] — exponential oracle for property tests on
 //!   tiny graphs.
+//!
+//! The potentially long-running finishers (`hk-par`, `pf-par`, `pf-graft`,
+//! `pr`) also ship `*_cancel` variants ([`hopcroft_karp_par_cancel`],
+//! [`pothen_fan_par_cancel`], [`pothen_fan_graft_cancel`],
+//! [`push_relabel_cancel`]) that poll a
+//! [`CancelToken`](dsmatch_graph::CancelToken) at phase boundaries and bail
+//! out with `Cancelled`, leaving their workspaces reusable — the substrate
+//! for job deadlines in the serve daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,12 +50,13 @@ mod workspace;
 pub use bfs_augment::{bfs_augment, bfs_augment_from, BfsAugmentStats};
 pub use brute::brute_force_maximum;
 pub use graft::{
-    hopcroft_karp_par, hopcroft_karp_par_ws, pothen_fan_graft, pothen_fan_graft_ws, pothen_fan_par,
+    hopcroft_karp_par, hopcroft_karp_par_cancel, hopcroft_karp_par_ws, pothen_fan_graft,
+    pothen_fan_graft_cancel, pothen_fan_graft_ws, pothen_fan_par, pothen_fan_par_cancel,
     pothen_fan_par_ws, PothenFanParStats,
 };
 pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats};
 pub use pothen_fan::{pothen_fan, pothen_fan_from, pothen_fan_ws, PothenFanStats};
-pub use push_relabel::{push_relabel, push_relabel_from, PushRelabelStats};
+pub use push_relabel::{push_relabel, push_relabel_cancel, push_relabel_from, PushRelabelStats};
 pub use workspace::{AugmentWorkspace, FrontierChunk};
 
 use dsmatch_graph::BipartiteGraph;

@@ -15,7 +15,7 @@
 //! augmenting path left, so it retires. Worst-case `O(n·τ)`; typically far
 //! faster because evictions are local.
 
-use dsmatch_graph::{BipartiteGraph, Matching, VertexId, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, VertexId, NIL};
 
 /// Work counters of a push-relabel run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,6 +38,27 @@ pub fn push_relabel(g: &BipartiteGraph) -> Matching {
 /// # Panics
 /// If `initial` is not a valid matching of `g`.
 pub fn push_relabel_from(g: &BipartiteGraph, initial: Matching) -> (Matching, PushRelabelStats) {
+    push_relabel_cancel(g, initial, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// How many queue pops between cancellation polls: push-relabel has no
+/// phase structure, so the "phase boundary" is a fixed slice of bids —
+/// small enough that cancellation latency stays well under a millisecond,
+/// large enough that the poll never shows up in a profile.
+const CANCEL_POLL_INTERVAL: usize = 4096;
+
+/// [`push_relabel_from`] with cooperative cancellation: the token is
+/// polled once up front and then every `CANCEL_POLL_INTERVAL` queue
+/// pops (push-relabel has no phases, so a bid-slice stands in for one).
+///
+/// # Panics
+/// If `initial` is not a valid matching of `g`.
+pub fn push_relabel_cancel(
+    g: &BipartiteGraph,
+    initial: Matching,
+    token: &CancelToken,
+) -> Result<(Matching, PushRelabelStats), Cancelled> {
     initial.verify(g).expect("warm-start matching must be valid");
     let n_r = g.nrows();
     let n_c = g.ncols();
@@ -54,7 +75,16 @@ pub fn push_relabel_from(g: &BipartiteGraph, initial: Matching) -> (Matching, Pu
         .filter(|&i| rmate[i as usize] == NIL && g.row_degree(i as usize) > 0)
         .collect();
 
+    // One up-front poll so an already-expired deadline refuses the run
+    // deterministically, even on instances smaller than the poll interval.
+    token.check()?;
+    let mut since_poll = 0usize;
     while let Some(r) = queue.pop_front() {
+        since_poll += 1;
+        if since_poll >= CANCEL_POLL_INTERVAL {
+            since_poll = 0;
+            token.check()?;
+        }
         let r = r as usize;
         if rmate[r] != NIL {
             continue;
@@ -93,7 +123,7 @@ pub fn push_relabel_from(g: &BipartiteGraph, initial: Matching) -> (Matching, Pu
             stats.relabels += 1;
         }
     }
-    (Matching::from_mates(rmate, cmate), stats)
+    Ok((Matching::from_mates(rmate, cmate), stats))
 }
 
 #[cfg(test)]
@@ -127,6 +157,19 @@ mod tests {
         let (m, stats) = push_relabel_from(&g, Matching::new(3, 2));
         assert_eq!(m.cardinality(), 1);
         assert_eq!(stats.retired, 2);
+    }
+
+    #[test]
+    fn cancel_variant_errors_on_dead_token_and_matches_on_live() {
+        let g = graph(&[&[1, 1, 0], &[1, 0, 1], &[0, 1, 1]]);
+        let dead = CancelToken::unbounded();
+        dead.cancel();
+        assert!(push_relabel_cancel(&g, Matching::new(3, 3), &dead).is_err());
+        let live = CancelToken::unbounded();
+        let (m, _) = push_relabel_cancel(&g, Matching::new(3, 3), &live).expect("live token");
+        let plain = push_relabel(&g);
+        assert_eq!(m.rmates(), plain.rmates());
+        assert_eq!(m.cmates(), plain.cmates());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle combining an explicit
+//! cancellation flag with an optional deadline. Solvers that may run for
+//! many phases (`hk-par`, `pf-par`, `pf-graft`, `pr`) and the scaling
+//! iteration loops poll the token at phase/epoch boundaries and return
+//! [`Cancelled`] instead of completing, leaving their workspaces in a
+//! reusable (poison-free) state.
+//!
+//! Polling at phase boundaries — not per edge — keeps the fast path free:
+//! a token with no deadline and no cancel signal costs one atomic load
+//! per phase.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error returned by cancellable solvers when their [`CancelToken`] fires.
+///
+/// Carries no payload: the caller owns the token and therefore already
+/// knows whether the cause was an explicit [`CancelToken::cancel`] or an
+/// expired deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle: an atomic flag plus an optional
+/// deadline instant.
+///
+/// All clones share the same flag, so any holder can [`cancel`] the whole
+/// job. The deadline is fixed at construction; [`is_cancelled`] reports
+/// true once the flag is set *or* the deadline has passed.
+///
+/// [`cancel`]: CancelToken::cancel
+/// [`is_cancelled`]: CancelToken::is_cancelled
+///
+/// ```
+/// use dsmatch_graph::{CancelToken, Cancelled};
+///
+/// let token = CancelToken::unbounded();
+/// assert_eq!(token.check(), Ok(()));
+/// token.cancel();
+/// assert_eq!(token.check(), Err(Cancelled));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own — only an explicit
+    /// [`cancel`](CancelToken::cancel) can trip it. This is the token that
+    /// non-cancellable entry points pass internally; its per-phase cost is
+    /// a single relaxed load.
+    pub fn unbounded() -> Self {
+        CancelToken { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that fires once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that fires once `deadline` has passed. Useful when the
+    /// clock starts at job *submission* rather than at solve start (a
+    /// queued job's waiting time counts against its deadline).
+    pub fn deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Trip the token explicitly. Every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once the token has been [`cancel`](CancelToken::cancel)led or
+    /// its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// [`Err(Cancelled)`](Cancelled) once the token has fired; the form
+    /// solver loops use with `?`.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for CancelToken {
+    /// Same as [`CancelToken::unbounded`].
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_fires() {
+        let t = CancelToken::unbounded();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::unbounded();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_after_elapsing() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // A zero deadline has already passed by the time we check.
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_at_honors_past_instants() {
+        let t = CancelToken::deadline_at(Instant::now());
+        assert_eq!(t.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancelled_formats_and_is_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Cancelled);
+        assert_eq!(e.to_string(), "operation cancelled");
+    }
+}

@@ -30,11 +30,14 @@
 //!   independently of thread scheduling.
 //! - [`stats`]: degree statistics (average, variance, maximum) used when
 //!   reporting experiment instances (paper Table 3 discussion).
+//! - [`cancel`]: cooperative cancellation tokens (deadline + explicit
+//!   cancel) polled by the long-running solvers at phase boundaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod cancel;
 pub mod components;
 pub mod csr;
 pub mod io;
@@ -45,6 +48,7 @@ pub mod triplet;
 pub mod undirected;
 
 pub use bipartite::BipartiteGraph;
+pub use cancel::{CancelToken, Cancelled};
 pub use csr::Csr;
 pub use matching::Matching;
 pub use rng::SplitMix64;

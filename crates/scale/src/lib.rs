@@ -29,10 +29,10 @@ mod sinkhorn;
 mod symmetric;
 
 pub use analysis::{second_singular_value, sk_convergence_rate};
-pub use ruiz::{ruiz, ruiz_into, ruiz_seq};
+pub use ruiz::{ruiz, ruiz_cancel_into, ruiz_into, ruiz_seq};
 pub use sinkhorn::{
-    max_col_sum_error, min_col_sum, sinkhorn_knopp, sinkhorn_knopp_into, sinkhorn_knopp_seq,
-    sinkhorn_knopp_weighted,
+    max_col_sum_error, min_col_sum, sinkhorn_knopp, sinkhorn_knopp_cancel_into,
+    sinkhorn_knopp_into, sinkhorn_knopp_seq, sinkhorn_knopp_weighted,
 };
 pub use symmetric::{symmetric_scaling, SymmetricScalingResult};
 

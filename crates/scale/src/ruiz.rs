@@ -9,7 +9,7 @@
 //! reproduce that comparison (`ablation_bench`, and the quality impact in
 //! EXPERIMENTS.md).
 
-use dsmatch_graph::BipartiteGraph;
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled};
 use rayon::prelude::*;
 
 use crate::sinkhorn::max_col_sum_error;
@@ -32,6 +32,18 @@ pub fn ruiz(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult {
 /// history vectors of `out` are reset and refilled in place (see
 /// [`crate::sinkhorn_knopp_into`] for the allocation contract).
 pub fn ruiz_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResult) {
+    ruiz_cancel_into(g, cfg, out, &CancelToken::unbounded()).expect("unbounded token never cancels")
+}
+
+/// [`ruiz_into`] with cooperative cancellation: the token is polled once
+/// per iteration. On [`Cancelled`] the factors in `out` are whatever the
+/// completed iterations produced, and the buffers stay reusable.
+pub fn ruiz_cancel_into(
+    g: &BipartiteGraph,
+    cfg: &ScalingConfig,
+    out: &mut ScalingResult,
+    token: &CancelToken,
+) -> Result<(), Cancelled> {
     out.dr.clear();
     out.dr.resize(g.nrows(), 1.0);
     out.dc.clear();
@@ -40,6 +52,7 @@ pub fn ruiz_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResul
     let mut error = f64::INFINITY;
     let mut done = 0usize;
     for _ in 0..cfg.max_iterations {
+        token.check()?;
         let (dr, dc) = (&out.dr, &out.dc);
         let rsums: Vec<f64> = (0..g.nrows())
             .into_par_iter()
@@ -77,6 +90,7 @@ pub fn ruiz_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResul
     }
     out.iterations = done;
     out.error = error;
+    Ok(())
 }
 
 /// Sequential Ruiz — identical arithmetic to [`ruiz`].
@@ -187,5 +201,20 @@ mod tests {
         let r = ruiz(&g, &ScalingConfig::iterations(3));
         assert!(r.dr.iter().all(|d| d.is_finite()));
         assert!(r.dc.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn cancel_refuses_dead_token_and_slot_stays_reusable() {
+        let g = graph(&[&[1, 1], &[1, 1]]);
+        let cfg = ScalingConfig::iterations(4);
+        let dead = CancelToken::unbounded();
+        dead.cancel();
+        let mut out = ScalingResult::empty();
+        assert!(ruiz_cancel_into(&g, &cfg, &mut out, &dead).is_err());
+        ruiz_cancel_into(&g, &cfg, &mut out, &CancelToken::unbounded()).expect("live token");
+        let fresh = ruiz(&g, &cfg);
+        assert_eq!(out.dr, fresh.dr);
+        assert_eq!(out.dc, fresh.dc);
+        assert_eq!(out.iterations, fresh.iterations);
     }
 }

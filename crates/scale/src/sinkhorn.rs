@@ -14,7 +14,7 @@
 //! Vertices with zero degree (possible in sprank-deficient inputs) keep
 //! their scaling factor — their value never influences any sampled entry.
 
-use dsmatch_graph::BipartiteGraph;
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled};
 use rayon::prelude::*;
 
 use crate::{ScalingConfig, ScalingResult};
@@ -85,6 +85,20 @@ pub fn sinkhorn_knopp(g: &BipartiteGraph, cfg: &ScalingConfig) -> ScalingResult 
 /// After the first solve on a given shape the buffers stop growing, so
 /// repeated solves on same-shaped instances perform no scaling allocation.
 pub fn sinkhorn_knopp_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut ScalingResult) {
+    sinkhorn_knopp_cancel_into(g, cfg, out, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// [`sinkhorn_knopp_into`] with cooperative cancellation: the token is
+/// polled once per scaling iteration. On [`Cancelled`] the factors in
+/// `out` are whatever the completed iterations produced — numerically
+/// valid, just not converged — and the buffers stay reusable.
+pub fn sinkhorn_knopp_cancel_into(
+    g: &BipartiteGraph,
+    cfg: &ScalingConfig,
+    out: &mut ScalingResult,
+    token: &CancelToken,
+) -> Result<(), Cancelled> {
     out.dr.clear();
     out.dr.resize(g.nrows(), 1.0);
     out.dc.clear();
@@ -93,6 +107,7 @@ pub fn sinkhorn_knopp_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut Sc
     let mut error = f64::INFINITY;
     let mut done = 0usize;
     for _ in 0..cfg.max_iterations {
+        token.check()?;
         sk_col_pass_par(g, &out.dr, &mut out.dc);
         sk_row_pass_par(g, &mut out.dr, &out.dc);
         done += 1;
@@ -107,6 +122,7 @@ pub fn sinkhorn_knopp_into(g: &BipartiteGraph, cfg: &ScalingConfig, out: &mut Sc
     }
     out.iterations = done;
     out.error = error;
+    Ok(())
 }
 
 /// Sequential Sinkhorn–Knopp — identical arithmetic to [`sinkhorn_knopp`]
@@ -354,5 +370,23 @@ mod tests {
     fn weighted_checks_length() {
         let g = graph(&[&[1, 1], &[1, 1]]);
         let _ = sinkhorn_knopp_weighted(&g, &[1.0], &ScalingConfig::iterations(1));
+    }
+
+    #[test]
+    fn cancel_refuses_dead_token_and_slot_stays_reusable() {
+        let g = graph(&[&[1, 1, 0], &[1, 1, 1], &[0, 1, 1]]);
+        let cfg = ScalingConfig::iterations(5);
+        let dead = CancelToken::unbounded();
+        dead.cancel();
+        let mut out = ScalingResult::empty();
+        assert!(sinkhorn_knopp_cancel_into(&g, &cfg, &mut out, &dead).is_err());
+        // The same slot then reproduces a fresh run exactly — cancellation
+        // leaves the factor buffers reusable, not poisoned.
+        sinkhorn_knopp_cancel_into(&g, &cfg, &mut out, &CancelToken::unbounded())
+            .expect("live token");
+        let fresh = sinkhorn_knopp(&g, &cfg);
+        assert_eq!(out.dr, fresh.dr);
+        assert_eq!(out.dc, fresh.dc);
+        assert_eq!(out.iterations, fresh.iterations);
     }
 }

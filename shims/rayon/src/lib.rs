@@ -318,6 +318,48 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scopes_from_external_threads_share_one_pool() {
+        // The serve daemon runs one scope per client connection, all on
+        // the same pool, from plain std threads. Each scope must see its
+        // own jobs complete and its own join barrier — pending counts and
+        // panics from one scope must not leak into another.
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(3).build().unwrap());
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    let local = AtomicUsize::new(0);
+                    pool.scope(|s| {
+                        for k in 0..8 {
+                            let local = &local;
+                            let total = &total;
+                            s.spawn(move |inner| {
+                                local.fetch_add(t * 100 + k, Ordering::SeqCst);
+                                total.fetch_add(1, Ordering::SeqCst);
+                                // Nested spawn from inside a foreign
+                                // scope's job still lands in this scope.
+                                inner.spawn(move |_| {
+                                    total.fetch_add(1, Ordering::SeqCst);
+                                });
+                            });
+                        }
+                    });
+                    // The scope joined: all 8 increments of *this* scope
+                    // (sum over k of t*100 + k) are visible right here.
+                    local.load(Ordering::SeqCst)
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let expected: usize = (0..8).map(|k| t * 100 + k).sum();
+            assert_eq!(h.join().unwrap(), expected, "scope {t} joined its own jobs");
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 8 * 2, "all jobs incl. nested ran");
+    }
+
+    #[test]
     fn nested_spawns_are_stolen_not_serialized() {
         // One job fans out 16 children onto its own deque and stays busy
         // until they all finish — so every child must run on a *thief*.

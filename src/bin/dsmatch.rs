@@ -31,14 +31,19 @@
 //!
 //! ```text
 //! dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH]
+//!               [--max-clients C] [--default-deadline-ms D] [--max-line-mb L]
 //! ```
 //!
 //! runs the matching-as-a-service daemon: newline-delimited JSON jobs in
-//! (stdin, or a Unix socket with `--socket`), one JSON report line out per
-//! job as it completes — each job carrying its own pipeline spec, instance
-//! reference (inline pattern, `gen:` spec, or a cached handle) and
-//! optionally an incremental `delta` re-solve against a cached instance.
-//! See [`dsmatch::engine::serve`] for the protocol.
+//! (stdin, or a Unix socket with `--socket` — served **concurrently**, one
+//! session per client), one JSON report line out per job as it completes —
+//! each job carrying its own pipeline spec, instance reference (inline
+//! pattern, `gen:` spec, or a cached handle), optionally an incremental
+//! `delta` re-solve against a cached instance, and optionally a
+//! `"deadline_ms"` budget after which the solve is cancelled cooperatively
+//! (`--default-deadline-ms` supplies one to jobs that carry none).
+//! SIGTERM, stdin close, and the `shutdown` op all drain in-flight jobs
+//! before exiting. See [`dsmatch::engine::serve`] for the protocol.
 
 use dsmatch::engine::{
     Json, Pipeline, ServeOptions, SolveReport, Solver, Workspace, WorkspacePool,
@@ -89,15 +94,44 @@ fn print_usage() {
          [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par|pf-graft|auto] \
          [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
          [--quality] [--json] [--output pairs.txt]\n\
-         \x20      dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH]"
+         \x20      dsmatch serve [--threads T] [--max-queue N] [--cache-mb M] [--socket PATH] \
+         [--max-clients C] [--default-deadline-ms D] [--max-line-mb L]"
     );
 }
+
+/// SIGTERM latch: the handler only flips this flag; the serve daemon
+/// polls it and drains in-flight jobs before exiting, so `kill <pid>`
+/// gets the same guarantees as a `shutdown` op.
+static TERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_latch() {
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SAFETY: `signal` is async-signal-safe to install, and the handler
+    // only performs an atomic store (itself async-signal-safe).
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_latch() {}
 
 /// `dsmatch serve`: run the matching daemon over stdin/stdout, or over a
 /// Unix socket with `--socket PATH`.
 fn serve_main() -> ExitCode {
     let mut opts = ServeOptions::default();
-    for (name, slot) in [("threads", &mut opts.threads), ("max-queue", &mut opts.max_queue)] {
+    for (name, slot) in [
+        ("threads", &mut opts.threads),
+        ("max-queue", &mut opts.max_queue),
+        ("max-clients", &mut opts.max_clients),
+    ] {
         if let Some(v) = arg_value(name) {
             match v.parse() {
                 Ok(n) => *slot = n,
@@ -112,15 +146,30 @@ fn serve_main() -> ExitCode {
         eprintln!("--max-queue 0 would reject every job; pass a positive bound");
         return ExitCode::FAILURE;
     }
-    if let Some(v) = arg_value("cache-mb") {
-        match v.parse::<usize>() {
-            Ok(mb) => opts.cache_bytes = mb << 20,
+    for (name, slot) in
+        [("cache-mb", &mut opts.cache_bytes), ("max-line-mb", &mut opts.max_line_bytes)]
+    {
+        if let Some(v) = arg_value(name) {
+            match v.parse::<usize>() {
+                Ok(mb) => *slot = mb << 20,
+                Err(_) => {
+                    eprintln!("--{name} expects a non-negative integer, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(v) = arg_value("default-deadline-ms") {
+        match v.parse::<u64>() {
+            Ok(ms) => opts.default_deadline_ms = ms,
             Err(_) => {
-                eprintln!("--cache-mb expects a non-negative integer, got {v:?}");
+                eprintln!("--default-deadline-ms expects a non-negative integer, got {v:?}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    install_sigterm_latch();
+    opts.stop = Some(&TERM);
     match arg_value("socket") {
         Some(path) => {
             #[cfg(unix)]
@@ -144,11 +193,10 @@ fn serve_main() -> ExitCode {
             }
         }
         None => {
-            let stdin = std::io::stdin();
-            // `Stdout` itself (not its non-Send lock) goes to the daemon:
-            // workers write whole reply lines, stdout's internal lock keeps
-            // them atomic.
-            let summary = dsmatch::engine::serve(stdin.lock(), std::io::stdout(), &opts);
+            // `Stdin` itself (not its non-Send lock) goes to the daemon's
+            // detached reader thread.
+            let input = std::io::BufReader::new(std::io::stdin());
+            let summary = dsmatch::engine::serve(input, std::io::stdout(), &opts);
             eprintln!(
                 "served {} jobs ({} ok, {} errors)",
                 summary.jobs, summary.ok, summary.errors

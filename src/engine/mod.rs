@@ -56,6 +56,7 @@
 //! ```
 
 mod batch;
+pub mod faults;
 mod pipeline;
 mod registry;
 mod report;
@@ -64,6 +65,7 @@ mod spec;
 mod workspace;
 
 pub use batch::WorkspacePool;
+pub use dsmatch_graph::{CancelToken, Cancelled};
 pub use dsmatch_json::Json;
 pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
 pub use registry::{select_finisher, AlgorithmKind};

@@ -7,11 +7,11 @@ use dsmatch_core::{
     two_sided_choices_into, two_sided_match_ws, KarpSipserConfig,
 };
 use dsmatch_exact::{
-    bfs_augment_from, hopcroft_karp_par_ws, hopcroft_karp_ws, pothen_fan_graft_ws,
-    pothen_fan_par_ws, pothen_fan_ws, push_relabel_from,
+    bfs_augment_from, hopcroft_karp_par_cancel, hopcroft_karp_ws, pothen_fan_graft_cancel,
+    pothen_fan_par_cancel, pothen_fan_ws, push_relabel_cancel,
 };
-use dsmatch_graph::{BipartiteGraph, Matching, NIL};
-use dsmatch_scale::{ruiz_into, sinkhorn_knopp_into, ScalingConfig};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, NIL};
+use dsmatch_scale::{ruiz_cancel_into, sinkhorn_knopp_cancel_into, ScalingConfig};
 
 use super::registry::AlgorithmKind;
 use super::report::{SolveReport, StageReport};
@@ -245,9 +245,10 @@ fn run_algorithm(
     g: &BipartiteGraph,
     seed: u64,
     ws: &mut Workspace,
-) -> (Matching, StageCounters) {
+    token: &CancelToken,
+) -> Result<(Matching, StageCounters), Cancelled> {
     let heuristic = StageCounters::default();
-    match algo {
+    Ok(match algo {
         AlgorithmKind::OneSided => {
             (one_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), heuristic)
         }
@@ -260,27 +261,32 @@ fn run_algorithm(
         }
         AlgorithmKind::CheapEdge => (cheap_random_edge(g, seed), heuristic),
         AlgorithmKind::CheapVertex => (cheap_random_vertex(g, seed), heuristic),
-        AlgorithmKind::PushRelabel => (dsmatch_exact::push_relabel(g), heuristic),
         AlgorithmKind::HopcroftKarp
         | AlgorithmKind::PothenFan
+        | AlgorithmKind::PushRelabel
         | AlgorithmKind::BfsAugment
         | AlgorithmKind::HopcroftKarpPar
         | AlgorithmKind::PothenFanPar
         | AlgorithmKind::PothenFanGraft
-        | AlgorithmKind::Auto => run_augment(algo, g, None, ws),
-    }
+        | AlgorithmKind::Auto => run_augment(algo, g, None, ws, token)?,
+    })
 }
 
 /// Feed `initial` into the exact finisher `algo` (`None`: solve cold).
 /// Shared by the pipeline's augment stage, the exact algorithm stages
 /// above, and the `serve` daemon's warm delta re-solves.
+///
+/// The token reaches the phase/epoch loops of the cancellable finishers
+/// (`hk-par`, `pf-par`, `pf-graft`, `pr`); the short sequential engines
+/// (`hk`, `pf`, `bfs`) run to completion regardless.
 pub(crate) fn run_augment(
     algo: AlgorithmKind,
     g: &BipartiteGraph,
     initial: Option<Matching>,
     ws: &mut Workspace,
-) -> (Matching, StageCounters) {
-    match algo {
+    token: &CancelToken,
+) -> Result<(Matching, StageCounters), Cancelled> {
+    Ok(match algo {
         AlgorithmKind::HopcroftKarp => {
             let (m, stats) = hopcroft_karp_ws(g, initial.as_ref(), &mut ws.augment);
             (
@@ -303,10 +309,11 @@ pub(crate) fn run_augment(
             )
         }
         AlgorithmKind::PushRelabel => {
-            let (m, _) = push_relabel_from(
+            let (m, _) = push_relabel_cancel(
                 g,
                 initial.unwrap_or_else(|| Matching::new(g.nrows(), g.ncols())),
-            );
+                token,
+            )?;
             (m, StageCounters::default())
         }
         AlgorithmKind::BfsAugment => {
@@ -321,7 +328,7 @@ pub(crate) fn run_augment(
             )
         }
         AlgorithmKind::HopcroftKarpPar => {
-            let (m, stats) = hopcroft_karp_par_ws(g, initial.as_ref(), &mut ws.augment);
+            let (m, stats) = hopcroft_karp_par_cancel(g, initial.as_ref(), &mut ws.augment, token)?;
             (
                 m,
                 StageCounters {
@@ -332,7 +339,7 @@ pub(crate) fn run_augment(
             )
         }
         AlgorithmKind::PothenFanPar => {
-            let (m, stats) = pothen_fan_par_ws(g, initial.as_ref(), &mut ws.augment);
+            let (m, stats) = pothen_fan_par_cancel(g, initial.as_ref(), &mut ws.augment, token)?;
             (
                 m,
                 StageCounters {
@@ -343,7 +350,7 @@ pub(crate) fn run_augment(
             )
         }
         AlgorithmKind::PothenFanGraft => {
-            let (m, stats) = pothen_fan_graft_ws(g, initial.as_ref(), &mut ws.augment);
+            let (m, stats) = pothen_fan_graft_cancel(g, initial.as_ref(), &mut ws.augment, token)?;
             (
                 m,
                 StageCounters {
@@ -358,12 +365,12 @@ pub(crate) fn run_augment(
             // decision so reports (and serve delta replies) can show it.
             let pick = super::registry::select_finisher(g);
             debug_assert!(pick.is_exact() && pick != AlgorithmKind::Auto);
-            let (m, mut counters) = run_augment(pick, g, initial, ws);
+            let (m, mut counters) = run_augment(pick, g, initial, ws, token)?;
             counters.selected = Some(pick);
             (m, counters)
         }
         other => unreachable!("{other} is not exact; rejected at parse/validation time"),
-    }
+    })
 }
 
 /// The §5 one-out undirected variant on the bipartite graph viewed as one
@@ -402,10 +409,7 @@ impl Solver for Pipeline {
     /// every stage executes with that pool installed, so the parallel
     /// kernels run on its workers; otherwise the ambient pool is used.
     fn solve(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
-        match ws.pool().cloned() {
-            Some(pool) => pool.install(|| self.solve_stages(g, ws)),
-            None => self.solve_stages(g, ws),
-        }
+        self.solve_cancel(g, ws, &CancelToken::unbounded()).expect("unbounded token never cancels")
     }
 
     fn describe(&self) -> String {
@@ -414,9 +418,32 @@ impl Solver for Pipeline {
 }
 
 impl Pipeline {
+    /// [`Solver::solve`] with cooperative cancellation: the token reaches
+    /// the scaling iteration loop and the phase/epoch loops of the
+    /// cancellable exact finishers, so a deadline or explicit cancel is
+    /// observed within one phase. On [`Cancelled`] the workspace stays
+    /// reusable — a subsequent solve on it produces byte-identical output
+    /// to a fresh workspace.
+    pub fn solve_cancel(
+        &self,
+        g: &BipartiteGraph,
+        ws: &mut Workspace,
+        token: &CancelToken,
+    ) -> Result<SolveReport, Cancelled> {
+        match ws.pool().cloned() {
+            Some(pool) => pool.install(|| self.solve_stages(g, ws, token)),
+            None => self.solve_stages(g, ws, token),
+        }
+    }
+
     /// The stage driver behind [`Solver::solve`], running in whatever pool
     /// context the caller established.
-    fn solve_stages(&self, g: &BipartiteGraph, ws: &mut Workspace) -> SolveReport {
+    fn solve_stages(
+        &self,
+        g: &BipartiteGraph,
+        ws: &mut Workspace,
+        token: &CancelToken,
+    ) -> Result<SolveReport, Cancelled> {
         let mut stages = Vec::with_capacity(3);
         let mut scaling_iterations = None;
         let mut scaling_error = None;
@@ -425,9 +452,9 @@ impl Pipeline {
             let t0 = Instant::now();
             match stage.method {
                 ScaleMethod::SinkhornKnopp => {
-                    sinkhorn_knopp_into(g, &stage.config, &mut ws.scaling)
+                    sinkhorn_knopp_cancel_into(g, &stage.config, &mut ws.scaling, token)?
                 }
-                ScaleMethod::Ruiz => ruiz_into(g, &stage.config, &mut ws.scaling),
+                ScaleMethod::Ruiz => ruiz_cancel_into(g, &stage.config, &mut ws.scaling, token)?,
             }
             stages.push(StageReport {
                 stage: stage.label(),
@@ -446,7 +473,7 @@ impl Pipeline {
         }
 
         let t0 = Instant::now();
-        let (matching, counters) = run_algorithm(self.algorithm, g, self.seed, ws);
+        let (matching, counters) = run_algorithm(self.algorithm, g, self.seed, ws, token)?;
         stages.push(StageReport {
             stage: self.algorithm.name().to_string(),
             seconds: t0.elapsed().as_secs_f64(),
@@ -458,7 +485,7 @@ impl Pipeline {
 
         let matching = if let Some(finisher) = self.augment {
             let t0 = Instant::now();
-            let (m, counters) = run_augment(finisher, g, Some(matching), ws);
+            let (m, counters) = run_augment(finisher, g, Some(matching), ws, token)?;
             stages.push(StageReport {
                 stage: format!("augment:{finisher}"),
                 seconds: t0.elapsed().as_secs_f64(),
@@ -472,7 +499,15 @@ impl Pipeline {
             matching
         };
 
-        SolveReport { matching, stages, scaling_iterations, scaling_error, quality: None }
+        Ok(SolveReport {
+            matching,
+            stages,
+            scaling_iterations,
+            scaling_error,
+            quality: None,
+            cancelled: false,
+            deadline_ms: None,
+        })
     }
 }
 

@@ -108,6 +108,23 @@ impl AlgorithmKind {
         )
     }
 
+    /// True for the algorithms that poll a
+    /// [`CancelToken`](dsmatch_graph::CancelToken) at phase/epoch
+    /// boundaries when run through the engine, so a serve-job deadline
+    /// can cut them short cooperatively. The sequential exact engines
+    /// (`hk`, `pf`, `bfs`) and the heuristics run to completion; their
+    /// deadline is only enforced before they start.
+    pub fn supports_cancellation(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::PushRelabel
+                | AlgorithmKind::HopcroftKarpPar
+                | AlgorithmKind::PothenFanPar
+                | AlgorithmKind::PothenFanGraft
+                | AlgorithmKind::Auto
+        )
+    }
+
     /// True for the algorithms whose sampling reads the scaling factors
     /// (a preceding `scale` stage changes their behaviour).
     pub fn uses_scaling(&self) -> bool {
@@ -256,5 +273,21 @@ mod tests {
         }
         let skewed = BipartiteGraph::from_csr(t.into_csr());
         assert_eq!(select_finisher(&skewed), AlgorithmKind::PushRelabel);
+    }
+
+    #[test]
+    fn cancellable_algorithms_are_exactly_the_cancel_variant_engines() {
+        let cancellable: Vec<&str> = AlgorithmKind::all()
+            .iter()
+            .filter(|k| k.supports_cancellation())
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(cancellable, ["pr", "hk-par", "pf-par", "pf-graft", "auto"]);
+        // Cancellation support implies exactness: only finishers poll tokens.
+        for k in AlgorithmKind::all() {
+            if k.supports_cancellation() {
+                assert!(k.is_exact(), "{} supports cancellation but is not exact", k.name());
+            }
+        }
     }
 }

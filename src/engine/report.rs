@@ -40,6 +40,15 @@ pub struct SolveReport {
     /// Quality ratio against the exact optimum; filled by
     /// [`SolveReport::set_quality`] when the caller requests it.
     pub quality: Option<f64>,
+    /// True when the solve was cut short by cooperative cancellation
+    /// (deadline or explicit cancel). A successful solve always reports
+    /// `false`; cancelled serve jobs surface this flag on their structured
+    /// `"deadline"` error reply instead of a full report.
+    pub cancelled: bool,
+    /// The deadline budget the job ran under, in milliseconds (`None`:
+    /// no deadline). Recorded even on success so clients can correlate
+    /// observed latency with the budget they requested.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SolveReport {
@@ -82,6 +91,8 @@ impl SolveReport {
             ("scaling_iterations", Json::opt(self.scaling_iterations)),
             ("scaling_error", Json::opt(self.scaling_error)),
             ("quality", Json::opt(self.quality)),
+            ("cancelled", Json::from(self.cancelled)),
+            ("deadline_ms", Json::opt(self.deadline_ms)),
         ])
     }
 }
@@ -105,6 +116,8 @@ mod tests {
             scaling_iterations: Some(5),
             scaling_error: Some(1e-3),
             quality: None,
+            cancelled: false,
+            deadline_ms: Some(250),
         };
         let s = report.to_json().to_string();
         assert!(s.contains("\"stages\":[{\"stage\":\"two\""), "{s}");
@@ -112,6 +125,8 @@ mod tests {
         assert!(s.contains("\"selected\":\"pr\""), "{s}");
         assert!(s.contains("\"scaling_iterations\":5"), "{s}");
         assert!(s.contains("\"quality\":null"), "{s}");
+        assert!(s.contains("\"cancelled\":false"), "{s}");
+        assert!(s.contains("\"deadline_ms\":250"), "{s}");
         assert_eq!(report.total_seconds(), 0.5);
     }
 }

@@ -31,18 +31,50 @@
 //! Duff–Kaya–Uçar transversal methodology's per-instance algorithm choice,
 //! as a protocol.
 //!
-//! ## Scheduling & robustness
+//! ## Concurrency & robustness
 //!
-//! Jobs are spawned onto the existing [`WorkspacePool`] as stealable
-//! tasks: concurrent jobs solve on distinct pinned-1-thread slot
-//! workspaces, so every result is byte-identical to a 1-thread solve of
-//! the same `(instance, seed)`. Jobs naming the same handle execute in
-//! submission order (a per-handle queue); jobs on different handles (or
-//! none) run concurrently. Admission control bounds the in-flight queue
-//! (`max_queue`): beyond it, jobs get an immediate structured `"queue"`
-//! error instead of unbounded memory growth. *Every* failure — malformed
-//! JSON, unknown algorithm, missing handle, even a solver panic — becomes
-//! an error reply; the daemon never dies on a bad job.
+//! [`serve_unix_socket`] accepts **concurrent connections** — one
+//! reader/writer pair per client, all sharing the same instance cache and
+//! [`WorkspacePool`] — bounded by [`ServeOptions::max_clients`] (excess
+//! connections are turned away with a structured `"busy"` error line).
+//! Per-connection reply ordering is whatever job *completion* order is;
+//! jobs naming the same handle execute in daemon-wide submission order (a
+//! per-handle FIFO that spans connections), so two clients mutating one
+//! handle see a serializable history.
+//!
+//! Jobs are spawned onto the [`WorkspacePool`] as stealable tasks:
+//! concurrent jobs solve on distinct pinned-1-thread slot workspaces, so
+//! every result is byte-identical to a 1-thread solve of the same
+//! `(instance, seed)`. Admission control bounds each connection's
+//! in-flight queue (`max_queue`): beyond it, jobs get an immediate
+//! structured `"queue"` error instead of unbounded memory growth. Input
+//! lines longer than [`ServeOptions::max_line_bytes`] are discarded in
+//! bounded memory and answered with a `"parse"` error. *Every* failure —
+//! malformed JSON, unknown algorithm, missing handle, even a solver panic —
+//! becomes an error reply; the daemon never dies on a bad job.
+//!
+//! ## Deadlines & cancellation
+//!
+//! A job may carry `"deadline_ms"` (or inherit
+//! [`ServeOptions::default_deadline_ms`]). The deadline is armed at
+//! **submission** — queue wait counts — and threaded as a
+//! [`CancelToken`] through the solver's phase/epoch loops
+//! ([`Pipeline::solve_cancel`]). A job that outlives its budget is cut
+//! short cooperatively at the next phase boundary and answered with a
+//! structured `"deadline"` error carrying `"cancelled":true` and its
+//! `"deadline_ms"`; the worker's workspace stays poison-free and is
+//! reused by the next job. The daemon keeps serving.
+//!
+//! ## Shutdown & fault injection
+//!
+//! `{"op":"shutdown"}` (any connection), stdin close, or a flipped
+//! [`ServeOptions::stop`] flag (the CLI wires SIGTERM to it) all **drain**:
+//! in-flight jobs run to completion and their replies are delivered before
+//! each connection's trailing `{"event":"shutdown",…}` summary line.
+//! The deterministic fault-injection hooks of [`super::faults`]
+//! (`DSMATCH_FAULTS`) fire at this module's seams — job start/finish,
+//! reply writes, the cache budget — so the chaos suite can provoke
+//! panics, stalls and corrupted replies at exact, reproducible points.
 //!
 //! ## Incremental re-solves
 //!
@@ -57,27 +89,31 @@
 //! whose cached matching survives the mutation certifies in one phase.
 //!
 //! [`Csr::patched`]: dsmatch_graph::Csr::patched
+//! [`CancelToken`]: dsmatch_graph::CancelToken
+//! [`Pipeline::solve_cancel`]: super::pipeline::Pipeline::solve_cancel
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dsmatch_exact::sprank;
-use dsmatch_graph::{BipartiteGraph, Matching, TripletMatrix, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Matching, TripletMatrix, NIL};
 use dsmatch_json::{parse_json, Json};
 
 use super::batch::WorkspacePool;
-use super::pipeline::{run_augment, Pipeline, Solver};
+use super::faults;
+use super::pipeline::{run_augment, Pipeline};
 use super::registry::AlgorithmKind;
 use super::report::{SolveReport, StageReport};
 use super::workspace::{observed_parallelism, Workspace};
 
 /// Error codes carried by `"ok":false` replies, stable for clients.
 mod code {
-    /// Malformed JSON, or a missing/ill-typed required field.
+    /// Malformed JSON, a missing/ill-typed required field, or an
+    /// over-long input line.
     pub const PARSE: &str = "parse";
     /// A pipeline/finisher spec error ([`SpecError`](crate::engine::SpecError) verbatim).
     pub const SPEC: &str = "spec";
@@ -87,8 +123,12 @@ mod code {
     pub const HANDLE: &str = "handle";
     /// Admission control: the in-flight queue is full.
     pub const QUEUE: &str = "queue";
+    /// The job's deadline expired; the solve was cancelled cooperatively.
+    pub const DEADLINE: &str = "deadline";
     /// A daemon-side failure (solver panic, invalid matching).
     pub const INTERNAL: &str = "internal";
+    /// Connection-level rejection: the daemon is at `max_clients`.
+    pub const BUSY: &str = "busy";
 }
 
 /// Configuration for one [`serve`] daemon.
@@ -96,17 +136,41 @@ mod code {
 pub struct ServeOptions {
     /// Worker threads in the job pool (`0` = the default size).
     pub threads: usize,
-    /// Admission bound: maximum jobs in flight (running + queued). Jobs
-    /// beyond it are rejected with a `"queue"` error reply.
+    /// Admission bound: maximum jobs in flight (running + queued) **per
+    /// connection**. Jobs beyond it are rejected with a `"queue"` error
+    /// reply.
     pub max_queue: usize,
     /// Byte budget for the instance cache; least-recently-used idle
     /// handles are evicted when the cached graphs + mates exceed it.
     pub cache_bytes: usize,
+    /// Maximum concurrent socket connections (`0` = unlimited). Excess
+    /// connections receive one `{"event":"error","code":"busy",…}` line
+    /// and are closed.
+    pub max_clients: usize,
+    /// Maximum accepted input-line length in bytes (`0` = unlimited).
+    /// Longer lines are discarded in bounded memory and answered with a
+    /// `"parse"` error reply.
+    pub max_line_bytes: usize,
+    /// Deadline applied to jobs that carry no `"deadline_ms"` of their
+    /// own, in milliseconds (`0` = none).
+    pub default_deadline_ms: u64,
+    /// External stop flag (the CLI points this at its SIGTERM latch).
+    /// When it flips true the daemon stops accepting, drains in-flight
+    /// jobs, and exits — same guarantees as a `shutdown` op.
+    pub stop: Option<&'static AtomicBool>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { threads: 0, max_queue: 64, cache_bytes: 256 << 20 }
+        ServeOptions {
+            threads: 0,
+            max_queue: 64,
+            cache_bytes: 256 << 20,
+            max_clients: 64,
+            max_line_bytes: 64 << 20,
+            default_deadline_ms: 0,
+            stop: None,
+        }
     }
 }
 
@@ -191,18 +255,18 @@ struct DeltaJob {
 enum Op {
     Solve(SolveJob),
     Delta(DeltaJob),
-    /// Liveness probe, answered inline by the reader.
+    /// Liveness probe, answered inline by the connection loop.
     Ping,
     /// Detach a cached handle (refused while it has jobs in flight).
     Drop {
         handle: String,
     },
     /// Occupy one worker for `ms` milliseconds — a scheduling/testing aid
-    /// that makes admission-control behaviour deterministic.
+    /// that makes admission-control and deadline behaviour deterministic.
     Sleep {
         ms: u64,
     },
-    /// Stop reading further jobs (and, on a socket, stop accepting).
+    /// Stop the daemon: drain in-flight jobs everywhere, then exit.
     Shutdown,
 }
 
@@ -210,6 +274,8 @@ enum Op {
 struct Job {
     id: Json,
     op: Op,
+    /// Per-job deadline override, milliseconds (`Some(0)` = already due).
+    deadline_ms: Option<u64>,
 }
 
 impl Job {
@@ -225,6 +291,26 @@ impl Job {
             Op::Delta(dj) => Some(&dj.handle),
             _ => None,
         }
+    }
+}
+
+/// Everything a worker needs beyond the job itself: the armed cancel
+/// token, the budget it encodes (for replies), and the daemon-global
+/// submission ordinal the fault plan keys on.
+#[derive(Clone, Debug)]
+struct JobCtx {
+    token: CancelToken,
+    deadline_ms: Option<u64>,
+    ord: u64,
+}
+
+impl JobCtx {
+    /// The structured error a deadline-cancelled job replies with.
+    fn deadline_error(&self) -> JobError {
+        (
+            code::DEADLINE,
+            format!("deadline of {} ms exceeded; job cancelled", self.deadline_ms.unwrap_or(0)),
+        )
     }
 }
 
@@ -326,6 +412,12 @@ fn parse_job(v: &Json) -> Result<Job, (Json, JobError)> {
             .as_u64()
             .ok_or_else(|| fail((code::PARSE, "\"seed\" must be a non-negative integer".into())))?,
     };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(d.as_u64().ok_or_else(|| {
+            fail((code::PARSE, "\"deadline_ms\" must be a non-negative integer".into()))
+        })?),
+    };
     let op = match op_name {
         "solve" => {
             let spec = required_str(v, "pipeline").map_err(fail)?;
@@ -395,7 +487,7 @@ fn parse_job(v: &Json) -> Result<Job, (Json, JobError)> {
             )))
         }
     };
-    Ok(Job { id, op })
+    Ok(Job { id, op, deadline_ms })
 }
 
 // ---------------------------------------------------------------------------
@@ -423,8 +515,11 @@ impl HandleState {
 struct HandleQueue {
     /// A job owning this handle is running (or scheduled to run).
     busy: bool,
-    /// Jobs waiting for the handle, in submission order.
-    pending: VecDeque<Job>,
+    /// Jobs waiting for the handle, in daemon-wide submission order. Each
+    /// carries the connection it belongs to: the per-handle FIFO spans
+    /// connections, so a successor may reply on a different stream than
+    /// its predecessor.
+    pending: VecDeque<(Job, JobCtx, Arc<Conn>)>,
 }
 
 /// One cached instance: per-handle job serialization + the cached
@@ -489,7 +584,7 @@ impl Cache {
 }
 
 // ---------------------------------------------------------------------------
-// Daemon
+// Daemon core and per-connection plumbing
 // ---------------------------------------------------------------------------
 
 /// State shared across every connection of one daemon process.
@@ -510,7 +605,7 @@ impl ServeCore {
             cache: Mutex::new(Cache {
                 entries: HashMap::new(),
                 clock: 0,
-                budget: opts.cache_bytes,
+                budget: faults::cache_budget(opts.cache_bytes),
             }),
             opts: opts.clone(),
             observed_workers,
@@ -521,25 +616,52 @@ impl ServeCore {
     fn cache_lock(&self) -> std::sync::MutexGuard<'_, Cache> {
         self.cache.lock().unwrap_or_else(|p| p.into_inner())
     }
+
+    /// True when the external stop flag (SIGTERM in the CLI) has flipped.
+    fn stop_requested(&self) -> bool {
+        self.opts.stop.is_some_and(|s| s.load(Ordering::SeqCst))
+    }
 }
 
-/// Per-connection reply stream + counters.
-struct Conn<'c, W: Write + Send> {
-    core: &'c ServeCore,
-    out: Mutex<W>,
-    out_broken: AtomicBool,
+/// What flows from the reader thread and the workers to the connection
+/// loop, which owns the output stream.
+enum Event {
+    /// One complete input line (newline stripped).
+    Line(String),
+    /// An input line exceeding `max_line_bytes` was discarded; the total
+    /// discarded length in bytes.
+    Oversize(usize),
+    /// Input exhausted (EOF, read error, or client gone).
+    Eof,
+    /// A rendered reply from a worker, ready to write verbatim.
+    Reply(String),
+}
+
+/// How deep the per-connection event channel is. Bounded so a client that
+/// stops reading exerts backpressure on its workers instead of buffering
+/// replies without limit.
+const EVENT_CHANNEL_DEPTH: usize = 256;
+
+/// How often the connection loop wakes to poll shutdown/stop flags while
+/// idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Per-connection shared context: workers render replies and push them
+/// through `tx`; only the connection loop ever touches the output stream.
+struct Conn {
+    core: Arc<ServeCore>,
+    tx: mpsc::SyncSender<Event>,
     in_flight: AtomicUsize,
     jobs: AtomicUsize,
     ok: AtomicUsize,
     errors: AtomicUsize,
 }
 
-impl<'c, W: Write + Send> Conn<'c, W> {
-    fn new(core: &'c ServeCore, output: W) -> Self {
+impl Conn {
+    fn new(core: Arc<ServeCore>, tx: mpsc::SyncSender<Event>) -> Self {
         Conn {
             core,
-            out: Mutex::new(output),
-            out_broken: AtomicBool::new(false),
+            tx,
             in_flight: AtomicUsize::new(0),
             jobs: AtomicUsize::new(0),
             ok: AtomicUsize::new(0),
@@ -547,30 +669,21 @@ impl<'c, W: Write + Send> Conn<'c, W> {
         }
     }
 
-    /// Write one protocol line; a failed write (client gone) latches
-    /// `out_broken` so the reader stops instead of solving into the void.
-    fn line(&self, doc: &Json) {
-        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
-        if writeln!(out, "{doc}").and_then(|()| out.flush()).is_err() {
-            self.out_broken.store(true, Ordering::Relaxed);
+    fn count(&self, ok: bool) {
+        if ok {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    fn reply(&self, doc: Json) {
-        match doc.get("ok").and_then(Json::as_bool) {
-            Some(true) => self.ok.fetch_add(1, Ordering::Relaxed),
-            _ => self.errors.fetch_add(1, Ordering::Relaxed),
-        };
-        self.line(&doc);
-    }
-
-    fn reply_error(&self, id: &Json, code: &'static str, message: &str) {
-        self.reply(Json::obj(vec![
-            ("id", id.clone()),
-            ("ok", Json::Bool(false)),
-            ("code", Json::from(code)),
-            ("error", Json::from(message)),
-        ]));
+    /// Worker-side reply path: count, render, enqueue for the connection
+    /// loop. Replies are enqueued *before* the in-flight slot is released
+    /// (see [`run_job`]), so a drain that observes zero in-flight jobs
+    /// knows every reply is already in the channel.
+    fn send_reply(&self, doc: Json) {
+        self.count(doc.get("ok").and_then(Json::as_bool) == Some(true));
+        let _ = self.tx.send(Event::Reply(doc.to_string()));
     }
 
     /// Reserve an in-flight slot, or refuse (admission control).
@@ -590,6 +703,45 @@ impl<'c, W: Write + Send> Conn<'c, W> {
             shutdown,
         }
     }
+}
+
+/// The connection loop's exclusively-owned output stream. A failed write
+/// (client gone) latches `broken`: later writes become no-ops while the
+/// drain machinery keeps handle queues and counters consistent.
+struct LineWriter<W: Write> {
+    out: W,
+    broken: bool,
+}
+
+impl<W: Write> LineWriter<W> {
+    /// Write a framing line (`{"event":…}`) — never fault-corrupted.
+    fn event(&mut self, doc: &Json) {
+        self.write_raw(doc.to_string());
+    }
+
+    /// Write a job reply line, applying any reply-corruption fault.
+    fn reply(&mut self, mut text: String) {
+        faults::corrupt_reply(&mut text);
+        self.write_raw(text);
+    }
+
+    fn write_raw(&mut self, text: String) {
+        if self.broken {
+            return;
+        }
+        if writeln!(self.out, "{text}").and_then(|()| self.out.flush()).is_err() {
+            self.broken = true;
+        }
+    }
+}
+
+fn error_doc(id: &Json, code: &'static str, message: &str) -> Json {
+    Json::obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("code", Json::from(code)),
+        ("error", Json::from(message)),
+    ])
 }
 
 fn mates_json(m: &Matching) -> Json {
@@ -636,7 +788,7 @@ fn build_inline(
 // Job execution (on pool workers)
 // ---------------------------------------------------------------------------
 
-fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<Json, JobError> {
+fn execute_solve(core: &ServeCore, job: &SolveJob, ctx: &JobCtx) -> Result<Json, JobError> {
     let graph: Arc<BipartiteGraph> = match &job.instance {
         InstanceRef::Gen(spec) => Arc::new(parse_gen_spec(spec).map_err(|e| (code::INSTANCE, e))?),
         InstanceRef::Inline { nrows, ncols, edges } => {
@@ -644,7 +796,7 @@ fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<
         }
         InstanceRef::Handle(h) => {
             let entry =
-                conn.core.cache_lock().entries.get(h).cloned().ok_or_else(|| {
+                core.cache_lock().entries.get(h).cloned().ok_or_else(|| {
                     (code::HANDLE, format!("no instance cached under handle {h:?}"))
                 })?;
             let state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
@@ -654,10 +806,14 @@ fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<
         }
     };
 
-    let mut report = conn
-        .core
-        .pool
-        .with_workspace(|ws| job.pipeline.clone().with_seed(job.seed).solve(&graph, ws));
+    let solved = core.pool.with_workspace(|ws| {
+        job.pipeline.clone().with_seed(job.seed).solve_cancel(&graph, ws, &ctx.token)
+    });
+    let mut report = match solved {
+        Ok(report) => report,
+        Err(_) => return Err(ctx.deadline_error()),
+    };
+    report.deadline_ms = ctx.deadline_ms;
     report
         .matching
         .verify(&graph)
@@ -667,14 +823,14 @@ fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<
     }
 
     if let Some(handle) = &job.store {
-        let entry = conn.core.cache_lock().entry_for(handle);
+        let entry = core.cache_lock().entry_for(handle);
         {
             let mut state = entry.state.lock().unwrap_or_else(|p| p.into_inner());
             state.graph = Some(Arc::clone(&graph));
             state.mates = Some(report.matching.clone());
             entry.bytes.store(state.approx_bytes(), Ordering::Relaxed);
         }
-        conn.core.cache_lock().evict_to_budget(handle);
+        core.cache_lock().evict_to_budget(handle);
     }
 
     let mut pairs = vec![
@@ -693,9 +849,10 @@ fn execute_solve<W: Write + Send>(conn: &Conn<'_, W>, job: &SolveJob) -> Result<
     Ok(Json::Obj(pairs))
 }
 
-fn execute_delta<W: Write + Send>(
-    conn: &Conn<'_, W>,
+fn execute_delta(
+    core: &ServeCore,
     job: &DeltaJob,
+    ctx: &JobCtx,
     entry: &Arc<HandleEntry>,
 ) -> Result<Json, JobError> {
     let (graph, cached_mates) = {
@@ -740,15 +897,22 @@ fn execute_delta<W: Write + Send>(
 
     let t0 = Instant::now();
     let mutated_ref = &mutated;
-    let (matching, counters) = conn.core.pool.with_workspace(|ws| {
+    let token = &ctx.token;
+    let finished = core.pool.with_workspace(|ws| {
         let slot_pool = ws.pool().cloned();
-        let run = move |ws: &mut Workspace| run_augment(job.finisher, mutated_ref, initial, ws);
+        let run =
+            move |ws: &mut Workspace| run_augment(job.finisher, mutated_ref, initial, ws, token);
         match slot_pool {
             Some(p) => p.install(|| run(ws)),
             None => run(ws),
         }
     });
     let seconds = t0.elapsed().as_secs_f64();
+    // On cancellation the cached handle state is left exactly as it was:
+    // the delta never happened, and the workspace stays reusable.
+    let Ok((matching, counters)) = finished else {
+        return Err(ctx.deadline_error());
+    };
     matching
         .verify(&mutated)
         .map_err(|e| (code::INTERNAL, format!("produced an invalid matching: {e}")))?;
@@ -765,6 +929,8 @@ fn execute_delta<W: Write + Send>(
         scaling_iterations: None,
         scaling_error: None,
         quality: None,
+        cancelled: false,
+        deadline_ms: ctx.deadline_ms,
         matching,
     };
     if job.quality {
@@ -778,7 +944,7 @@ fn execute_delta<W: Write + Send>(
         entry.bytes.store(state.approx_bytes(), Ordering::Relaxed);
     }
     {
-        let mut cache = conn.core.cache_lock();
+        let mut cache = core.cache_lock();
         cache.touch(entry);
         cache.evict_to_budget(&job.handle);
     }
@@ -798,19 +964,47 @@ fn execute_delta<W: Write + Send>(
     Ok(Json::Obj(pairs))
 }
 
-fn execute<W: Write + Send>(
-    conn: &Conn<'_, W>,
+fn execute(
+    core: &ServeCore,
     job: &Job,
+    ctx: &JobCtx,
     entry: Option<&Arc<HandleEntry>>,
 ) -> Result<Json, JobError> {
+    // A deadline that expired while the job sat in a queue cancels it
+    // before any work starts — even for pipelines whose stages have no
+    // cooperative checkpoints of their own.
+    if ctx.token.is_cancelled() {
+        return Err(ctx.deadline_error());
+    }
     match &job.op {
-        Op::Solve(sj) => execute_solve(conn, sj),
+        Op::Solve(sj) => execute_solve(core, sj, ctx),
         Op::Delta(dj) => {
-            let entry = entry.expect("delta jobs are always scheduled with their handle entry");
-            execute_delta(conn, dj, entry)
+            // Defensive: the scheduler always pairs a delta with its
+            // handle entry; if that invariant ever breaks, answer with a
+            // structured internal error instead of poisoning a worker.
+            let Some(entry) = entry else {
+                return Err((
+                    code::INTERNAL,
+                    "delta job was scheduled without its handle entry".to_string(),
+                ));
+            };
+            execute_delta(core, dj, ctx, entry)
         }
         Op::Sleep { ms } => {
-            std::thread::sleep(std::time::Duration::from_millis((*ms).min(60_000)));
+            let total = Duration::from_millis((*ms).min(60_000));
+            let t0 = Instant::now();
+            // Chunked so a deadline interrupts the nap promptly — this is
+            // what makes deadline tests cheap and deterministic.
+            loop {
+                let elapsed = t0.elapsed();
+                if elapsed >= total {
+                    break;
+                }
+                if ctx.token.is_cancelled() {
+                    return Err(ctx.deadline_error());
+                }
+                std::thread::sleep((total - elapsed).min(Duration::from_millis(5)));
+            }
             Ok(Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("op", Json::from("sleep")),
@@ -818,19 +1012,26 @@ fn execute<W: Write + Send>(
             ]))
         }
         // Inline ops never reach the workers.
-        Op::Ping | Op::Drop { .. } | Op::Shutdown => unreachable!("handled by the reader"),
+        Op::Ping | Op::Drop { .. } | Op::Shutdown => unreachable!("handled inline"),
     }
 }
 
-/// Run one scheduled job on a worker: execute (panic-safe), reply, release
-/// the admission slot, then start the handle's next pending job, if any.
-fn run_job<'s, W: Write + Send>(
-    conn: &'s Conn<'s, W>,
+/// Run one scheduled job on a worker: execute (panic-safe), release the
+/// handle and start its next pending job, then enqueue the reply and
+/// release the admission slot — in that order (see [`Conn::send_reply`]).
+fn run_job<'s>(
+    conn: Arc<Conn>,
     scope: &rayon::Scope<'s>,
     job: Job,
+    ctx: JobCtx,
     entry: Option<Arc<HandleEntry>>,
 ) {
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(conn, &job, entry.as_ref())));
+    faults::stall_if_due("start", ctx.ord);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        faults::panic_if_due(ctx.ord);
+        execute(&conn.core, &job, &ctx, entry.as_ref())
+    }));
+    faults::stall_if_due("finish", ctx.ord);
     let reply = match outcome {
         Ok(Ok(body)) => {
             let Json::Obj(mut pairs) = body else { unreachable!("replies are objects") };
@@ -838,23 +1039,19 @@ fn run_job<'s, W: Write + Send>(
             Json::Obj(pairs)
         }
         Ok(Err((code, message))) => {
-            let mut doc = Json::obj(vec![
-                ("id", job.id.clone()),
-                ("ok", Json::Bool(false)),
-                ("code", Json::from(code)),
-                ("error", Json::from(message)),
-            ]);
-            if let (Json::Obj(pairs), Some(h)) = (&mut doc, job.primary_handle()) {
-                pairs.push(("handle".to_string(), Json::from(h)));
+            let mut doc = error_doc(&job.id, code, &message);
+            if let Json::Obj(pairs) = &mut doc {
+                if code == code::DEADLINE {
+                    pairs.push(("cancelled".to_string(), Json::Bool(true)));
+                    pairs.push(("deadline_ms".to_string(), Json::opt(ctx.deadline_ms)));
+                }
+                if let Some(h) = job.primary_handle() {
+                    pairs.push(("handle".to_string(), Json::from(h)));
+                }
             }
             doc
         }
-        Err(payload) => Json::obj(vec![
-            ("id", job.id.clone()),
-            ("ok", Json::Bool(false)),
-            ("code", Json::from(code::INTERNAL)),
-            ("error", Json::from(panic_message(payload))),
-        ]),
+        Err(payload) => error_doc(&job.id, code::INTERNAL, &panic_message(payload)),
     };
     // Release the handle (and start its next pending job) *before* the
     // reply goes out: a client that reacts to the reply instantly — e.g.
@@ -863,44 +1060,61 @@ fn run_job<'s, W: Write + Send>(
         let next = {
             let mut q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
             match q.pending.pop_front() {
-                Some(job) => Some(job), // stays busy
+                Some(next) => Some(next), // stays busy
                 None => {
                     q.busy = false;
                     None
                 }
             }
         };
-        if let Some(job) = next {
-            scope.spawn(move |s| run_job(conn, s, job, Some(entry)));
+        if let Some((job, ctx, owner)) = next {
+            // The successor may belong to a different connection; it joins
+            // whichever scope is current — its owner's drain tracks it
+            // through the owner's in-flight counter, not scope membership.
+            scope.spawn(move |s| run_job(owner, s, job, ctx, Some(entry)));
         }
     }
+    conn.send_reply(reply);
     conn.in_flight.fetch_sub(1, Ordering::SeqCst);
-    conn.reply(reply);
 }
 
 /// Admit + schedule one worker-bound job: direct spawn when it touches no
-/// handle, per-handle FIFO when it does.
-fn schedule<'s, W: Write + Send>(conn: &'s Conn<'s, W>, scope: &rayon::Scope<'s>, job: Job) {
+/// handle, per-handle FIFO when it does. The job's deadline is armed here,
+/// at submission — queue wait counts against the budget.
+fn schedule<'s, W: Write>(
+    conn: &Arc<Conn>,
+    scope: &rayon::Scope<'s>,
+    out: &mut LineWriter<W>,
+    job: Job,
+) {
     if !conn.admit() {
-        conn.reply_error(
-            &job.id,
-            code::QUEUE,
-            &format!(
-                "queue full: {} jobs in flight (max_queue {})",
-                conn.in_flight.load(Ordering::SeqCst),
-                conn.core.opts.max_queue
-            ),
+        let message = format!(
+            "queue full: {} jobs in flight (max_queue {})",
+            conn.in_flight.load(Ordering::SeqCst),
+            conn.core.opts.max_queue
         );
+        conn.count(false);
+        out.reply(error_doc(&job.id, code::QUEUE, &message).to_string());
         return;
     }
+    let defaulted = conn.core.opts.default_deadline_ms;
+    let deadline_ms = job.deadline_ms.or((defaulted > 0).then_some(defaulted));
+    let token = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::unbounded(),
+    };
+    let ctx = JobCtx { token, deadline_ms, ord: faults::next_job() };
     let entry = job.primary_handle().map(|h| conn.core.cache_lock().entry_for(h));
     match entry {
-        None => scope.spawn(move |s| run_job(conn, s, job, None)),
+        None => {
+            let owner = Arc::clone(conn);
+            scope.spawn(move |s| run_job(owner, s, job, ctx, None));
+        }
         Some(entry) => {
             let run_now = {
                 let mut q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
                 if q.busy {
-                    q.pending.push_back(job.clone());
+                    q.pending.push_back((job.clone(), ctx.clone(), Arc::clone(conn)));
                     false
                 } else {
                     q.busy = true;
@@ -908,121 +1122,295 @@ fn schedule<'s, W: Write + Send>(conn: &'s Conn<'s, W>, scope: &rayon::Scope<'s>
                 }
             };
             if run_now {
-                scope.spawn(move |s| run_job(conn, s, job, Some(entry)));
+                let owner = Arc::clone(conn);
+                scope.spawn(move |s| run_job(owner, s, job, ctx, Some(entry)));
             }
         }
     }
 }
 
-/// The reader loop: runs on the submitting thread while workers solve.
-/// Returns true when the session ended on a `shutdown` op.
-fn read_loop<'s, R: BufRead, W: Write + Send>(
-    conn: &'s Conn<'s, W>,
-    input: &mut R,
+/// What processing one input line decided.
+enum LineOutcome {
+    Continue,
+    Shutdown,
+}
+
+fn handle_line<'s, W: Write>(
+    conn: &Arc<Conn>,
     scope: &rayon::Scope<'s>,
-) -> bool {
-    let mut line = String::new();
-    loop {
-        if conn.out_broken.load(Ordering::Relaxed) {
-            return false;
+    out: &mut LineWriter<W>,
+    text: &str,
+) -> LineOutcome {
+    let text = text.trim();
+    if text.is_empty() {
+        return LineOutcome::Continue;
+    }
+    conn.jobs.fetch_add(1, Ordering::Relaxed);
+    let doc = match parse_json(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            conn.count(false);
+            out.reply(
+                error_doc(&Json::Null, code::PARSE, &format!("malformed job line: {e}"))
+                    .to_string(),
+            );
+            return LineOutcome::Continue;
         }
-        line.clear();
-        match input.read_line(&mut line) {
-            Ok(0) | Err(_) => return false,
-            Ok(_) => {}
+    };
+    let job = match parse_job(&doc) {
+        Ok(job) => job,
+        Err((id, (code, message))) => {
+            conn.count(false);
+            out.reply(error_doc(&id, code, &message).to_string());
+            return LineOutcome::Continue;
         }
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        conn.jobs.fetch_add(1, Ordering::Relaxed);
-        let doc = match parse_json(text) {
-            Ok(doc) => doc,
-            Err(e) => {
-                conn.reply_error(&Json::Null, code::PARSE, &format!("malformed job line: {e}"));
-                continue;
-            }
-        };
-        let job = match parse_job(&doc) {
-            Ok(job) => job,
-            Err((id, (code, message))) => {
-                conn.reply_error(&id, code, &message);
-                continue;
-            }
-        };
-        match &job.op {
-            Op::Ping => {
-                conn.reply(Json::obj(vec![
+    };
+    match &job.op {
+        Op::Ping => {
+            conn.count(true);
+            out.reply(
+                Json::obj(vec![
                     ("id", job.id.clone()),
                     ("ok", Json::Bool(true)),
                     ("op", Json::from("ping")),
-                ]));
-            }
-            Op::Shutdown => {
-                conn.core.shutdown.store(true, Ordering::SeqCst);
-                conn.reply(Json::obj(vec![
+                ])
+                .to_string(),
+            );
+            LineOutcome::Continue
+        }
+        Op::Shutdown => {
+            conn.core.shutdown.store(true, Ordering::SeqCst);
+            conn.count(true);
+            out.reply(
+                Json::obj(vec![
                     ("id", job.id.clone()),
                     ("ok", Json::Bool(true)),
                     ("op", Json::from("shutdown")),
-                ]));
-                return true;
-            }
-            Op::Drop { handle } => {
-                let mut cache = conn.core.cache_lock();
-                let dropped = match cache.entries.get(handle) {
-                    None => Err(format!("no instance cached under handle {handle:?}")),
-                    Some(entry) => {
-                        let q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
-                        if q.busy || !q.pending.is_empty() {
-                            Err(format!("handle {handle:?} has jobs in flight; retry later"))
-                        } else {
-                            Ok(())
-                        }
+                ])
+                .to_string(),
+            );
+            LineOutcome::Shutdown
+        }
+        Op::Drop { handle } => {
+            let mut cache = conn.core.cache_lock();
+            let dropped = match cache.entries.get(handle) {
+                None => Err(format!("no instance cached under handle {handle:?}")),
+                Some(entry) => {
+                    let q = entry.queue.lock().unwrap_or_else(|p| p.into_inner());
+                    if q.busy || !q.pending.is_empty() {
+                        Err(format!("handle {handle:?} has jobs in flight; retry later"))
+                    } else {
+                        Ok(())
                     }
-                };
-                match dropped {
-                    Ok(()) => {
-                        cache.entries.remove(handle);
-                        drop(cache);
-                        conn.reply(Json::obj(vec![
+                }
+            };
+            match dropped {
+                Ok(()) => {
+                    cache.entries.remove(handle);
+                    drop(cache);
+                    conn.count(true);
+                    out.reply(
+                        Json::obj(vec![
                             ("id", job.id.clone()),
                             ("ok", Json::Bool(true)),
                             ("op", Json::from("drop")),
                             ("handle", Json::from(handle.as_str())),
-                        ]));
-                    }
-                    Err(message) => {
-                        drop(cache);
-                        conn.reply_error(&job.id, code::HANDLE, &message);
-                    }
+                        ])
+                        .to_string(),
+                    );
+                }
+                Err(message) => {
+                    drop(cache);
+                    conn.count(false);
+                    out.reply(error_doc(&job.id, code::HANDLE, &message).to_string());
                 }
             }
-            Op::Solve(_) | Op::Delta(_) | Op::Sleep { .. } => schedule(conn, scope, job),
+            LineOutcome::Continue
+        }
+        Op::Solve(_) | Op::Delta(_) | Op::Sleep { .. } => {
+            schedule(conn, scope, out, job);
+            LineOutcome::Continue
         }
     }
 }
 
-fn serve_stream<R: BufRead, W: Write + Send>(
-    core: &ServeCore,
-    mut input: R,
-    output: W,
-) -> ServeSummary {
-    let conn = Conn::new(core, output);
-    conn.line(&Json::obj(vec![
+/// The connection loop: runs on the connection's own thread, owns the
+/// output stream, and multiplexes three event sources — input lines from
+/// the detached reader thread, rendered replies from workers, and the
+/// daemon-wide shutdown/stop flags (polled). Returns true when this
+/// connection saw the `shutdown` op.
+///
+/// Drain protocol: once reading has ended (EOF) or a shutdown/stop is in
+/// effect, the loop keeps delivering replies until the connection's
+/// in-flight count reaches zero. Workers enqueue their reply *before*
+/// decrementing that count, so observing zero proves every reply is
+/// already in the channel; one final non-blocking sweep flushes them.
+fn conn_loop<'s, W: Write>(
+    conn: &Arc<Conn>,
+    scope: &rayon::Scope<'s>,
+    rx: &mpsc::Receiver<Event>,
+    out: &mut LineWriter<W>,
+) -> bool {
+    let mut done_reading = false;
+    let mut draining = false;
+    let mut client_shutdown = false;
+    loop {
+        if !draining && (conn.core.shutdown.load(Ordering::SeqCst) || conn.core.stop_requested()) {
+            // Another connection's shutdown op, or SIGTERM: stop taking
+            // new work, drain what's in flight, and spread the word.
+            conn.core.shutdown.store(true, Ordering::SeqCst);
+            draining = true;
+        }
+        if (done_reading || draining) && conn.in_flight.load(Ordering::SeqCst) == 0 {
+            while let Ok(event) = rx.try_recv() {
+                if let Event::Reply(text) = event {
+                    out.reply(text);
+                }
+            }
+            return client_shutdown;
+        }
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => done_reading = true,
+            Ok(Event::Eof) => done_reading = true,
+            Ok(Event::Reply(text)) => out.reply(text),
+            Ok(Event::Oversize(bytes)) if !draining => {
+                conn.jobs.fetch_add(1, Ordering::Relaxed);
+                conn.count(false);
+                let message = format!(
+                    "job line of {bytes} bytes exceeds the {}-byte line limit",
+                    conn.core.opts.max_line_bytes
+                );
+                out.reply(error_doc(&Json::Null, code::PARSE, &message).to_string());
+            }
+            Ok(Event::Line(text)) if !draining => {
+                if let LineOutcome::Shutdown = handle_line(conn, scope, out, &text) {
+                    draining = true;
+                    client_shutdown = true;
+                }
+            }
+            // While draining, further input is ignored (matching the
+            // pre-concurrency behaviour of stopping the read loop).
+            Ok(Event::Oversize(_)) | Ok(Event::Line(_)) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input framing
+// ---------------------------------------------------------------------------
+
+enum LineRead {
+    Eof,
+    Line(String),
+    Oversize(usize),
+}
+
+/// Read one newline-terminated line, holding at most `cap` bytes in
+/// memory. An over-cap line is consumed to its newline (counting, not
+/// storing) and reported as [`LineRead::Oversize`] with its total length.
+fn read_line_capped<R: BufRead>(input: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos <= cap {
+                buf.extend_from_slice(&chunk[..pos]);
+                input.consume(pos + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            let total = buf.len() + pos;
+            input.consume(pos + 1);
+            return Ok(LineRead::Oversize(total));
+        }
+        let n = chunk.len();
+        if buf.len() + n > cap {
+            // Over the cap with no newline yet: stop storing, keep
+            // counting until the line (or the stream) ends.
+            let mut total = buf.len() + n;
+            buf.clear();
+            input.consume(n);
+            loop {
+                let chunk = input.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(LineRead::Oversize(total));
+                }
+                if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                    total += pos;
+                    input.consume(pos + 1);
+                    return Ok(LineRead::Oversize(total));
+                }
+                total += chunk.len();
+                let n = chunk.len();
+                input.consume(n);
+            }
+        }
+        buf.extend_from_slice(chunk);
+        input.consume(n);
+    }
+}
+
+/// The detached reader thread: pumps capped lines into the connection
+/// loop's channel. Exits on EOF/read error (after signalling `Eof`) or
+/// when the connection loop has gone away.
+fn reader_loop<R: BufRead>(mut input: R, tx: mpsc::SyncSender<Event>, cap: usize) {
+    let cap = if cap == 0 { usize::MAX } else { cap };
+    loop {
+        let event = match read_line_capped(&mut input, cap) {
+            Ok(LineRead::Eof) | Err(_) => {
+                let _ = tx.send(Event::Eof);
+                return;
+            }
+            Ok(LineRead::Line(text)) => Event::Line(text),
+            Ok(LineRead::Oversize(bytes)) => Event::Oversize(bytes),
+        };
+        if tx.send(event).is_err() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session entry points
+// ---------------------------------------------------------------------------
+
+fn serve_stream<R, W>(core: &Arc<ServeCore>, input: R, output: W) -> ServeSummary
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let (tx, rx) = mpsc::sync_channel::<Event>(EVENT_CHANNEL_DEPTH);
+    let conn = Arc::new(Conn::new(Arc::clone(core), tx.clone()));
+    let mut out = LineWriter { out: output, broken: false };
+    out.event(&Json::obj(vec![
         ("event", Json::from("ready")),
         ("threads", Json::from(core.pool.threads())),
         ("observed_workers", Json::from(core.observed_workers)),
         ("max_queue", Json::from(core.opts.max_queue)),
         ("cache_bytes", Json::from(core.opts.cache_bytes)),
+        ("max_line_bytes", Json::from(core.opts.max_line_bytes)),
+        ("default_deadline_ms", Json::from(core.opts.default_deadline_ms)),
     ]));
-    // The reader runs the scope body; workers drain jobs concurrently and
-    // the scope joins every outstanding job before the summary line.
-    let shutdown = match core.pool.rayon_pool().cloned() {
-        Some(pool) => pool.scope(|s| read_loop(&conn, &mut input, s)),
-        None => rayon::scope(|s| read_loop(&conn, &mut input, s)),
+    {
+        let cap = core.opts.max_line_bytes;
+        std::thread::spawn(move || reader_loop(input, tx, cap));
+    }
+    // The connection loop runs as a scope body on this thread; workers
+    // drain jobs concurrently. The scope joins any task still running
+    // here (e.g. a cross-connection successor) after the drain.
+    let client_shutdown = match core.pool.rayon_pool().cloned() {
+        Some(pool) => pool.scope(|s| conn_loop(&conn, s, &rx, &mut out)),
+        None => rayon::scope(|s| conn_loop(&conn, s, &rx, &mut out)),
     };
-    let summary = conn.summary(shutdown);
-    conn.line(&Json::obj(vec![
+    let summary = conn.summary(client_shutdown);
+    out.event(&Json::obj(vec![
         ("event", Json::from("shutdown")),
         ("jobs", Json::from(summary.jobs)),
         ("ok", Json::from(summary.ok)),
@@ -1035,38 +1423,151 @@ fn serve_stream<R: BufRead, W: Write + Send>(
 /// `input` until EOF or a `shutdown` op, stream one reply line per job to
 /// `output` (completion order), framed by `{"event":"ready",…}` and
 /// `{"event":"shutdown",…}` lines. This is `dsmatch serve`'s stdin mode.
-pub fn serve<R: BufRead, W: Write + Send>(
-    input: R,
-    output: W,
-    opts: &ServeOptions,
-) -> ServeSummary {
-    serve_stream(&ServeCore::new(opts), input, output)
+pub fn serve<R, W>(input: R, output: W, opts: &ServeOptions) -> ServeSummary
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    serve_stream(&Arc::new(ServeCore::new(opts)), input, output)
 }
 
-/// Serve connections on a Unix domain socket, sequentially, sharing one
-/// instance cache and worker pool across connections, until a client
-/// sends `{"op":"shutdown"}`. The socket file is created fresh (a stale
-/// one is removed) and unlinked on exit.
+/// Serve connections on a Unix domain socket **concurrently** — one
+/// session per client, all sharing one instance cache and worker pool —
+/// until a client sends `{"op":"shutdown"}` or [`ServeOptions::stop`]
+/// flips. At most [`ServeOptions::max_clients`] sessions run at once;
+/// excess connections get one `{"event":"error","code":"busy",…}` line.
+/// On shutdown every live session drains its in-flight jobs before its
+/// summary line goes out, then the socket file is unlinked.
+///
+/// A stale socket file (no daemon answering on it) is unlinked and
+/// rebound; a *live* one produces an `AddrInUse` error naming the
+/// conflict instead of hijacking the path.
 #[cfg(unix)]
 pub fn serve_unix_socket(
     path: &std::path::Path,
     opts: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
+    use std::io::ErrorKind;
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) if e.kind() == ErrorKind::AddrInUse => {
+            match UnixStream::connect(path) {
+                // Someone answers: refuse to steal a live daemon's socket.
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::AddrInUse,
+                        format!(
+                            "socket {} is in use by a live daemon; \
+                             stop it first or choose another --socket path",
+                            path.display()
+                        ),
+                    ))
+                }
+                // Nobody home: a stale file from a crashed daemon.
+                Err(_) => {
+                    std::fs::remove_file(path)?;
+                    UnixListener::bind(path)?
+                }
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    listener.set_nonblocking(true)?;
+
+    let core = Arc::new(ServeCore::new(opts));
+    let active = Arc::new(AtomicUsize::new(0));
+    // Read-halves of live connections, so shutdown can unblock their
+    // parked reader threads (shutting down only the read side keeps the
+    // write side open for drained replies).
+    let registry: Arc<Mutex<HashMap<u64, UnixStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let totals = Mutex::new(ServeSummary::default());
+    let mut next_id: u64 = 0;
+    let mut fatal: Option<std::io::Error> = None;
+
+    std::thread::scope(|s| {
+        while !(core.shutdown.load(Ordering::SeqCst) || core.stop_requested()) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let limit = core.opts.max_clients;
+                    if limit > 0 && active.load(Ordering::SeqCst) >= limit {
+                        let doc = Json::obj(vec![
+                            ("event", Json::from("error")),
+                            ("code", Json::from(code::BUSY)),
+                            (
+                                "error",
+                                Json::from(format!("daemon at max_clients ({limit}); retry later")),
+                            ),
+                        ]);
+                        let mut stream = stream;
+                        let _ = writeln!(stream, "{doc}");
+                        continue; // dropped: connection closed
+                    }
+                    let (reader, registered) = match (stream.try_clone(), stream.try_clone()) {
+                        (Ok(r), Ok(g)) => (r, g),
+                        _ => {
+                            let mut stream = stream;
+                            let doc = Json::obj(vec![
+                                ("event", Json::from("error")),
+                                ("code", Json::from(code::INTERNAL)),
+                                ("error", Json::from("failed to clone the connection stream")),
+                            ]);
+                            let _ = writeln!(stream, "{doc}");
+                            continue;
+                        }
+                    };
+                    let id = next_id;
+                    next_id += 1;
+                    active.fetch_add(1, Ordering::SeqCst);
+                    registry.lock().unwrap_or_else(|p| p.into_inner()).insert(id, registered);
+                    let core = Arc::clone(&core);
+                    let active = Arc::clone(&active);
+                    let registry = Arc::clone(&registry);
+                    let totals = &totals;
+                    s.spawn(move || {
+                        let summary = serve_stream(&core, std::io::BufReader::new(reader), stream);
+                        let mut total = totals.lock().unwrap_or_else(|p| p.into_inner());
+                        total.jobs += summary.jobs;
+                        total.ok += summary.ok;
+                        total.errors += summary.errors;
+                        total.shutdown |= summary.shutdown;
+                        registry.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        // Stopping (client shutdown op, SIGTERM, or a fatal accept
+        // error): make sure every session notices, and unblock reader
+        // threads parked on idle connections. Sessions then drain their
+        // in-flight jobs; the scope join below waits for all of them.
+        core.shutdown.store(true, Ordering::SeqCst);
+        let streams: Vec<UnixStream> = registry
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain()
+            .map(|(_, stream)| stream)
+            .collect();
+        for stream in streams {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    });
+
     let _ = std::fs::remove_file(path);
-    let listener = std::os::unix::net::UnixListener::bind(path)?;
-    let core = ServeCore::new(opts);
-    let mut total = ServeSummary::default();
-    while !core.shutdown.load(Ordering::SeqCst) {
-        let (stream, _addr) = listener.accept()?;
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        let summary = serve_stream(&core, reader, stream);
-        total.jobs += summary.jobs;
-        total.ok += summary.ok;
-        total.errors += summary.errors;
-        total.shutdown = summary.shutdown;
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(totals.into_inner().unwrap_or_else(|p| p.into_inner())),
     }
-    let _ = std::fs::remove_file(path);
-    Ok(total)
 }
 
 #[cfg(test)]
@@ -1162,5 +1663,82 @@ mod tests {
         let ids: Vec<&str> =
             lines[1..=2].iter().map(|l| l.get("id").unwrap().as_str().unwrap()).collect();
         assert!(ids.contains(&"s") && ids.contains(&"p"));
+    }
+
+    #[test]
+    fn deadline_cancels_sleep_and_daemon_keeps_serving() {
+        let input = concat!(
+            "{\"id\":\"slow\",\"op\":\"sleep\",\"ms\":5000,\"deadline_ms\":30}\n",
+            "{\"id\":\"p\",\"op\":\"ping\"}\n",
+        );
+        let t0 = Instant::now();
+        let (summary, lines) = run(input, &opts(2));
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "the 5 s sleep must be cut short by its 30 ms deadline"
+        );
+        assert_eq!(summary.ok, 1, "the ping still succeeds");
+        assert_eq!(summary.errors, 1);
+        let reply = lines[1..lines.len() - 1]
+            .iter()
+            .find(|l| l.get("id").and_then(Json::as_str) == Some("slow"))
+            .expect("a reply for the cancelled job");
+        assert_eq!(reply.get("code").unwrap().as_str(), Some("deadline"));
+        assert_eq!(reply.get("cancelled").unwrap().as_bool(), Some(true));
+        assert_eq!(reply.get("deadline_ms").unwrap().as_u64(), Some(30));
+    }
+
+    #[test]
+    fn default_deadline_applies_when_job_has_none() {
+        let input = "{\"id\":\"slow\",\"op\":\"sleep\",\"ms\":5000}\n";
+        let mut o = opts(1);
+        o.default_deadline_ms = 20;
+        let t0 = Instant::now();
+        let (summary, lines) = run(input, &o);
+        assert!(t0.elapsed() < Duration::from_secs(4));
+        assert_eq!(summary.errors, 1);
+        assert_eq!(lines[1].get("code").unwrap().as_str(), Some("deadline"));
+        assert_eq!(lines[1].get("deadline_ms").unwrap().as_u64(), Some(20));
+    }
+
+    #[test]
+    fn oversize_lines_get_parse_errors_not_crashes() {
+        let mut o = opts(1);
+        o.max_line_bytes = 64;
+        let long = format!("{{\"id\":\"big\",\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(200));
+        let input = format!("{long}\n{{\"id\":\"p\",\"op\":\"ping\"}}\n");
+        let (summary, lines) = run(&input, &o);
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.ok, 1, "the next job on the stream still works");
+        assert_eq!(lines[1].get("code").unwrap().as_str(), Some("parse"));
+        assert!(
+            lines[1].get("error").unwrap().as_str().unwrap().contains("line limit"),
+            "{}",
+            lines[1]
+        );
+        assert_eq!(lines[2].get("id").unwrap().as_str(), Some("p"));
+    }
+
+    #[test]
+    fn read_line_capped_frames_and_counts() {
+        let data = b"short\n0123456789abcdef-too-long\nnext\n";
+        let mut input = std::io::Cursor::new(&data[..]);
+        match read_line_capped(&mut input, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "short"),
+            _ => panic!("expected a line"),
+        }
+        match read_line_capped(&mut input, 10).unwrap() {
+            LineRead::Oversize(n) => assert_eq!(n, 25),
+            _ => panic!("expected oversize"),
+        }
+        match read_line_capped(&mut input, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "next"),
+            _ => panic!("the stream recovers cleanly after an oversize line"),
+        }
+        match read_line_capped(&mut input, 10).unwrap() {
+            LineRead::Eof => {}
+            _ => panic!("expected EOF"),
+        }
     }
 }

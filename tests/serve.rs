@@ -502,6 +502,230 @@ fn binary_handle_lifecycle_drop_and_eviction() {
     d.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Unix-socket helpers (shared by the transport + concurrency tests)
+// ---------------------------------------------------------------------------
+
+/// A fresh per-test socket path under the system temp dir.
+#[cfg(unix)]
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "dsmatch-{tag}-{}-{}.sock",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Connect to `path`, retrying while the daemon is still binding it.
+#[cfg(unix)]
+fn connect_socket(path: &std::path::Path) -> std::os::unix::net::UnixStream {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20))
+            }
+            Err(e) => panic!("socket {path:?} never came up: {e}"),
+        }
+    }
+}
+
+/// One client session on the socket daemon: a write half plus a line
+/// reader over a clone of the same stream.
+#[cfg(unix)]
+struct SocketClient {
+    write: std::os::unix::net::UnixStream,
+    lines: std::io::Lines<BufReader<std::os::unix::net::UnixStream>>,
+}
+
+#[cfg(unix)]
+impl SocketClient {
+    fn new(stream: std::os::unix::net::UnixStream) -> SocketClient {
+        let lines = BufReader::new(stream.try_clone().expect("cloning stream")).lines();
+        SocketClient { write: stream, lines }
+    }
+
+    /// Connect and consume the per-connection ready line.
+    fn ready(path: &std::path::Path) -> SocketClient {
+        let mut c = SocketClient::new(connect_socket(path));
+        let first = c.next();
+        assert!(first.contains("\"event\":\"ready\""), "first line: {first}");
+        c
+    }
+
+    fn next(&mut self) -> String {
+        self.lines.next().expect("socket closed").expect("reading socket")
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.write, "{line}").expect("writing to socket");
+    }
+
+    /// Send one job line and return its reply, asserting the reply's id.
+    fn round_trip(&mut self, job: &str, id: &str) -> String {
+        self.send(job);
+        let reply = self.next();
+        assert!(reply.contains(&format!("\"id\":{id:?}")), "job {job}: reply {reply}");
+        reply
+    }
+}
+
+/// Satellite pin: warm `delta` jobs racing on the SAME handle from
+/// concurrent client connections serialize per-handle FIFO — every reply
+/// is byte-identical to the one the same job id gets from a sequential
+/// single-connection run, and the daemon's cached state ends up intact.
+///
+/// Each client toggles its own below-diagonal edge of a triangular
+/// pattern, so the mutations commute and every intermediate pattern keeps
+/// the diagonal as its unique perfect matching: any interleaving that
+/// respects per-handle serialization must report the diagonal mates.
+#[cfg(unix)]
+#[test]
+fn concurrent_delta_clients_on_one_handle_match_sequential_byte_for_byte() {
+    let n = 48;
+    let base = triangular_edges(n);
+    let path = socket_path("delta-race");
+    let mut child = serve_cmd(&["--threads", "2", "--socket", path.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning socket daemon");
+
+    let seed_job = format!(
+        "{{\"id\":\"seed\",\"pipeline\":\"hk-par\",\"instance\":{},\"store\":\"h\",\"mates\":true}}",
+        inline_instance(n, n, &base)
+    );
+    // Job lines per client: toggle edge (20+k, 19+k) off and back on, twice.
+    let client_jobs = |k: usize| -> Vec<(String, String)> {
+        let (i, j) = (20 + k, 19 + k);
+        assert!(base.contains(&(i, j)), "toggled edge must exist in the base pattern");
+        (0..4)
+            .map(|r| {
+                let id = format!("c{k}-{r}");
+                let patch = if r % 2 == 0 {
+                    format!("\"remove\":[[{i},{j}]]")
+                } else {
+                    format!("\"add\":[[{i},{j}]]")
+                };
+                let job = format!(
+                    "{{\"id\":{id:?},\"op\":\"delta\",\"handle\":\"h\",{patch},\
+                     \"finisher\":\"hk-par\",\"mates\":true}}"
+                );
+                (id, job)
+            })
+            .collect()
+    };
+
+    let mut seeder = SocketClient::ready(&path);
+    let seeded = seeder.round_trip(&seed_job, "seed");
+    assert!(seeded.contains("\"ok\":true"), "{seeded}");
+
+    // Race: three connections hammer the handle concurrently.
+    let concurrent: Vec<(String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                let path = &path;
+                let jobs = client_jobs(k);
+                s.spawn(move || {
+                    let mut c = SocketClient::ready(path);
+                    jobs.into_iter()
+                        .map(|(id, job)| {
+                            let reply = c.round_trip(&job, &id);
+                            (id, reply)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // The cached pattern survived the race: a fresh solve on the handle
+    // still finds the diagonal, and the daemon still serves.
+    let check = seeder.round_trip(
+        "{\"id\":\"check\",\"pipeline\":\"hk\",\"instance\":{\"handle\":\"h\"},\"mates\":true}",
+        "check",
+    );
+    assert!(check.contains("\"ok\":true"), "{check}");
+    let bye = seeder.round_trip("{\"id\":\"bye\",\"op\":\"shutdown\"}", "bye");
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(child.wait().expect("waiting for daemon").success());
+
+    // Sequential reference: the same job lines down ONE connection of an
+    // in-process engine, in deterministic order.
+    let mut input = format!("{seed_job}\n");
+    for k in 0..3 {
+        for (_, job) in client_jobs(k) {
+            input.push_str(&job);
+            input.push('\n');
+        }
+    }
+    let sequential = run_serve(&input, &ServeOptions { threads: 2, ..ServeOptions::default() });
+
+    let expected: Vec<Option<usize>> = (0..n).map(Some).collect();
+    assert_eq!(concurrent.len(), 12, "one reply per racing delta job");
+    for (id, line) in &concurrent {
+        assert!(line.contains("\"ok\":true"), "job {id}: {line}");
+        assert!(line.contains("\"warm\":true"), "job {id} must run warm: {line}");
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("reply {line:?}: {e}"));
+        assert_eq!(rmate_of(&doc), expected, "job {id} mates");
+        assert_eq!(
+            rmate_of(&doc),
+            rmate_of(reply(&sequential, id)),
+            "job {id}: concurrent reply must be byte-identical to the sequential run"
+        );
+    }
+}
+
+/// Admission control on the socket transport: with `--max-clients 1` the
+/// second connection is turned away with one structured busy line, and
+/// the slot is reusable once the first client hangs up.
+#[cfg(unix)]
+#[test]
+fn max_clients_overflow_is_rejected_with_busy_and_slot_is_reclaimed() {
+    let path = socket_path("max-clients");
+    let mut child =
+        serve_cmd(&["--threads", "1", "--max-clients", "1", "--socket", path.to_str().unwrap()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning socket daemon");
+
+    let mut first = SocketClient::ready(&path);
+    let pong = first.round_trip("{\"id\":\"p\",\"op\":\"ping\"}", "p");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    // Second concurrent connection: one busy line, then EOF.
+    let mut second = SocketClient::new(connect_socket(&path));
+    let line = second.next();
+    assert!(line.contains("\"code\":\"busy\""), "rejection line: {line}");
+    assert!(line.contains("max_clients"), "the error names the limit: {line}");
+    assert!(second.lines.next().is_none(), "rejected connections are closed");
+
+    // Hang up the occupant; the daemon reclaims the slot (the handler
+    // thread exits asynchronously, so admission may lag a beat).
+    drop(first);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut third = loop {
+        let mut c = SocketClient::new(connect_socket(&path));
+        let first_line = c.next();
+        if first_line.contains("\"event\":\"ready\"") {
+            break c;
+        }
+        assert!(first_line.contains("\"code\":\"busy\""), "unexpected line: {first_line}");
+        assert!(std::time::Instant::now() < deadline, "slot never reclaimed");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let bye = third.round_trip("{\"id\":\"bye\",\"op\":\"shutdown\"}", "bye");
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(child.wait().expect("waiting for daemon").success());
+}
+
 /// The Unix-socket transport: same protocol, daemon shared across the
 /// connection, shutdown op ends the process.
 #[cfg(unix)]
