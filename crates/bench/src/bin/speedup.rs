@@ -27,10 +27,17 @@
 //!   deterministic phase count (measured once, untimed) — the work
 //!   measure behind `pf-graft`'s fewer-forest-rebuilds win, gated by
 //!   `trendcheck`;
+//! - `suitor_par` — the parallel suitor weighted matching on the
+//!   scaling-entry weights (grammar v2's `scale:sk:5,suitor-par`
+//!   workload), graph built once untimed so only matching work is timed;
 //! - `batch32` — 32 small instances solved through
 //!   [`Pipeline::solve_batch`] over a per-worker [`WorkspacePool`] of the
 //!   ladder's thread count: batch-level parallelism, one stealable task
-//!   per instance.
+//!   per instance;
+//! - `dm_block_batch` — a block-diagonal instance solved through the
+//!   `dm,scale:sk:5,two,pf` decomposition pipeline: fine blocks fan out
+//!   as stealable per-block jobs on the workspace's dm pool, sized to the
+//!   ladder's thread count.
 //!
 //! The report includes the machine's available parallelism so downstream
 //! tooling can judge whether the ladder oversubscribed the host (on a
@@ -45,13 +52,14 @@
 use dsmatch::engine::{
     select_finisher, AlgorithmKind, Json, Pipeline, Solver, Workspace, WorkspacePool,
 };
+use dsmatch::weighted::{suitor_parallel, WeightedGraph};
 use dsmatch_bench::{arg, write_json_file, Table};
 use dsmatch_core::{karp_sipser_mt_ws, two_sided_choices, KsMtScratch};
 use dsmatch_exact::{
     hopcroft_karp_par_ws, pothen_fan_graft_ws, pothen_fan_par_ws, push_relabel_from,
     AugmentWorkspace,
 };
-use dsmatch_graph::BipartiteGraph;
+use dsmatch_graph::{BipartiteGraph, TripletMatrix};
 use dsmatch_scale::{ruiz_into, sinkhorn_knopp, sinkhorn_knopp_into, ScalingConfig, ScalingResult};
 
 /// One timed kernel: a name, a closure run entirely inside the pool, and
@@ -118,6 +126,19 @@ fn main() {
     // Shared pre-computed inputs so each kernel times only its own work.
     let scaling = sinkhorn_knopp(&g, &ScalingConfig::iterations(5));
     let (rchoice, cchoice) = two_sided_choices(&g, &scaling, seed);
+
+    // The weighted view of the instance (scaling entries as edge weights,
+    // the engine's probability bridge), built once untimed so the
+    // `suitor_par` kernel times matching work only.
+    let mut weighted_edges: Vec<(usize, usize, f64)> = Vec::with_capacity(g.nnz());
+    for i in 0..g.nrows() {
+        for &j in g.row_adj(i) {
+            let w = scaling.entry(i, j as usize);
+            let w = if w.is_finite() && w > 0.0 { w } else { f64::MIN_POSITIVE };
+            weighted_edges.push((i, g.nrows() + j as usize, w));
+        }
+    }
+    let wg = WeightedGraph::from_weighted_edges(g.nrows() + g.ncols(), &weighted_edges);
 
     let ts = ladder(max_threads);
     let mut table = Table::new(
@@ -239,6 +260,13 @@ fn main() {
             phases: Some(pf_graft_phases),
         },
         Kernel {
+            name: "suitor_par",
+            run: Box::new(|| {
+                std::hint::black_box(suitor_parallel(&wg).cardinality());
+            }),
+            phases: None,
+        },
+        Kernel {
             name: "pr_finish",
             // `push_relabel_from` consumes its warm start; the O(n) clone
             // is timed but is noise next to the O(nnz)+ augmentation work.
@@ -291,6 +319,35 @@ fn main() {
         }));
     }
     record("batch32", &ts, &batch_seconds, None, &mut table, &mut kernel_docs);
+
+    // Decomposition fan-out: a block-diagonal instance whose fine blocks
+    // become stealable per-block jobs on the workspace's dm pool. Each
+    // thread count gets its own workspace (and so its own pool size); the
+    // stitched mates are byte-identical across the whole ladder, so the
+    // sweep times pure scheduling.
+    let dm_blocks = 16;
+    let dm_bn = (n / 64).max(64);
+    let mut dm_tm = TripletMatrix::new(dm_blocks * dm_bn, dm_blocks * dm_bn);
+    for b in 0..dm_blocks {
+        let sub = dsmatch::gen::erdos_renyi_square(dm_bn, deg, seed.wrapping_add(b as u64));
+        for i in 0..dm_bn {
+            for &j in sub.row_adj(i) {
+                dm_tm.push(b * dm_bn + i, b * dm_bn + j as usize);
+            }
+        }
+    }
+    let dm_g = BipartiteGraph::from_csr(dm_tm.into_csr());
+    let dm_pipeline: Pipeline = "dm,scale:sk:5,two,pf".parse().expect("valid spec");
+    let mut dm_seconds = Vec::with_capacity(ts.len());
+    for &t in &ts {
+        let mut ws = Workspace::with_threads(t);
+        dm_seconds.push(dsmatch_bench::time_stats(runs, warmup, || {
+            std::hint::black_box(
+                dm_pipeline.clone().with_seed(seed).solve(&dm_g, &mut ws).cardinality(),
+            );
+        }));
+    }
+    record("dm_block_batch", &ts, &dm_seconds, None, &mut table, &mut kernel_docs);
     table.print();
 
     let doc = Json::obj(vec![

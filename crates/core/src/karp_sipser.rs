@@ -22,7 +22,7 @@
 //! against (their parallel-KS citation [4] is inexact, which is the gap
 //! `KarpSipserMT` fills for the sampled subgraphs).
 
-use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, SplitMix64, VertexId};
 
 /// Configuration for [`karp_sipser`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -159,9 +159,15 @@ impl<'g, 'w> State<'g, 'w> {
         }
     }
 
-    /// Exhaust the degree-one rule.
-    fn drain(&mut self) {
+    /// Exhaust the degree-one rule, polling `token` every 256 pops so a
+    /// deadline lands mid-drain instead of after the full cascade.
+    fn drain(&mut self, token: &CancelToken) -> Result<(), Cancelled> {
+        let mut steps = 0usize;
         while let Some(v) = self.stack.pop() {
+            steps += 1;
+            if steps & 0xFF == 0 {
+                token.check()?;
+            }
             if self.is_matched(v) || self.degree(v) != 1 {
                 continue; // stale entry
             }
@@ -173,6 +179,7 @@ impl<'g, 'w> State<'g, 'w> {
             self.consume(i, j);
             self.degree_one_matches += 1;
         }
+        Ok(())
     }
 }
 
@@ -189,35 +196,57 @@ pub fn karp_sipser_ws(
     cfg: &KarpSipserConfig,
     ws: &mut KarpSipserScratch,
 ) -> KarpSipserStats {
+    karp_sipser_cancel_ws(g, cfg, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// Cancellable variant of [`karp_sipser_ws`]: the token is polled every 256
+/// degree-one pops and every 256 random draws, so a deadline or explicit
+/// cancel is observed mid-run even on one huge drain cascade. On
+/// [`Cancelled`] the scratch stays reusable (buffers are reset on entry).
+pub fn karp_sipser_cancel_ws(
+    g: &BipartiteGraph,
+    cfg: &KarpSipserConfig,
+    ws: &mut KarpSipserScratch,
+    token: &CancelToken,
+) -> Result<KarpSipserStats, Cancelled> {
     // Fill the Phase 2 edge pool first so `State` can borrow the rest.
     ws.pool.clear();
     ws.pool.extend(g.csr().iter_entries().map(|(i, j)| (i as VertexId, j as VertexId)));
     let mut pool = std::mem::take(&mut ws.pool);
-    let mut st = State::new(g, ws);
-    let mut rng = SplitMix64::new(cfg.seed);
+    let outcome = (|| {
+        let mut st = State::new(g, ws);
+        let mut rng = SplitMix64::new(cfg.seed);
 
-    // Phase 1: all forced decisions available initially (and transitively).
-    st.drain();
+        // Phase 1: all forced decisions available initially (transitively).
+        st.drain(token)?;
 
-    // Phase 2: uniformly random alive edges, re-draining after each match.
-    let mut random_matches = 0usize;
-    while !pool.is_empty() {
-        let k = rng.next_index(pool.len());
-        let (i, j) = pool.swap_remove(k);
-        if st.matching.is_row_matched(i as usize) || st.matching.is_col_matched(j as usize) {
-            continue; // dead edge
+        // Phase 2: uniformly random alive edges, re-draining after each
+        // match.
+        let mut random_matches = 0usize;
+        let mut draws = 0usize;
+        while !pool.is_empty() {
+            draws += 1;
+            if draws & 0xFF == 0 {
+                token.check()?;
+            }
+            let k = rng.next_index(pool.len());
+            let (i, j) = pool.swap_remove(k);
+            if st.matching.is_row_matched(i as usize) || st.matching.is_col_matched(j as usize) {
+                continue; // dead edge
+            }
+            st.consume(i, j);
+            random_matches += 1;
+            st.drain(token)?;
         }
-        st.consume(i, j);
-        random_matches += 1;
-        st.drain();
-    }
-    let stats = KarpSipserStats {
-        matching: st.matching,
-        degree_one_matches: st.degree_one_matches,
-        random_matches,
-    };
+        Ok(KarpSipserStats {
+            matching: st.matching,
+            degree_one_matches: st.degree_one_matches,
+            random_matches,
+        })
+    })();
     ws.pool = pool; // hand the (drained but allocated) pool back
-    stats
+    outcome
 }
 
 /// Convenience: run [`karp_sipser`] and return only the matching.

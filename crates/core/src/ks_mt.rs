@@ -24,7 +24,9 @@
 //! are skipped, which preserves matching validity and, on inputs satisfying
 //! the paper's assumptions, changes nothing.
 
-use dsmatch_graph::{BipartiteGraph, Matching, TripletMatrix, VertexId, NIL};
+use dsmatch_graph::{
+    BipartiteGraph, CancelToken, Cancelled, Matching, TripletMatrix, VertexId, NIL,
+};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -99,9 +101,24 @@ pub fn karp_sipser_mt_ws(
     cchoice: &[VertexId],
     ws: &mut KsMtScratch,
 ) -> Matching {
+    karp_sipser_mt_cancel_ws(rchoice, cchoice, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// Cancellable variant of [`karp_sipser_mt_ws`]: the token is polled between
+/// the flat parallel phases (initialization, Phase 1, Phase 2, the
+/// robustness sweep and extraction), the natural barriers of Algorithm 4.
+/// On [`Cancelled`] the scratch stays reusable (it is reset on entry).
+pub fn karp_sipser_mt_cancel_ws(
+    rchoice: &[VertexId],
+    cchoice: &[VertexId],
+    ws: &mut KsMtScratch,
+    token: &CancelToken,
+) -> Result<Matching, Cancelled> {
     let n_r = rchoice.len();
     let n_c = cchoice.len();
     let total = n_r + n_c;
+    token.check()?;
     ws.reset(total);
 
     // Unified vertex ids: rows 0..n_r, columns n_r..n_r+n_c. `choice` is
@@ -132,6 +149,8 @@ pub fn karp_sipser_mt_ws(
             }
         }
     });
+
+    token.check()?;
 
     // Phase 1: consume out-one vertices, following the at-most-one new
     // out-one chain (paper lines 10–23).
@@ -168,6 +187,8 @@ pub fn karp_sipser_mt_ws(
         }
     });
 
+    token.check()?;
+
     // Phase 2: remaining components are trivial vertices, 2-cliques or
     // cycles (Lemma 3); matching each column with its choice is maximum.
     // The CAS makes the sweep safe even on inputs violating the paper's
@@ -185,6 +206,8 @@ pub fn karp_sipser_mt_ws(
         }
     });
 
+    token.check()?;
+
     // Robustness sweep for degenerate inputs (NIL choices can leave an
     // unmatched row whose chosen column is still free; impossible under the
     // paper's assumptions, cheap to fix when it happens).
@@ -201,6 +224,8 @@ pub fn karp_sipser_mt_ws(
         }
     });
 
+    token.check()?;
+
     // Extract the two-sided mate arrays.
     let rmate: Vec<u32> = (0..n_r)
         .into_par_iter()
@@ -215,7 +240,7 @@ pub fn karp_sipser_mt_ws(
         .collect();
     let cmate: Vec<u32> =
         (n_r..total).into_par_iter().map(|u| mat[u].load(Ordering::Acquire)).collect();
-    Matching::from_mates(rmate, cmate)
+    Ok(Matching::from_mates(rmate, cmate))
 }
 
 /// Sequential reference: materialize the sampled subgraph and run the

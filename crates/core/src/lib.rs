@@ -41,11 +41,12 @@ mod workspace;
 pub use chain_stats::{ks_mt_chain_stats, ChainStats};
 pub use cheap::{cheap_random_edge, cheap_random_vertex};
 pub use karp_sipser::{
-    karp_sipser, karp_sipser_matching, karp_sipser_ws, KarpSipserConfig, KarpSipserScratch,
-    KarpSipserStats,
+    karp_sipser, karp_sipser_cancel_ws, karp_sipser_matching, karp_sipser_ws, KarpSipserConfig,
+    KarpSipserScratch, KarpSipserStats,
 };
 pub use ks_mt::{
-    choice_subgraph, karp_sipser_mt, karp_sipser_mt_seq, karp_sipser_mt_ws, KsMtScratch,
+    choice_subgraph, karp_sipser_mt, karp_sipser_mt_cancel_ws, karp_sipser_mt_seq,
+    karp_sipser_mt_ws, KsMtScratch,
 };
 pub use one_out_undirected::{one_out_choices, one_out_matching, one_out_undirected, OneOutConfig};
 pub use one_sided::{
@@ -54,8 +55,8 @@ pub use one_sided::{
 };
 pub use sample::{sample_neighbor, ChoiceSampler};
 pub use two_sided::{
-    two_sided_choices, two_sided_choices_into, two_sided_match, two_sided_match_seq,
-    two_sided_match_with_scaling, two_sided_match_ws, TwoSidedConfig,
+    two_sided_choices, two_sided_choices_into, two_sided_match, two_sided_match_cancel_ws,
+    two_sided_match_seq, two_sided_match_with_scaling, two_sided_match_ws, TwoSidedConfig,
 };
 pub use workspace::HeurWorkspace;
 

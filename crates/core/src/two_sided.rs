@@ -10,7 +10,7 @@
 //! experiments) puts the expected quality at `2(1 − ρ) ≈ 0.866` of the
 //! optimum for matrices with total support.
 
-use dsmatch_graph::{BipartiteGraph, Matching, SplitMix64, VertexId};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, SplitMix64, VertexId};
 use dsmatch_scale::{sinkhorn_knopp, ScalingConfig, ScalingResult};
 use rayon::prelude::*;
 
@@ -132,9 +132,24 @@ pub fn two_sided_match_ws(
     seed: u64,
     ws: &mut crate::HeurWorkspace,
 ) -> Matching {
+    two_sided_match_cancel_ws(g, scaling, seed, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// Cancellable variant of [`two_sided_match_ws`]: the token is polled before
+/// the sampling pass and between the parallel phases of the inner
+/// [`karp_sipser_mt_cancel_ws`](crate::karp_sipser_mt_cancel_ws).
+pub fn two_sided_match_cancel_ws(
+    g: &BipartiteGraph,
+    scaling: &ScalingResult,
+    seed: u64,
+    ws: &mut crate::HeurWorkspace,
+    token: &CancelToken,
+) -> Result<Matching, Cancelled> {
+    token.check()?;
     let crate::HeurWorkspace { rchoice, cchoice, ksmt, .. } = ws;
     two_sided_choices_into(g, scaling, seed, rchoice, cchoice);
-    crate::ks_mt::karp_sipser_mt_ws(rchoice, cchoice, ksmt)
+    crate::ks_mt::karp_sipser_mt_cancel_ws(rchoice, cchoice, ksmt, token)
 }
 
 /// Sequential reference: sequential scaling, sequential sampling (same

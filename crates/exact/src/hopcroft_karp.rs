@@ -11,7 +11,7 @@
 //! solver, and the `solver_jumpstart` example measures the phase/visit
 //! savings.
 
-use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, NIL};
 
 use crate::workspace::AugmentWorkspace;
 
@@ -169,6 +169,20 @@ pub fn hopcroft_karp_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, HopcroftKarpStats) {
+    hopcroft_karp_cancel_ws(g, initial, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// Cancellable variant of [`hopcroft_karp_ws`]: the token is polled once per
+/// BFS/DFS phase (there are `O(√n)` of them), so a deadline or explicit
+/// cancel is observed within one phase. On [`Cancelled`] the workspace stays
+/// reusable — a subsequent solve on it is byte-identical to a fresh one.
+pub fn hopcroft_karp_cancel_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+    token: &CancelToken,
+) -> Result<(Matching, HopcroftKarpStats), Cancelled> {
     crate::workspace::load_initial(g, initial, ws);
     ws.dist.clear();
     ws.dist.resize(g.nrows(), INF);
@@ -178,6 +192,7 @@ pub fn hopcroft_karp_ws(
 
     let mut hk = Hk { g, ws, stats: HopcroftKarpStats::default() };
     loop {
+        token.check()?;
         hk.stats.phases += 1;
         if !hk.bfs() {
             break;
@@ -190,7 +205,7 @@ pub fn hopcroft_karp_ws(
         }
     }
     let stats = hk.stats;
-    (Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats)
+    Ok((Matching::from_mates(ws.rmate.clone(), ws.cmate.clone()), stats))
 }
 
 #[cfg(test)]

@@ -28,13 +28,16 @@
 //! - [`brute_force_maximum`] — exponential oracle for property tests on
 //!   tiny graphs.
 //!
-//! The potentially long-running finishers (`hk-par`, `pf-par`, `pf-graft`,
-//! `pr`) also ship `*_cancel` variants ([`hopcroft_karp_par_cancel`],
-//! [`pothen_fan_par_cancel`], [`pothen_fan_graft_cancel`],
-//! [`push_relabel_cancel`]) that poll a
-//! [`CancelToken`](dsmatch_graph::CancelToken) at phase boundaries and bail
-//! out with `Cancelled`, leaving their workspaces reusable — the substrate
-//! for job deadlines in the serve daemon.
+//! The potentially long-running solvers also ship cancellable variants that
+//! poll a [`CancelToken`](dsmatch_graph::CancelToken) and bail out with
+//! `Cancelled`, leaving their workspaces reusable — the substrate for job
+//! deadlines in the serve daemon. The parallel finishers
+//! ([`hopcroft_karp_par_cancel`], [`pothen_fan_par_cancel`],
+//! [`pothen_fan_graft_cancel`], [`push_relabel_cancel`]) poll at phase/epoch
+//! boundaries; the sequential engines ([`hopcroft_karp_cancel_ws`],
+//! [`pothen_fan_cancel_ws`]) poll once per phase and every 256 DFS roots
+//! respectively, so even a single long sequential solve observes its
+//! deadline mid-run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,8 +57,12 @@ pub use graft::{
     pothen_fan_graft_cancel, pothen_fan_graft_ws, pothen_fan_par, pothen_fan_par_cancel,
     pothen_fan_par_ws, PothenFanParStats,
 };
-pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats};
-pub use pothen_fan::{pothen_fan, pothen_fan_from, pothen_fan_ws, PothenFanStats};
+pub use hopcroft_karp::{
+    hopcroft_karp, hopcroft_karp_cancel_ws, hopcroft_karp_from, hopcroft_karp_ws, HopcroftKarpStats,
+};
+pub use pothen_fan::{
+    pothen_fan, pothen_fan_cancel_ws, pothen_fan_from, pothen_fan_ws, PothenFanStats,
+};
 pub use push_relabel::{push_relabel, push_relabel_cancel, push_relabel_from, PushRelabelStats};
 pub use workspace::{AugmentWorkspace, FrontierChunk};
 

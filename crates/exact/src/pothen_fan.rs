@@ -9,7 +9,7 @@
 //! [24]) pair with cheap initial matchings, which is exactly how the
 //! `solver_jumpstart` example uses it.
 
-use dsmatch_graph::{BipartiteGraph, Matching, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, NIL};
 
 use crate::workspace::AugmentWorkspace;
 
@@ -49,6 +49,21 @@ pub fn pothen_fan_ws(
     initial: Option<&Matching>,
     ws: &mut AugmentWorkspace,
 ) -> (Matching, PothenFanStats) {
+    pothen_fan_cancel_ws(g, initial, ws, &CancelToken::unbounded())
+        .expect("unbounded token never cancels")
+}
+
+/// Cancellable variant of [`pothen_fan_ws`]: the token is polled every 256
+/// DFS roots, so a deadline or explicit cancel is observed after a bounded
+/// amount of search work rather than only before the solve starts. On
+/// [`Cancelled`] the workspace stays reusable — a subsequent solve on it is
+/// byte-identical to a fresh one.
+pub fn pothen_fan_cancel_ws(
+    g: &BipartiteGraph,
+    initial: Option<&Matching>,
+    ws: &mut AugmentWorkspace,
+    token: &CancelToken,
+) -> Result<(Matching, PothenFanStats), Cancelled> {
     crate::workspace::load_initial(g, initial, ws);
     let rmate = &mut ws.rmate;
     let cmate = &mut ws.cmate;
@@ -72,6 +87,9 @@ pub fn pothen_fan_ws(
     let entry_col = &mut ws.entry_col;
 
     for root in 0..n_r {
+        if root & 0xFF == 0 {
+            token.check()?;
+        }
         if rmate[root] != NIL || g.row_degree(root) == 0 {
             continue;
         }
@@ -136,7 +154,7 @@ pub fn pothen_fan_ws(
             stats.augmentations += 1;
         }
     }
-    (Matching::from_mates(rmate.clone(), cmate.clone()), stats)
+    Ok((Matching::from_mates(rmate.clone(), cmate.clone()), stats))
 }
 
 #[cfg(test)]

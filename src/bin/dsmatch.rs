@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]>
-//!         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]]
+//!         [--pipeline [dm,][scale[:sk|ruiz][:iters],]<workload>[,<exact-finisher>]]
 //!         [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par|pf-graft|auto]
 //!         [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T]
 //!         [--quality] [--json] [--output pairs.txt]
@@ -12,6 +12,13 @@
 //! `--pipeline` takes a full engine spec (e.g. `scale:sk:5,two,pf`);
 //! `--algo` plus `--iters` is the classic shorthand for the same thing
 //! (`--algo two --iters 5` ≡ `--pipeline scale:sk:5,two`).
+//!
+//! Grammar v2 workloads go beyond the cardinality registry: the weighted
+//! heuristics `greedy-w|path-grow|suitor|suitor-par` match on the scaling
+//! entries as edge weights (`scale:sk:5,suitor` reports a `weight`
+//! alongside cardinality), and a `dm,` prefix (`dm,two,pf`) runs the
+//! coarse+fine Dulmage–Mendelsohn decomposition first, solving each fine
+//! block independently with the inner pipeline.
 //!
 //! `--batch N` solves the instance `N` times with seeds `S, S+1, …`,
 //! reusing one engine [`Workspace`] so only the first solve allocates — the
@@ -90,7 +97,8 @@ fn geometric_mean(xs: &[f64]) -> f64 {
 fn print_usage() {
     eprintln!(
         "usage: dsmatch <matrix.mtx | gen:er:<n>:<avg_degree>[:<seed>]> \
-         [--pipeline [scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]] \
+         [--pipeline [dm,][scale[:sk|ruiz][:iters],]<workload>[,<exact-finisher>]] \
+         (workloads: any --algo name, or weighted greedy-w|path-grow|suitor|suitor-par) \
          [--algo one|two|ks|ksmt|one-out|cheap|cheap-vertex|hk|pf|pr|bfs|hk-par|pf-par|pf-graft|auto] \
          [--iters N] [--seed S] [--batch N] [--batch-par] [--threads T] \
          [--quality] [--json] [--output pairs.txt]\n\
@@ -407,12 +415,16 @@ fn main() -> ExitCode {
                 let phases = stage.phases.map_or(String::new(), |p| format!("  phases {p}"));
                 let sel =
                     stage.selected.as_deref().map_or(String::new(), |s| format!("  selected {s}"));
+                let sw = stage.weight.map_or(String::new(), |w| format!("  weight {w:.6}"));
                 println!(
-                    "  {:<12}: {:>10.3?}{card}{augs}{phases}{sel}",
+                    "  {:<12}: {:>10.3?}{card}{augs}{phases}{sel}{sw}",
                     stage.stage, stage.seconds
                 );
             }
             println!("cardinality   : {}", report.cardinality());
+            if let Some(w) = report.weight {
+                println!("weight        : {w:.6}");
+            }
             println!("time          : {:.3}s", report.total_seconds());
             if let (Some(opt), Some(q)) = (optimum, report.quality) {
                 println!("optimum       : {opt}");

@@ -9,6 +9,12 @@
 //! and [`Pipeline::solve_batch`] distributes the batch over the pool while
 //! preserving per-instance [`SolveReport`]s in submission order.
 //!
+//! The same pool shape backs two other fan-outs: the serve daemon runs
+//! each job on a slot workspace, and `dm,<pipeline>` decomposition solves
+//! distribute fine Dulmage–Mendelsohn blocks across a lazily-built
+//! per-workspace pool (`Workspace::dm_pool`) — in every case the pinned
+//! 1-thread slots keep results byte-identical to a sequential solve.
+//!
 //! Per-instance results are *identical* to a sequential 1-thread solve of
 //! the same `(instance, seed)` pair, under **any** rayon runtime: every
 //! slot workspace owns a pinned 1-thread pool, so each batch item's

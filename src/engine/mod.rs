@@ -8,9 +8,9 @@
 //!
 //! ```text
 //!            ┌────────────┐    ┌─────────────┐    ┌──────────────┐
-//!  graph ──▶ │   Scale    │ ─▶ │  Algorithm  │ ─▶ │   Augment    │ ─▶ SolveReport
-//!            │ (sk|ruiz,  │    │ one|two|ks| │    │ (hk|pf|pr|   │     · matching
-//!            │  optional) │    │ ksmt|…      │    │  bfs, opt.)  │     · per-stage times
+//!  graph ──▶ │   Scale    │ ─▶ │  Workload   │ ─▶ │   Augment    │ ─▶ SolveReport
+//!            │ (sk|ruiz,  │    │ one|two|ks| │    │ (hk|pf|pr|   │     · matching, weight
+//!            │  optional) │    │ suitor|…    │    │  bfs, opt.)  │     · per-stage times
 //!            └────────────┘    └─────────────┘    └──────────────┘     · scaling iters/error
 //! ```
 //!
@@ -19,8 +19,17 @@
 //!   variant (`one-out`), the multicore exact finishers
 //!   (`hk-par`/`pf-par`/`pf-graft`) and the statistics-driven `auto`
 //!   finisher ([`select_finisher`]);
-//! - [`Pipeline`] — a parsed `[scale[:sk|ruiz][:iters],]<algo>[,<exact>]`
-//!   spec, solvable via the [`Solver`] trait;
+//! - [`WeightedKind`] — the weighted workload registry
+//!   (`greedy-w`/`path-grow`/`suitor`/`suitor-par`): heuristics that
+//!   match on the scaling entries as edge weights (the paper's matching
+//!   probabilities) and report a `weight` quality axis;
+//! - [`Pipeline`] — a parsed grammar-v2 spec,
+//!   `dm,<pipeline>` or `[scale[:sk|ruiz][:iters],]<workload>[,<exact>]`,
+//!   solvable via the [`Solver`] trait; [`Workload`] is the typed middle
+//!   stage ([`StageKind`] classifies raw tokens), and a `dm,` prefix
+//!   solves every fine Dulmage–Mendelsohn block independently with the
+//!   inner pipeline — per-block jobs on a pool, byte-identical mates at
+//!   every pool size;
 //! - [`Workspace`] — reusable scratch buffers threaded through every
 //!   stage; repeated solves on same-shaped instances stop allocating
 //!   (batch/server mode);
@@ -67,11 +76,11 @@ mod workspace;
 pub use batch::WorkspacePool;
 pub use dsmatch_graph::{CancelToken, Cancelled};
 pub use dsmatch_json::Json;
-pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, DEFAULT_SCALE_ITERATIONS};
-pub use registry::{select_finisher, AlgorithmKind};
+pub use pipeline::{Pipeline, ScaleMethod, ScaleStage, Solver, Workload, DEFAULT_SCALE_ITERATIONS};
+pub use registry::{select_finisher, AlgorithmKind, WeightedKind};
 pub use report::{SolveReport, StageReport};
 #[cfg(unix)]
 pub use serve::serve_unix_socket;
 pub use serve::{parse_gen_spec, serve, ServeOptions, ServeSummary};
-pub use spec::SpecError;
+pub use spec::{SpecError, StageKind};
 pub use workspace::{observed_parallelism, Workspace};

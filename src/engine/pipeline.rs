@@ -1,21 +1,27 @@
-//! Composable solve pipelines: `scale → heuristic → augment`.
+//! Composable solve pipelines: `scale → workload → augment`, with
+//! decomposition-driven solves (`dm,<pipeline>`) as a recursive workload.
 
 use std::time::Instant;
 
 use dsmatch_core::{
-    cheap_random_edge, cheap_random_vertex, karp_sipser_ws, one_out_matching, one_sided_match_ws,
-    two_sided_choices_into, two_sided_match_ws, KarpSipserConfig,
+    cheap_random_edge, cheap_random_vertex, karp_sipser_cancel_ws, one_out_matching,
+    one_sided_match_ws, two_sided_choices_into, two_sided_match_cancel_ws, KarpSipserConfig,
 };
+use dsmatch_dm::{dulmage_mendelsohn, fine_decomposition};
 use dsmatch_exact::{
-    bfs_augment_from, hopcroft_karp_par_cancel, hopcroft_karp_ws, pothen_fan_graft_cancel,
-    pothen_fan_par_cancel, pothen_fan_ws, push_relabel_cancel,
+    bfs_augment_from, hopcroft_karp_cancel_ws, hopcroft_karp_par_cancel, pothen_fan_cancel_ws,
+    pothen_fan_graft_cancel, pothen_fan_par_cancel, push_relabel_cancel,
 };
-use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, NIL};
+use dsmatch_graph::{BipartiteGraph, CancelToken, Cancelled, Matching, TripletMatrix, NIL};
 use dsmatch_scale::{ruiz_cancel_into, sinkhorn_knopp_cancel_into, ScalingConfig};
+use dsmatch_weighted::{
+    greedy_weighted, matching_weight, path_growing, suitor, suitor_parallel, WeightedGraph,
+};
+use rayon::prelude::*;
 
-use super::registry::AlgorithmKind;
+use super::registry::{AlgorithmKind, WeightedKind};
 use super::report::{SolveReport, StageReport};
-use super::spec::SpecError;
+use super::spec::{SpecError, StageKind};
 use super::workspace::Workspace;
 
 /// A solver: anything that maps a graph (plus reusable workspace) to an
@@ -64,12 +70,55 @@ impl ScaleStage {
     }
 }
 
-/// A composed solve: optional scaling, one algorithm, optional exact
-/// augmentation finisher seeded with the algorithm's matching — the paper's
+/// The workload stage of a [`Pipeline`]: what actually computes a matching.
+///
+/// v1 specs only had cardinality algorithms in this slot; grammar v2 makes
+/// the stage **typed**, adding weighted heuristics (the scaled entries
+/// become edge weights) and decomposition-driven solves (`dm,<pipeline>`:
+/// coarse + fine Dulmage–Mendelsohn, fine blocks solved independently by
+/// the inner pipeline and stitched back through the block permutation).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// A cardinality algorithm from the [`AlgorithmKind`] registry — the
+    /// entire v1 grammar.
+    Cardinality(AlgorithmKind),
+    /// A weighted heuristic from the [`WeightedKind`] registry, matching
+    /// on the scaling entries `s_ij = d_r[i]·d_c[j]` as edge weights (the
+    /// paper's probability bridge: the doubly stochastic limit assigns
+    /// each entry its probability of being matched, so the weighted
+    /// heuristics chase exactly the edges scaling considers likely).
+    Weighted(WeightedKind),
+    /// A `dm,<pipeline>` decomposition solve: the inner pipeline runs on
+    /// every non-trivial fine block as an independent, stealable job.
+    Decompose(Box<Pipeline>),
+}
+
+impl Workload {
+    /// Whether this workload reads the workspace's scaling factors when no
+    /// explicit `scale` stage precedes it (weighted workloads always do —
+    /// without scaling they degrade to uniform weights; decomposition
+    /// defers the question to its inner pipeline per block).
+    pub fn uses_scaling(&self) -> bool {
+        match self {
+            Workload::Cardinality(a) => a.uses_scaling(),
+            Workload::Weighted(_) => true,
+            Workload::Decompose(_) => false,
+        }
+    }
+}
+
+/// A composed solve: optional scaling, one workload, optional exact
+/// augmentation finisher seeded with the workload's matching — the paper's
 /// full experimental protocol (§4) as one first-class object.
 ///
-/// Specs are parsed from the CLI grammar
-/// `[scale[:sk|ruiz][:iters],]<algorithm>[,<exact-finisher>]`:
+/// Specs are parsed from the CLI grammar v2 (see
+/// [`StageKind`](crate::engine::StageKind) for the typed-stage rules):
+///
+/// ```text
+/// <pipeline> ::= dm,<pipeline>
+///              | [scale[:sk|ruiz][:iters],]<workload>[,<exact-finisher>]
+/// <workload> ::= <algorithm> | greedy-w | path-grow | suitor | suitor-par
+/// ```
 ///
 /// ```
 /// use dsmatch::engine::{Pipeline, Solver, Workspace};
@@ -81,21 +130,29 @@ impl ScaleStage {
 /// assert_eq!(report.stages.len(), 3);
 /// // The Pothen–Fan finisher makes the composition exact.
 /// assert_eq!(report.cardinality(), dsmatch::exact::sprank(&g));
+///
+/// // v2: weighted workloads report a "weight" quality axis …
+/// let weighted: Pipeline = "scale:sk:5,suitor".parse().unwrap();
+/// assert!(weighted.solve(&g, &mut ws).weight.is_some());
+/// // … and dm,<pipeline> solves fine blocks independently.
+/// let dm: Pipeline = "dm,two,pf".parse().unwrap();
+/// assert_eq!(dm.solve(&g, &mut ws).cardinality(), dsmatch::exact::sprank(&g));
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Pipeline {
     /// Optional scaling stage. Without it, sampling heuristics draw
-    /// uniformly over adjacency lists (the paper's "0 iterations" rows).
+    /// uniformly over adjacency lists (the paper's "0 iterations" rows)
+    /// and weighted workloads see uniform weights.
     ///
     /// The stage runs (and is timed) whenever present, but only the
-    /// sampling algorithms ([`AlgorithmKind::uses_scaling`]) read its
+    /// sampling workloads ([`Workload::uses_scaling`]) read its
     /// factors — `scale:sk:5,ks` computes scaling that `ks` never
     /// consults, which is occasionally useful for measuring scaling cost
     /// in isolation but is otherwise pure overhead.
     pub scale: Option<ScaleStage>,
-    /// The algorithm stage.
-    pub algorithm: AlgorithmKind,
-    /// Optional exact finisher warm-started from the algorithm's matching.
+    /// The workload stage.
+    pub workload: Workload,
+    /// Optional exact finisher warm-started from the workload's matching.
     pub augment: Option<AlgorithmKind>,
     /// PRNG seed for the randomized stages.
     pub seed: u64,
@@ -108,7 +165,7 @@ pub const DEFAULT_SCALE_ITERATIONS: usize = 5;
 impl Pipeline {
     /// A single-algorithm pipeline with no scale or augment stage.
     pub fn bare(algorithm: AlgorithmKind) -> Self {
-        Self { scale: None, algorithm, augment: None, seed: 1 }
+        Self { scale: None, workload: Workload::Cardinality(algorithm), augment: None, seed: 1 }
     }
 
     /// The classic driver composition: `iters` Sinkhorn–Knopp iterations
@@ -119,7 +176,7 @@ impl Pipeline {
             method: ScaleMethod::SinkhornKnopp,
             config: ScalingConfig::iterations(iters),
         });
-        Self { scale, algorithm, augment: None, seed }
+        Self { scale, workload: Workload::Cardinality(algorithm), augment: None, seed }
     }
 
     /// Replace the seed (specs don't carry one).
@@ -130,11 +187,18 @@ impl Pipeline {
 
     /// Spec-grammar form of this pipeline (parses back to itself).
     pub fn spec(&self) -> String {
+        if let Workload::Decompose(inner) = &self.workload {
+            return format!("dm,{}", inner.spec());
+        }
         let mut parts = Vec::new();
         if let Some(s) = &self.scale {
             parts.push(s.label());
         }
-        parts.push(self.algorithm.name().to_string());
+        parts.push(match &self.workload {
+            Workload::Cardinality(a) => a.name().to_string(),
+            Workload::Weighted(w) => w.name().to_string(),
+            Workload::Decompose(_) => unreachable!("handled above"),
+        });
         if let Some(a) = &self.augment {
             parts.push(a.name().to_string());
         }
@@ -142,14 +206,65 @@ impl Pipeline {
     }
 }
 
+/// Parse a flat (non-`dm`) classified stage list:
+/// `[scale,]<workload>[,<finisher>]`. `spec` is the full original string
+/// for error messages.
+fn parse_flat(pairs: &[(&str, StageKind)], spec: &str) -> Result<Pipeline, SpecError> {
+    if pairs.iter().any(|(_, k)| matches!(k, StageKind::Decompose)) {
+        return Err(SpecError::MisplacedDecomposition { spec: spec.to_string() });
+    }
+    let (scale, rest) = match pairs {
+        [(_, StageKind::Scale(st)), rest @ ..] => (Some(*st), rest),
+        rest => (None, rest),
+    };
+    // A scale token past the first stage was never a workload name.
+    let as_workload = |&(token, kind): &(&str, StageKind)| match kind {
+        StageKind::Algorithm(a) => Ok(Workload::Cardinality(a)),
+        StageKind::Weighted(w) => Ok(Workload::Weighted(w)),
+        _ => Err(SpecError::UnknownAlgorithm { name: token.to_string() }),
+    };
+    let (workload, augment) = match rest {
+        [] => return Err(SpecError::MissingAlgorithm { spec: spec.to_string() }),
+        [w] => (as_workload(w)?, None),
+        [w, f] => {
+            let workload = as_workload(w)?;
+            let finisher = match *f {
+                (_, StageKind::Algorithm(a)) => a,
+                (_, StageKind::Weighted(k)) => {
+                    return Err(SpecError::WeightedAsFinisher { finisher: k });
+                }
+                (token, _) => return Err(SpecError::UnknownAlgorithm { name: token.to_string() }),
+            };
+            if let Workload::Weighted(k) = workload {
+                return Err(SpecError::WeightedWithFinisher { algorithm: k, finisher });
+            }
+            (workload, Some(finisher))
+        }
+        _ => return Err(SpecError::TooManyStages { spec: spec.to_string() }),
+    };
+    if let (Workload::Cardinality(algorithm), Some(finisher)) = (&workload, augment) {
+        if !finisher.is_exact() {
+            return Err(SpecError::NonExactFinisher { finisher });
+        }
+        if algorithm.is_exact() {
+            return Err(SpecError::RedundantFinisher { algorithm: *algorithm, finisher });
+        }
+    }
+    Ok(Pipeline { scale, workload, augment, seed: 1 })
+}
+
 impl std::str::FromStr for Pipeline {
     type Err = SpecError;
 
-    /// Parse `[scale[:sk|ruiz][:iters],]<algorithm>[,<exact-finisher>]`.
+    /// Parse the v2 grammar:
+    /// `dm,<pipeline>` or `[scale[:sk|ruiz][:iters],]<workload>[,<exact-finisher>]`.
     ///
-    /// Failures are typed ([`SpecError`]) so callers — the CLI, the
-    /// `dsmatch serve` protocol, tests — can branch on the variant while
-    /// `Display` carries the human-readable message:
+    /// Every token is classified through [`StageKind`] first, then
+    /// validated by type rather than position — which is what keeps every
+    /// v1 string parsing byte-identically while `suitor` and `dm,`
+    /// stages slot in. Failures are typed ([`SpecError`]) so callers — the
+    /// CLI, the `dsmatch serve` protocol, tests — can branch on the
+    /// variant while `Display` carries the human-readable message:
     ///
     /// ```
     /// use dsmatch::engine::{AlgorithmKind, Pipeline, SpecError};
@@ -166,57 +281,37 @@ impl std::str::FromStr for Pipeline {
     ///     "scale:1e2,two".parse::<Pipeline>().unwrap_err(),
     ///     SpecError::BadIters { .. },
     /// ));
+    /// assert!(matches!(
+    ///     "dm".parse::<Pipeline>().unwrap_err(),
+    ///     SpecError::EmptyDecomposition { .. },
+    /// ));
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut stages: Vec<&str> = s.split(',').map(str::trim).collect();
-        if stages.iter().any(|t| t.is_empty()) {
+        let tokens: Vec<&str> = s.split(',').map(str::trim).collect();
+        if tokens.iter().any(|t| t.is_empty()) {
             return Err(SpecError::EmptyStage { spec: s.to_string() });
         }
-        let scale = if stages[0] == "scale" || stages[0].starts_with("scale:") {
-            let mut method = ScaleMethod::SinkhornKnopp;
-            let mut iters = DEFAULT_SCALE_ITERATIONS;
-            for part in stages[0].split(':').skip(1) {
-                match part {
-                    "sk" => method = ScaleMethod::SinkhornKnopp,
-                    "ruiz" => method = ScaleMethod::Ruiz,
-                    // Numeric-looking tokens are iteration counts (and must
-                    // parse); anything else is a misspelled method name.
-                    other if other.starts_with(|c: char| c.is_ascii_digit()) => {
-                        iters = other.parse().map_err(|_| SpecError::BadIters {
-                            value: other.to_string(),
-                            spec: s.to_string(),
-                        })?;
-                    }
-                    other => {
-                        return Err(SpecError::UnknownScaleMethod {
-                            option: other.to_string(),
-                            spec: s.to_string(),
-                        });
-                    }
-                }
+        let pairs = tokens
+            .iter()
+            .map(|&t| StageKind::classify(t, s).map(|k| (t, k)))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some((_, StageKind::Decompose)) = pairs.first() {
+            let inner = &pairs[1..];
+            if inner.is_empty() {
+                return Err(SpecError::EmptyDecomposition { spec: s.to_string() });
             }
-            stages.remove(0);
-            Some(ScaleStage { method, config: ScalingConfig::iterations(iters) })
-        } else {
-            None
-        };
-        let (algorithm, augment) = match stages.as_slice() {
-            [] => return Err(SpecError::MissingAlgorithm { spec: s.to_string() }),
-            [algo] => (algo.parse::<AlgorithmKind>()?, None),
-            [algo, finisher] => {
-                (algo.parse::<AlgorithmKind>()?, Some(finisher.parse::<AlgorithmKind>()?))
+            if matches!(inner.first(), Some((_, StageKind::Decompose))) {
+                return Err(SpecError::NestedDecomposition { spec: s.to_string() });
             }
-            _ => return Err(SpecError::TooManyStages { spec: s.to_string() }),
-        };
-        if let Some(a) = augment {
-            if !a.is_exact() {
-                return Err(SpecError::NonExactFinisher { finisher: a });
-            }
-            if algorithm.is_exact() {
-                return Err(SpecError::RedundantFinisher { algorithm, finisher: a });
-            }
+            let inner = parse_flat(inner, s)?;
+            return Ok(Pipeline {
+                scale: None,
+                workload: Workload::Decompose(Box::new(inner)),
+                augment: None,
+                seed: 1,
+            });
         }
-        Ok(Pipeline { scale, algorithm, augment, seed: 1 })
+        parse_flat(&pairs, s)
     }
 }
 
@@ -253,12 +348,13 @@ fn run_algorithm(
             (one_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), heuristic)
         }
         AlgorithmKind::TwoSided | AlgorithmKind::KarpSipserMt => {
-            (two_sided_match_ws(g, &ws.scaling, seed, &mut ws.heur), heuristic)
+            (two_sided_match_cancel_ws(g, &ws.scaling, seed, &mut ws.heur, token)?, heuristic)
         }
         AlgorithmKind::OneOutUndirected => (one_out_bipartite(g, seed, ws), heuristic),
-        AlgorithmKind::KarpSipser => {
-            (karp_sipser_ws(g, &KarpSipserConfig { seed }, &mut ws.heur.ks).matching, heuristic)
-        }
+        AlgorithmKind::KarpSipser => (
+            karp_sipser_cancel_ws(g, &KarpSipserConfig { seed }, &mut ws.heur.ks, token)?.matching,
+            heuristic,
+        ),
         AlgorithmKind::CheapEdge => (cheap_random_edge(g, seed), heuristic),
         AlgorithmKind::CheapVertex => (cheap_random_vertex(g, seed), heuristic),
         AlgorithmKind::HopcroftKarp
@@ -277,8 +373,9 @@ fn run_algorithm(
 /// above, and the `serve` daemon's warm delta re-solves.
 ///
 /// The token reaches the phase/epoch loops of the cancellable finishers
-/// (`hk-par`, `pf-par`, `pf-graft`, `pr`); the short sequential engines
-/// (`hk`, `pf`, `bfs`) run to completion regardless.
+/// (`hk-par`, `pf-par`, `pf-graft`, `pr`) and the periodic polls inside
+/// the sequential engines (`hk`: once per phase; `pf`: every 256 DFS
+/// roots); only the one-shot `bfs` sweep runs to completion regardless.
 pub(crate) fn run_augment(
     algo: AlgorithmKind,
     g: &BipartiteGraph,
@@ -288,7 +385,7 @@ pub(crate) fn run_augment(
 ) -> Result<(Matching, StageCounters), Cancelled> {
     Ok(match algo {
         AlgorithmKind::HopcroftKarp => {
-            let (m, stats) = hopcroft_karp_ws(g, initial.as_ref(), &mut ws.augment);
+            let (m, stats) = hopcroft_karp_cancel_ws(g, initial.as_ref(), &mut ws.augment, token)?;
             (
                 m,
                 StageCounters {
@@ -299,7 +396,7 @@ pub(crate) fn run_augment(
             )
         }
         AlgorithmKind::PothenFan => {
-            let (m, stats) = pothen_fan_ws(g, initial.as_ref(), &mut ws.augment);
+            let (m, stats) = pothen_fan_cancel_ws(g, initial.as_ref(), &mut ws.augment, token)?;
             (
                 m,
                 StageCounters {
@@ -444,6 +541,10 @@ impl Pipeline {
         ws: &mut Workspace,
         token: &CancelToken,
     ) -> Result<SolveReport, Cancelled> {
+        if let Workload::Decompose(inner) = &self.workload {
+            return self.solve_decompose(g, inner, ws, token);
+        }
+
         let mut stages = Vec::with_capacity(3);
         let mut scaling_iterations = None;
         let mut scaling_error = None;
@@ -463,24 +564,40 @@ impl Pipeline {
                 augmentations: None,
                 phases: None,
                 selected: None,
+                weight: None,
             });
             scaling_iterations = Some(ws.scaling.iterations);
             scaling_error = Some(ws.scaling.error);
-        } else if self.algorithm.uses_scaling() {
+        } else if self.workload.uses_scaling() {
             // Uniform sampling: reset the factor buffers to the identity
             // (reusing their allocation) so the stage below can read them.
             ws.scaling.reset_identity(g);
         }
 
         let t0 = Instant::now();
-        let (matching, counters) = run_algorithm(self.algorithm, g, self.seed, ws, token)?;
+        let (matching, counters, weight) = match &self.workload {
+            Workload::Cardinality(algo) => {
+                let (m, counters) = run_algorithm(*algo, g, self.seed, ws, token)?;
+                (m, counters, None)
+            }
+            Workload::Weighted(kind) => {
+                let (m, weight) = run_weighted(*kind, g, ws, token)?;
+                (m, StageCounters::default(), Some(weight))
+            }
+            Workload::Decompose(_) => unreachable!("handled above"),
+        };
         stages.push(StageReport {
-            stage: self.algorithm.name().to_string(),
+            stage: match &self.workload {
+                Workload::Cardinality(a) => a.name().to_string(),
+                Workload::Weighted(w) => w.name().to_string(),
+                Workload::Decompose(_) => unreachable!("handled above"),
+            },
             seconds: t0.elapsed().as_secs_f64(),
             cardinality: Some(matching.cardinality()),
             augmentations: counters.augmentations,
             phases: counters.phases,
             selected: counters.selected.map(|k| k.name().to_string()),
+            weight,
         });
 
         let matching = if let Some(finisher) = self.augment {
@@ -493,6 +610,7 @@ impl Pipeline {
                 augmentations: counters.augmentations,
                 phases: counters.phases,
                 selected: counters.selected.map(|k| k.name().to_string()),
+                weight: None,
             });
             m
         } else {
@@ -507,8 +625,207 @@ impl Pipeline {
             quality: None,
             cancelled: false,
             deadline_ms: None,
+            weight,
         })
     }
+
+    /// Solve a `dm,<inner>` workload: coarse + fine Dulmage–Mendelsohn
+    /// decomposition, every non-trivial fine block extracted as its own
+    /// bipartite instance and solved independently by `inner` as a
+    /// stealable job on the workspace's block pool, and the block mates
+    /// stitched back through the block permutation.
+    ///
+    /// Determinism contract: block boundaries, per-block seeds, and stitch
+    /// order depend only on the instance — never on pool size — and every
+    /// block solves on a pinned 1-thread slot workspace, so the stitched
+    /// mates are byte-identical at every thread count.
+    fn solve_decompose(
+        &self,
+        g: &BipartiteGraph,
+        inner: &Pipeline,
+        ws: &mut Workspace,
+        token: &CancelToken,
+    ) -> Result<SolveReport, Cancelled> {
+        token.check()?;
+        let t0 = Instant::now();
+        let dm = dulmage_mendelsohn(g);
+        let fine = fine_decomposition(g, &dm);
+        let mut stages = vec![StageReport {
+            stage: "dm".to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+            cardinality: Some(dm.sprank()),
+            augmentations: None,
+            phases: Some(fine.block_count),
+            selected: None,
+            weight: None,
+        }];
+
+        // Mates start from the coarse matching: horizontal/vertical
+        // vertices and singleton blocks keep their DM mates (already
+        // maximum there); multi-pair blocks are re-solved below.
+        let mut rmate = dm.matching.rmates().to_vec();
+        let mut cmate = dm.matching.cmates().to_vec();
+
+        // Group S rows/columns by fine block in ascending original order —
+        // the deterministic local numbering the stitch inverts.
+        let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); fine.block_count];
+        let mut cols_of: Vec<Vec<u32>> = vec![Vec::new(); fine.block_count];
+        for i in 0..g.nrows() {
+            if fine.block_of_row[i] != NIL {
+                rows_of[fine.block_of_row[i] as usize].push(i as u32);
+            }
+        }
+        for j in 0..g.ncols() {
+            if fine.block_of_col[j] != NIL {
+                cols_of[fine.block_of_col[j] as usize].push(j as u32);
+            }
+        }
+        let mut col_local = vec![NIL; g.ncols()];
+        for cols in &cols_of {
+            for (lj, &j) in cols.iter().enumerate() {
+                col_local[j as usize] = lj as u32;
+            }
+        }
+
+        // Extract each block of ≥ 2 pairs as its own instance. Only
+        // intra-block entries carry over: cross-block entries are the `∗`
+        // entries of the block triangular form and can never be matching
+        // edges of the block.
+        let t1 = Instant::now();
+        let mut jobs: Vec<(usize, BipartiteGraph)> = Vec::new();
+        for b in 0..fine.block_count {
+            if fine.block_sizes[b] < 2 {
+                continue;
+            }
+            token.check()?;
+            let (rows, cols) = (&rows_of[b], &cols_of[b]);
+            let mut t = TripletMatrix::new(rows.len(), cols.len());
+            for (li, &i) in rows.iter().enumerate() {
+                for &j in g.row_adj(i as usize) {
+                    if fine.block_of_col[j as usize] == b as u32 {
+                        t.push(li, col_local[j as usize] as usize);
+                    }
+                }
+            }
+            jobs.push((b, BipartiteGraph::from_csr(t.into_csr())));
+        }
+
+        // Fan the blocks out: stealable jobs, one pinned 1-thread slot
+        // workspace each, order-preserving collect.
+        let seed = self.seed;
+        let pool = ws.dm_pool();
+        let solved: Vec<Result<SolveReport, Cancelled>> = pool.run(|| {
+            jobs.par_iter()
+                .with_max_len(1)
+                .map(|(b, sub)| {
+                    pool.with_workspace(|bws| {
+                        inner
+                            .clone()
+                            .with_seed(seed.wrapping_add(*b as u64))
+                            .solve_cancel(sub, bws, token)
+                    })
+                })
+                .collect()
+        });
+
+        let mut reports = Vec::with_capacity(jobs.len());
+        for ((b, _), result) in jobs.iter().zip(solved) {
+            reports.push((*b, result?));
+        }
+        for (b, report) in &reports {
+            let (rows, cols) = (&rows_of[*b], &cols_of[*b]);
+            for (li, &i) in rows.iter().enumerate() {
+                let lj = report.matching.rmate(li);
+                rmate[i as usize] = if lj == NIL { NIL } else { cols[lj as usize] };
+            }
+            for (lj, &j) in cols.iter().enumerate() {
+                let li = report.matching.cmate(lj);
+                cmate[j as usize] = if li == NIL { NIL } else { rows[li as usize] };
+            }
+        }
+
+        // Per-block stage reports while they stay readable; one aggregate
+        // line for decompositions with many solved blocks.
+        const MAX_PER_BLOCK_REPORTS: usize = 8;
+        if reports.len() <= MAX_PER_BLOCK_REPORTS {
+            for (b, report) in &reports {
+                stages.push(StageReport {
+                    stage: format!("dm[{b}]:{}", inner.spec()),
+                    seconds: report.total_seconds(),
+                    cardinality: Some(report.cardinality()),
+                    augmentations: None,
+                    phases: None,
+                    selected: None,
+                    weight: report.weight,
+                });
+            }
+        } else {
+            stages.push(StageReport {
+                stage: format!("dm[{} blocks]:{}", reports.len(), inner.spec()),
+                seconds: t1.elapsed().as_secs_f64(),
+                cardinality: Some(reports.iter().map(|(_, r)| r.cardinality()).sum()),
+                augmentations: None,
+                phases: None,
+                selected: None,
+                weight: None,
+            });
+        }
+
+        Ok(SolveReport {
+            matching: Matching::from_mates(rmate, cmate),
+            stages,
+            scaling_iterations: None,
+            scaling_error: None,
+            quality: None,
+            cancelled: false,
+            deadline_ms: None,
+            weight: None,
+        })
+    }
+}
+
+/// Run a weighted workload: the scaled entries `s_ij = d_r[i]·d_c[j]`
+/// become edge weights (the paper's probability bridge — the doubly
+/// stochastic limit assigns each entry its probability of being matched,
+/// so the weighted heuristics chase exactly the edges scaling considers
+/// likely), the bipartite instance becomes one undirected graph over
+/// rows-then-columns, and the selected heuristic matches it. Returns the
+/// matching translated back to bipartite mates plus its total weight.
+fn run_weighted(
+    kind: WeightedKind,
+    g: &BipartiteGraph,
+    ws: &mut Workspace,
+    token: &CancelToken,
+) -> Result<(Matching, f64), Cancelled> {
+    token.check()?;
+    let n_r = g.nrows();
+    let Workspace { scaling, weighted_edges, .. } = ws;
+    weighted_edges.clear();
+    for i in 0..n_r {
+        for &j in g.row_adj(i) {
+            let w = scaling.entry(i, j as usize);
+            // Guard degenerate factors (structurally deficient instances
+            // scale entries to 0 or non-finite values): keep every edge
+            // usable with the smallest positive weight instead.
+            let w = if w.is_finite() && w > 0.0 { w } else { f64::MIN_POSITIVE };
+            weighted_edges.push((i, n_r + j as usize, w));
+        }
+    }
+    let wg = WeightedGraph::from_weighted_edges(n_r + g.ncols(), weighted_edges);
+    token.check()?;
+    let um = match kind {
+        WeightedKind::GreedyWeighted => greedy_weighted(&wg),
+        WeightedKind::PathGrowing => path_growing(&wg),
+        WeightedKind::Suitor => suitor(&wg),
+        WeightedKind::SuitorParallel => suitor_parallel(&wg),
+    };
+    let weight = matching_weight(&wg, &um);
+    let mut matching = Matching::new(n_r, g.ncols());
+    for (u, v) in um.iter_pairs() {
+        debug_assert!(u < n_r && v >= n_r, "bipartite edges cross sides");
+        matching.set(u, v - n_r);
+    }
+    Ok((matching, weight))
 }
 
 impl Solver for AlgorithmKind {
@@ -543,6 +860,16 @@ mod tests {
             "scale:sk:5,two,auto",
             "pf-par",
             "auto",
+            // v2: weighted workloads and decomposition prefixes.
+            "scale:sk:5,suitor",
+            "greedy-w",
+            "path-grow",
+            "suitor-par",
+            "scale:ruiz:3,greedy-w",
+            "dm,two,pf",
+            "dm,scale:sk:5,two",
+            "dm,hk",
+            "dm,suitor",
         ] {
             let p: Pipeline = spec.parse().unwrap();
             assert_eq!(p.spec(), spec, "roundtrip of {spec}");
@@ -564,6 +891,69 @@ mod tests {
         assert!("scale:bogus,two".parse::<Pipeline>().is_err());
         assert!("scale,two,pf,hk".parse::<Pipeline>().is_err());
         assert!("two,,pf".parse::<Pipeline>().is_err());
+    }
+
+    #[test]
+    fn v2_spec_errors_are_typed() {
+        assert!(matches!(
+            "dm".parse::<Pipeline>().unwrap_err(),
+            SpecError::EmptyDecomposition { .. }
+        ));
+        assert!(matches!(
+            "dm,dm,two".parse::<Pipeline>().unwrap_err(),
+            SpecError::NestedDecomposition { .. }
+        ));
+        assert!(matches!(
+            "two,dm".parse::<Pipeline>().unwrap_err(),
+            SpecError::MisplacedDecomposition { .. }
+        ));
+        assert!(matches!(
+            "dm,two,dm".parse::<Pipeline>().unwrap_err(),
+            SpecError::MisplacedDecomposition { .. }
+        ));
+        assert!(matches!(
+            "scale:sk:5,dm,two".parse::<Pipeline>().unwrap_err(),
+            SpecError::MisplacedDecomposition { .. }
+        ));
+        assert_eq!(
+            "suitor,hk".parse::<Pipeline>().unwrap_err(),
+            SpecError::WeightedWithFinisher {
+                algorithm: WeightedKind::Suitor,
+                finisher: AlgorithmKind::HopcroftKarp,
+            },
+        );
+        assert_eq!(
+            "two,suitor".parse::<Pipeline>().unwrap_err(),
+            SpecError::WeightedAsFinisher { finisher: WeightedKind::Suitor },
+        );
+        // Mid-spec scale tokens were never workload names — the v1 error.
+        assert_eq!(
+            "scale:sk:5,scale,two".parse::<Pipeline>().unwrap_err(),
+            SpecError::UnknownAlgorithm { name: "scale".into() },
+        );
+    }
+
+    #[test]
+    fn weighted_solve_reports_weight() {
+        let g = crate::gen::erdos_renyi_square(200, 4.0, 11);
+        let mut ws = Workspace::new();
+        let p: Pipeline = "scale:sk:5,suitor".parse().unwrap();
+        let report = p.solve(&g, &mut ws);
+        report.matching.verify(&g).unwrap();
+        let w = report.weight.expect("weighted workloads report a weight");
+        assert!(w.is_finite() && w > 0.0);
+        assert_eq!(report.stages.last().unwrap().weight, Some(w));
+    }
+
+    #[test]
+    fn dm_solve_reaches_sprank_with_exact_inner() {
+        let g = crate::gen::erdos_renyi_square(300, 3.0, 5);
+        let mut ws = Workspace::new();
+        let p: Pipeline = "dm,two,pf".parse().unwrap();
+        let report = p.solve(&g, &mut ws);
+        report.matching.verify(&g).unwrap();
+        assert_eq!(report.cardinality(), dsmatch_exact::sprank(&g));
+        assert_eq!(report.stages[0].stage, "dm");
     }
 
     #[test]

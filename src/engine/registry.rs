@@ -109,15 +109,23 @@ impl AlgorithmKind {
     }
 
     /// True for the algorithms that poll a
-    /// [`CancelToken`](dsmatch_graph::CancelToken) at phase/epoch
-    /// boundaries when run through the engine, so a serve-job deadline
-    /// can cut them short cooperatively. The sequential exact engines
-    /// (`hk`, `pf`, `bfs`) and the heuristics run to completion; their
-    /// deadline is only enforced before they start.
+    /// [`CancelToken`](dsmatch_graph::CancelToken) inside their main loops
+    /// when run through the engine, so a serve-job deadline (or a client
+    /// `cancel` op) can cut them short cooperatively. The parallel
+    /// finishers poll at phase/epoch boundaries; the sequential engines
+    /// (`hk`, `pf`) and the Karp–Sipser family (`ks`, `ksmt`, `two`) poll
+    /// periodically inside their main loops. Only the single-pass sampling
+    /// heuristics (`one`, `one-out`, `cheap`, `cheap-vertex`) and `bfs`
+    /// still run to completion, with their deadline enforced before start.
     pub fn supports_cancellation(&self) -> bool {
         matches!(
             self,
-            AlgorithmKind::PushRelabel
+            AlgorithmKind::TwoSided
+                | AlgorithmKind::KarpSipser
+                | AlgorithmKind::KarpSipserMt
+                | AlgorithmKind::HopcroftKarp
+                | AlgorithmKind::PothenFan
+                | AlgorithmKind::PushRelabel
                 | AlgorithmKind::HopcroftKarpPar
                 | AlgorithmKind::PothenFanPar
                 | AlgorithmKind::PothenFanGraft
@@ -156,6 +164,59 @@ impl AlgorithmKind {
             AlgorithmKind::PothenFanGraft => "pf-graft",
             AlgorithmKind::Auto => "auto",
         }
+    }
+}
+
+/// The approximate **maximum-weight** matching heuristics of the
+/// `dsmatch-weighted` crate, usable as a pipeline workload stage.
+///
+/// A weighted stage reads the workspace's current scaling factors as edge
+/// weights — the paper's probability bridge: after doubly stochastic
+/// scaling, entry `s_ij = dr[i]·dc[j]` approximates the probability that
+/// edge `(i, j)` belongs to a perfect matching, so maximizing total weight
+/// chases the most-likely transversal. Without a preceding `scale` stage
+/// the weights are uniform and the heuristics degrade gracefully to
+/// cardinality-style greedy matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedKind {
+    /// Sort-by-weight greedy (the classical ½-approximation).
+    GreedyWeighted,
+    /// Drake–Hougardy path-growing (½-approximation).
+    PathGrowing,
+    /// Suitor (Manne & Halappanavar, IPDPS 2014): proposal-based; same
+    /// matching as greedy under consistent tie-breaking, better locality.
+    Suitor,
+    /// Lock-free parallel Suitor (CAS proposals, deterministic result).
+    SuitorParallel,
+}
+
+impl WeightedKind {
+    /// All weighted heuristics, in spec order.
+    pub fn all() -> [WeightedKind; 4] {
+        use WeightedKind::*;
+        [GreedyWeighted, PathGrowing, Suitor, SuitorParallel]
+    }
+
+    /// Short CLI/spec name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightedKind::GreedyWeighted => "greedy-w",
+            WeightedKind::PathGrowing => "path-grow",
+            WeightedKind::Suitor => "suitor",
+            WeightedKind::SuitorParallel => "suitor-par",
+        }
+    }
+
+    /// Look up a spec name; `None` when it names no weighted heuristic
+    /// (the spec parser then falls through to its unknown-stage error).
+    pub fn from_name(s: &str) -> Option<WeightedKind> {
+        WeightedKind::all().into_iter().find(|w| w.name() == s)
+    }
+}
+
+impl std::fmt::Display for WeightedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -282,12 +343,33 @@ mod tests {
             .filter(|k| k.supports_cancellation())
             .map(|k| k.name())
             .collect();
-        assert_eq!(cancellable, ["pr", "hk-par", "pf-par", "pf-graft", "auto"]);
-        // Cancellation support implies exactness: only finishers poll tokens.
-        for k in AlgorithmKind::all() {
-            if k.supports_cancellation() {
-                assert!(k.is_exact(), "{} supports cancellation but is not exact", k.name());
-            }
+        assert_eq!(
+            cancellable,
+            ["two", "ks", "ksmt", "hk", "pf", "pr", "hk-par", "pf-par", "pf-graft", "auto"]
+        );
+        // The remaining engines are the single-pass sampling heuristics
+        // plus `bfs` — all short enough that a pre-start deadline check
+        // suffices.
+        let uncancellable: Vec<&str> = AlgorithmKind::all()
+            .iter()
+            .filter(|k| !k.supports_cancellation())
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(uncancellable, ["one", "one-out", "cheap", "cheap-vertex", "bfs"]);
+    }
+
+    #[test]
+    fn weighted_kind_roundtrip_and_names() {
+        assert_eq!(WeightedKind::all().len(), 4);
+        for w in WeightedKind::all() {
+            let parsed = WeightedKind::from_name(w.name()).unwrap();
+            assert_eq!(parsed, w);
+            assert_eq!(w.to_string(), w.name());
+            // Weighted names never collide with the cardinality registry.
+            assert!(w.name().parse::<AlgorithmKind>().is_err(), "{} collides", w.name());
         }
+        assert_eq!(WeightedKind::from_name("nope"), None);
+        let names: Vec<&str> = WeightedKind::all().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["greedy-w", "path-grow", "suitor", "suitor-par"]);
     }
 }

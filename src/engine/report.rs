@@ -24,6 +24,10 @@ pub struct StageReport {
     /// For the `auto` finisher: the spec name of the exact engine its
     /// statistics policy actually ran (`None` for every other stage).
     pub selected: Option<String>,
+    /// Total matching weight after a weighted stage (`None` for
+    /// cardinality stages) — the quality axis of the weighted workloads,
+    /// measured in the scaled-entry weights the stage optimized.
+    pub weight: Option<f64>,
 }
 
 /// Result of one engine solve: the matching plus per-stage instrumentation.
@@ -49,6 +53,11 @@ pub struct SolveReport {
     /// no deadline). Recorded even on success so clients can correlate
     /// observed latency with the budget they requested.
     pub deadline_ms: Option<u64>,
+    /// Total weight of the final matching under the solve's edge weights
+    /// (`None` for pure-cardinality pipelines). Reported alongside
+    /// cardinality: a weighted solve answers both "how many pairs" and
+    /// "how heavy".
+    pub weight: Option<f64>,
 }
 
 impl SolveReport {
@@ -81,6 +90,7 @@ impl SolveReport {
                     ("augmentations", Json::opt(s.augmentations)),
                     ("phases", Json::opt(s.phases)),
                     ("selected", Json::opt(s.selected.as_deref())),
+                    ("weight", Json::opt(s.weight)),
                 ])
             })
             .collect();
@@ -93,6 +103,7 @@ impl SolveReport {
             ("quality", Json::opt(self.quality)),
             ("cancelled", Json::from(self.cancelled)),
             ("deadline_ms", Json::opt(self.deadline_ms)),
+            ("weight", Json::opt(self.weight)),
         ])
     }
 }
@@ -112,12 +123,14 @@ mod tests {
                 augmentations: None,
                 phases: Some(3),
                 selected: Some("pr".into()),
+                weight: None,
             }],
             scaling_iterations: Some(5),
             scaling_error: Some(1e-3),
             quality: None,
             cancelled: false,
             deadline_ms: Some(250),
+            weight: Some(1.5),
         };
         let s = report.to_json().to_string();
         assert!(s.contains("\"stages\":[{\"stage\":\"two\""), "{s}");
@@ -127,6 +140,7 @@ mod tests {
         assert!(s.contains("\"quality\":null"), "{s}");
         assert!(s.contains("\"cancelled\":false"), "{s}");
         assert!(s.contains("\"deadline_ms\":250"), "{s}");
+        assert!(s.contains("\"weight\":1.5"), "{s}");
         assert_eq!(report.total_seconds(), 0.5);
     }
 }

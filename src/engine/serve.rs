@@ -21,7 +21,8 @@
 //!  "finisher":"pf-par","mates":true}
 //! {"id":4,"op":"ping"}
 //! {"id":5,"op":"drop","handle":"big"}
-//! {"id":6,"op":"shutdown"}
+//! {"id":6,"op":"cancel","job":1}
+//! {"id":7,"op":"shutdown"}
 //! ```
 //!
 //! Instances are referenced three ways: a `gen:` spec (synthesized), an
@@ -64,6 +65,16 @@
 //! structured `"deadline"` error carrying `"cancelled":true` and its
 //! `"deadline_ms"`; the worker's workspace stays poison-free and is
 //! reused by the next job. The daemon keeps serving.
+//!
+//! Clients can also pull the trigger themselves:
+//! `{"op":"cancel","job":<id>}` flips the [`CancelToken`] of the named
+//! in-flight (or still-queued) job on the same connection. The cancelled
+//! job answers with the same `"deadline"`-coded, `"cancelled":true` reply
+//! shape (with `"deadline_ms":null` when it had no deadline); the `cancel`
+//! op itself is acknowledged inline, and cancelling an id that is not in
+//! flight earns a structured `"job"` error. Weighted and `dm,` pipeline
+//! specs are accepted per-job like any other spec; their replies carry the
+//! report's `"weight"` field.
 //!
 //! ## Shutdown & fault injection
 //!
@@ -123,8 +134,11 @@ mod code {
     pub const HANDLE: &str = "handle";
     /// Admission control: the in-flight queue is full.
     pub const QUEUE: &str = "queue";
-    /// The job's deadline expired; the solve was cancelled cooperatively.
+    /// The job's deadline expired, or a client `cancel` op hit it; the
+    /// solve was cancelled cooperatively.
     pub const DEADLINE: &str = "deadline";
+    /// A `cancel` op naming no in-flight job on this connection.
+    pub const JOB: &str = "job";
     /// A daemon-side failure (solver panic, invalid matching).
     pub const INTERNAL: &str = "internal";
     /// Connection-level rejection: the daemon is at `max_clients`.
@@ -266,6 +280,11 @@ enum Op {
     Sleep {
         ms: u64,
     },
+    /// Cancel an in-flight job on this connection by its id, riding the
+    /// same [`CancelToken`] the deadline machinery arms.
+    Cancel {
+        job: Json,
+    },
     /// Stop the daemon: drain in-flight jobs everywhere, then exit.
     Shutdown,
 }
@@ -305,12 +324,14 @@ struct JobCtx {
 }
 
 impl JobCtx {
-    /// The structured error a deadline-cancelled job replies with.
+    /// The structured error a cancelled job replies with: a deadline when
+    /// the job ran under one, a client-initiated `cancel` otherwise.
     fn deadline_error(&self) -> JobError {
-        (
-            code::DEADLINE,
-            format!("deadline of {} ms exceeded; job cancelled", self.deadline_ms.unwrap_or(0)),
-        )
+        let message = match self.deadline_ms {
+            Some(ms) => format!("deadline of {ms} ms exceeded; job cancelled"),
+            None => "job cancelled by client request".to_string(),
+        };
+        (code::DEADLINE, message)
     }
 }
 
@@ -479,11 +500,19 @@ fn parse_job(v: &Json) -> Result<Job, (Json, JobError)> {
                 .ok_or_else(|| fail((code::PARSE, "sleep job needs integer \"ms\"".into())))?;
             Op::Sleep { ms }
         }
+        "cancel" => {
+            let target = v.get("job").ok_or_else(|| {
+                fail((code::PARSE, "cancel job needs a \"job\" field: the target job's id".into()))
+            })?;
+            Op::Cancel { job: target.clone() }
+        }
         "shutdown" => Op::Shutdown,
         other => {
             return Err(fail((
                 code::PARSE,
-                format!("unknown op {other:?}; expected solve|delta|ping|drop|sleep|shutdown"),
+                format!(
+                    "unknown op {other:?}; expected solve|delta|ping|drop|sleep|cancel|shutdown"
+                ),
             )))
         }
     };
@@ -655,6 +684,11 @@ struct Conn {
     jobs: AtomicUsize,
     ok: AtomicUsize,
     errors: AtomicUsize,
+    /// Cancel tokens of this connection's in-flight worker jobs, keyed by
+    /// the job id's JSON rendering: inserted at submission, removed before
+    /// the reply is enqueued, cancelled by the inline `cancel` op. A
+    /// reused id overwrites — a `cancel` always targets the latest.
+    cancels: Mutex<HashMap<String, CancelToken>>,
 }
 
 impl Conn {
@@ -666,6 +700,7 @@ impl Conn {
             jobs: AtomicUsize::new(0),
             ok: AtomicUsize::new(0),
             errors: AtomicUsize::new(0),
+            cancels: Mutex::new(HashMap::new()),
         }
     }
 
@@ -842,6 +877,11 @@ fn execute_solve(core: &ServeCore, job: &SolveJob, ctx: &JobCtx) -> Result<Json,
     if let Some(h) = &job.store {
         pairs.push(("handle".to_string(), Json::from(h.as_str())));
     }
+    if let Some(w) = report.weight {
+        // Weighted workloads answer "how heavy" at the top level too, so
+        // clients need not dig into the nested report.
+        pairs.push(("weight".to_string(), Json::from(w)));
+    }
     pairs.push(("report".to_string(), report.to_json()));
     if job.mates {
         pairs.push(("rmate".to_string(), mates_json(&report.matching)));
@@ -925,12 +965,14 @@ fn execute_delta(
             augmentations: counters.augmentations,
             phases: counters.phases,
             selected: counters.selected.map(|k| k.name().to_string()),
+            weight: None,
         }],
         scaling_iterations: None,
         scaling_error: None,
         quality: None,
         cancelled: false,
         deadline_ms: ctx.deadline_ms,
+        weight: None,
         matching,
     };
     if job.quality {
@@ -1012,7 +1054,9 @@ fn execute(
             ]))
         }
         // Inline ops never reach the workers.
-        Op::Ping | Op::Drop { .. } | Op::Shutdown => unreachable!("handled inline"),
+        Op::Ping | Op::Drop { .. } | Op::Cancel { .. } | Op::Shutdown => {
+            unreachable!("handled inline")
+        }
     }
 }
 
@@ -1074,6 +1118,9 @@ fn run_job<'s>(
             scope.spawn(move |s| run_job(owner, s, job, ctx, Some(entry)));
         }
     }
+    // Deregister before the reply goes out: a client reacting to the reply
+    // with a `cancel` of the same id must get a clean "no such job".
+    conn.cancels.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.id.to_string());
     conn.send_reply(reply);
     conn.in_flight.fetch_sub(1, Ordering::SeqCst);
 }
@@ -1104,6 +1151,12 @@ fn schedule<'s, W: Write>(
         None => CancelToken::unbounded(),
     };
     let ctx = JobCtx { token, deadline_ms, ord: faults::next_job() };
+    // Register for client-initiated `cancel` before the job can run:
+    // queued jobs (per-handle FIFO) are cancellable while they wait.
+    conn.cancels
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(job.id.to_string(), ctx.token.clone());
     let entry = job.primary_handle().map(|h| conn.core.cache_lock().entry_for(h));
     match entry {
         None => {
@@ -1223,6 +1276,41 @@ fn handle_line<'s, W: Write>(
                     drop(cache);
                     conn.count(false);
                     out.reply(error_doc(&job.id, code::HANDLE, &message).to_string());
+                }
+            }
+            LineOutcome::Continue
+        }
+        Op::Cancel { job: target } => {
+            let token = conn
+                .cancels
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&target.to_string())
+                .cloned();
+            match token {
+                Some(token) => {
+                    token.cancel();
+                    conn.count(true);
+                    out.reply(
+                        Json::obj(vec![
+                            ("id", job.id.clone()),
+                            ("ok", Json::Bool(true)),
+                            ("op", Json::from("cancel")),
+                            ("job", target.clone()),
+                        ])
+                        .to_string(),
+                    );
+                }
+                None => {
+                    conn.count(false);
+                    out.reply(
+                        error_doc(
+                            &job.id,
+                            code::JOB,
+                            &format!("no in-flight job {target} on this connection"),
+                        )
+                        .to_string(),
+                    );
                 }
             }
             LineOutcome::Continue
@@ -1686,6 +1774,83 @@ mod tests {
         assert_eq!(reply.get("code").unwrap().as_str(), Some("deadline"));
         assert_eq!(reply.get("cancelled").unwrap().as_bool(), Some(true));
         assert_eq!(reply.get("deadline_ms").unwrap().as_u64(), Some(30));
+    }
+
+    #[test]
+    fn client_cancel_cuts_job_short_and_daemon_keeps_serving() {
+        // The cancel token is registered at submission, so the inline
+        // `cancel` op lands even if the worker has not started the sleep.
+        let input = concat!(
+            "{\"id\":\"slow\",\"op\":\"sleep\",\"ms\":5000}\n",
+            "{\"id\":\"c\",\"op\":\"cancel\",\"job\":\"slow\"}\n",
+            "{\"id\":\"p\",\"op\":\"ping\"}\n",
+        );
+        let t0 = Instant::now();
+        let (summary, lines) = run(input, &opts(2));
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "the 5 s sleep must be cut short by the client cancel"
+        );
+        assert_eq!(summary.ok, 2, "cancel ack and ping both succeed");
+        assert_eq!(summary.errors, 1, "only the cancelled job errors");
+        let by_id = |id: &str| {
+            lines[1..lines.len() - 1]
+                .iter()
+                .find(|l| l.get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("a reply for {id:?}"))
+        };
+        let ack = by_id("c");
+        assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(ack.get("op").unwrap().as_str(), Some("cancel"));
+        assert_eq!(ack.get("job").unwrap().as_str(), Some("slow"));
+        let reply = by_id("slow");
+        assert_eq!(reply.get("code").unwrap().as_str(), Some("deadline"));
+        assert_eq!(reply.get("cancelled").unwrap().as_bool(), Some(true));
+        assert!(reply.get("deadline_ms").unwrap().is_null(), "no deadline was set");
+        assert!(
+            reply.get("error").unwrap().as_str().unwrap().contains("client request"),
+            "{reply}"
+        );
+    }
+
+    #[test]
+    fn cancel_of_unknown_job_is_a_structured_job_error() {
+        let input = concat!(
+            "{\"id\":\"c\",\"op\":\"cancel\",\"job\":\"ghost\"}\n",
+            "{\"id\":\"c2\",\"op\":\"cancel\"}\n",
+            "{\"id\":\"p\",\"op\":\"ping\"}\n",
+        );
+        let (summary, lines) = run(input, &opts(1));
+        assert_eq!(summary.ok, 1, "the daemon keeps serving");
+        assert_eq!(summary.errors, 2);
+        assert_eq!(lines[1].get("code").unwrap().as_str(), Some("job"));
+        assert!(lines[1].get("error").unwrap().as_str().unwrap().contains("no in-flight job"));
+        assert_eq!(lines[2].get("code").unwrap().as_str(), Some("parse"), "missing \"job\" field");
+    }
+
+    #[test]
+    fn weighted_and_dm_specs_serve_with_weight_in_reply() {
+        let input = concat!(
+            "{\"id\":\"w\",\"pipeline\":\"scale:sk:5,suitor\",\"instance\":\"gen:er:200:4\"}\n",
+            "{\"id\":\"d\",\"pipeline\":\"dm,two,pf\",\"instance\":\"gen:er:200:4\"}\n",
+        );
+        let (summary, lines) = run(input, &opts(2));
+        assert_eq!(summary.ok, 2, "{lines:?}");
+        let by_id = |id: &str| {
+            lines[1..lines.len() - 1]
+                .iter()
+                .find(|l| l.get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("a reply for {id:?}"))
+        };
+        let weighted = by_id("w");
+        let weight = weighted.get("weight").unwrap().as_f64().expect("weighted reply has weight");
+        assert!(weight.is_finite() && weight > 0.0, "{weight}");
+        let in_report =
+            weighted.get("report").unwrap().get("weight").unwrap().as_f64().expect("report weight");
+        assert_eq!(weight, in_report);
+        let dm = by_id("d").get("report").unwrap();
+        assert!(dm.get("cardinality").unwrap().as_usize().unwrap() > 0);
+        assert!(dm.get("weight").unwrap().is_null(), "dm cardinality solve has no weight");
     }
 
     #[test]

@@ -1,5 +1,16 @@
-//! Typed errors for the pipeline spec grammar
-//! (`[scale[:sk|ruiz][:iters],]<algo>[,<exact-finisher>]`).
+//! Typed stages and errors for the pipeline spec grammar v2.
+//!
+//! Grammar (stages are **typed**, not positional):
+//!
+//! ```text
+//! <pipeline> ::= dm,<pipeline>                              (decomposition)
+//!              | [scale[:sk|ruiz][:iters],]<workload>[,<exact-finisher>]
+//! <workload> ::= <algorithm>        (cardinality; the v1 grammar)
+//!              | <weighted>         (greedy-w | path-grow | suitor | suitor-par)
+//! ```
+//!
+//! Every v1 spec string parses byte-identically under v2 — the
+//! compatibility test in `tests/engine_weighted_dm.rs` pins all of them.
 //!
 //! Every surface that parses a spec — the CLI's `--pipeline`/`--algo`
 //! flags, the `dsmatch serve` job protocol, programmatic
@@ -8,7 +19,72 @@
 //! grepping an error string, while `Display` keeps the exact human-readable
 //! messages the CLI has always printed.
 
-use super::registry::AlgorithmKind;
+use super::pipeline::{ScaleMethod, ScaleStage, DEFAULT_SCALE_ITERATIONS};
+use super::registry::{AlgorithmKind, WeightedKind};
+use dsmatch_scale::ScalingConfig;
+
+/// One classified token of a pipeline spec: the typed form of a
+/// comma-separated stage, produced by [`StageKind::classify`]. The v2
+/// grammar dispatches on this type instead of on token position, which is
+/// what lets weighted workloads and `dm,` prefixes coexist with the v1
+/// strings without ambiguity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StageKind {
+    /// A `scale[:sk|ruiz][:iters]` stage.
+    Scale(ScaleStage),
+    /// A cardinality algorithm from the [`AlgorithmKind`] registry.
+    Algorithm(AlgorithmKind),
+    /// A weighted heuristic from the [`WeightedKind`] registry.
+    Weighted(WeightedKind),
+    /// The `dm` decomposition prefix (its inner pipeline is the remainder
+    /// of the spec, parsed recursively).
+    Decompose,
+}
+
+impl StageKind {
+    /// Classify one trimmed, non-empty spec token. `spec` is the full
+    /// original string, quoted in error messages.
+    pub fn classify(token: &str, spec: &str) -> Result<StageKind, SpecError> {
+        if token == "dm" {
+            return Ok(StageKind::Decompose);
+        }
+        if token == "scale" || token.starts_with("scale:") {
+            let mut method = ScaleMethod::SinkhornKnopp;
+            let mut iters = DEFAULT_SCALE_ITERATIONS;
+            for part in token.split(':').skip(1) {
+                match part {
+                    "sk" => method = ScaleMethod::SinkhornKnopp,
+                    "ruiz" => method = ScaleMethod::Ruiz,
+                    // Numeric-looking tokens are iteration counts (and must
+                    // parse); anything else is a misspelled method name.
+                    other if other.starts_with(|c: char| c.is_ascii_digit()) => {
+                        iters = other.parse().map_err(|_| SpecError::BadIters {
+                            value: other.to_string(),
+                            spec: spec.to_string(),
+                        })?;
+                    }
+                    other => {
+                        return Err(SpecError::UnknownScaleMethod {
+                            option: other.to_string(),
+                            spec: spec.to_string(),
+                        });
+                    }
+                }
+            }
+            return Ok(StageKind::Scale(ScaleStage {
+                method,
+                config: ScalingConfig::iterations(iters),
+            }));
+        }
+        if let Ok(algo) = token.parse::<AlgorithmKind>() {
+            return Ok(StageKind::Algorithm(algo));
+        }
+        if let Some(w) = WeightedKind::from_name(token) {
+            return Ok(StageKind::Weighted(w));
+        }
+        Err(SpecError::UnknownAlgorithm { name: token.to_string() })
+    }
+}
 
 /// Why a pipeline or algorithm spec failed to parse.
 ///
@@ -20,6 +96,9 @@ use super::registry::AlgorithmKind;
 ///
 /// let err = "scale:bogus,two".parse::<Pipeline>().unwrap_err();
 /// assert!(matches!(err, SpecError::UnknownScaleMethod { .. }));
+///
+/// let err = "two,dm,hk".parse::<Pipeline>().unwrap_err();
+/// assert!(matches!(err, SpecError::MisplacedDecomposition { .. }));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SpecError {
@@ -33,12 +112,13 @@ pub enum SpecError {
         /// The full offending spec.
         spec: String,
     },
-    /// More stages than `scale,algorithm,finisher`.
+    /// More stages than `scale,workload,finisher`.
     TooManyStages {
         /// The full offending spec.
         spec: String,
     },
-    /// An algorithm name not in the [`AlgorithmKind`] registry.
+    /// An algorithm name in neither the [`AlgorithmKind`] nor the
+    /// [`WeightedKind`] registry.
     UnknownAlgorithm {
         /// The unrecognized name.
         name: String,
@@ -71,6 +151,36 @@ pub enum SpecError {
         /// The redundant finisher.
         finisher: AlgorithmKind,
     },
+    /// A `dm` stage with no inner pipeline (`"dm"` alone).
+    EmptyDecomposition {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// A `dm` stage inside another `dm` stage (`"dm,dm,two"`).
+    NestedDecomposition {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// A `dm` stage that is not the first stage (`"two,dm"` or
+    /// `"scale:sk:5,dm,two"` — scaling factors do not survive into the
+    /// per-block subgraphs, so a scale prefix before `dm` is meaningless).
+    MisplacedDecomposition {
+        /// The full offending spec.
+        spec: String,
+    },
+    /// A weighted workload followed by a finisher stage (weighted
+    /// matchings are not warm starts for cardinality augmentation).
+    WeightedWithFinisher {
+        /// The weighted workload stage.
+        algorithm: WeightedKind,
+        /// The rejected finisher.
+        finisher: AlgorithmKind,
+    },
+    /// A weighted heuristic in finisher position (`"two,suitor"`).
+    WeightedAsFinisher {
+        /// The rejected weighted name.
+        finisher: WeightedKind,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -86,7 +196,9 @@ impl std::fmt::Display for SpecError {
                 write!(f, "too many stages in pipeline spec {spec:?}")
             }
             SpecError::UnknownAlgorithm { name } => {
-                let names: Vec<&str> = AlgorithmKind::all().iter().map(|a| a.name()).collect();
+                let mut names: Vec<&str> = AlgorithmKind::all().iter().map(|a| a.name()).collect();
+                names.extend(WeightedKind::all().iter().map(|w| w.name()));
+                names.push("dm");
                 write!(f, "unknown algorithm {name:?}; expected one of {}", names.join("|"))
             }
             SpecError::UnknownScaleMethod { option, spec } => {
@@ -104,6 +216,25 @@ impl std::fmt::Display for SpecError {
             SpecError::RedundantFinisher { algorithm, finisher } => {
                 write!(f, "{algorithm} is already exact; augmenting with {finisher} is redundant")
             }
+            SpecError::EmptyDecomposition { spec } => {
+                write!(f, "dm needs an inner pipeline in {spec:?}; write dm,<pipeline>")
+            }
+            SpecError::NestedDecomposition { spec } => {
+                write!(f, "dm cannot nest inside another dm in {spec:?}")
+            }
+            SpecError::MisplacedDecomposition { spec } => {
+                write!(f, "dm must be the first stage in {spec:?}")
+            }
+            SpecError::WeightedWithFinisher { algorithm, finisher } => {
+                write!(
+                    f,
+                    "{algorithm} is a weighted workload; augmenting with {finisher} is not \
+                     supported"
+                )
+            }
+            SpecError::WeightedAsFinisher { finisher } => {
+                write!(f, "{finisher} is a weighted heuristic, not an exact finisher")
+            }
         }
     }
 }
@@ -119,6 +250,8 @@ mod tests {
         let e = SpecError::UnknownAlgorithm { name: "nope".into() };
         assert!(e.to_string().starts_with("unknown algorithm \"nope\""));
         assert!(e.to_string().contains("pf-par"), "lists the registry");
+        assert!(e.to_string().contains("suitor"), "lists the weighted registry");
+        assert!(e.to_string().contains("|dm"), "lists the dm prefix");
         let boxed: Box<dyn std::error::Error> = Box::new(e);
         assert!(boxed.source().is_none());
 
@@ -127,6 +260,9 @@ mod tests {
             finisher: AlgorithmKind::PothenFan,
         };
         assert_eq!(e.to_string(), "hk is already exact; augmenting with pf is redundant");
+
+        let e = SpecError::WeightedAsFinisher { finisher: WeightedKind::Suitor };
+        assert_eq!(e.to_string(), "suitor is a weighted heuristic, not an exact finisher");
     }
 
     #[test]
@@ -140,9 +276,33 @@ mod tests {
                 option: "bogus".into(),
                 spec: "scale:bogus,two".into(),
             },
+            SpecError::NestedDecomposition { spec: "dm,dm,two".into() },
         ];
         assert!(matches!(errs[0], SpecError::EmptyStage { .. }));
         assert!(matches!(errs[1], SpecError::BadIters { .. }));
         assert!(matches!(errs[2], SpecError::UnknownScaleMethod { .. }));
+        assert!(matches!(errs[3], SpecError::NestedDecomposition { .. }));
+    }
+
+    #[test]
+    fn classify_types_every_stage_form() {
+        let spec = "irrelevant";
+        assert!(matches!(StageKind::classify("dm", spec), Ok(StageKind::Decompose)));
+        assert!(matches!(
+            StageKind::classify("scale:ruiz:3", spec),
+            Ok(StageKind::Scale(ScaleStage { method: ScaleMethod::Ruiz, .. }))
+        ));
+        assert!(matches!(
+            StageKind::classify("hk", spec),
+            Ok(StageKind::Algorithm(AlgorithmKind::HopcroftKarp))
+        ));
+        assert!(matches!(
+            StageKind::classify("suitor", spec),
+            Ok(StageKind::Weighted(WeightedKind::Suitor))
+        ));
+        assert!(matches!(
+            StageKind::classify("frobnicate", spec),
+            Err(SpecError::UnknownAlgorithm { .. })
+        ));
     }
 }

@@ -38,10 +38,18 @@ pub struct Workspace {
     pub heur: HeurWorkspace,
     /// Exact-solver scratch (BFS/DFS state, working mate arrays).
     pub augment: AugmentWorkspace,
+    /// Edge buffer for the weighted workloads: `(row, nrows + col, weight)`
+    /// triples built from the current scaling factors, reused across
+    /// solves like every other scratch buffer.
+    pub weighted_edges: Vec<(usize, usize, f64)>,
     /// Thread pool solves against this workspace execute in, if owned
     /// (shared so the solve path can install it while the workspace is
     /// mutably borrowed).
     pub(crate) pool: Option<Arc<rayon::ThreadPool>>,
+    /// Lazily-built workspace pool for `dm,` decomposition solves: fine
+    /// blocks fan out across it as stealable per-block jobs, each solved
+    /// on a pinned 1-thread slot workspace (see [`Workspace::dm_pool`]).
+    pub(crate) dm_pool: Option<super::batch::WorkspacePool>,
 }
 
 impl Workspace {
@@ -52,7 +60,9 @@ impl Workspace {
             scaling: ScalingResult::empty(),
             heur: HeurWorkspace::new(),
             augment: AugmentWorkspace::new(),
+            weighted_edges: Vec::new(),
             pool: None,
+            dm_pool: None,
         }
     }
 
@@ -90,6 +100,20 @@ impl Workspace {
     /// the identity. Optional — solving grows buffers on demand anyway.
     pub fn warm_up(&mut self, g: &BipartiteGraph) {
         self.scaling.reset_identity(g);
+    }
+
+    /// The workspace pool backing `dm,` decomposition solves, built on
+    /// first use and sized to this workspace's own thread pool (or the
+    /// default size for ambient workspaces). Fine blocks are distributed
+    /// across it as stealable jobs; each block solves on a pinned
+    /// 1-thread slot workspace, so block results — and therefore the
+    /// stitched matching — are byte-identical at every pool size.
+    pub(crate) fn dm_pool(&mut self) -> &super::batch::WorkspacePool {
+        if self.dm_pool.is_none() {
+            let threads = self.pool.as_ref().map_or(0, |p| p.current_num_threads());
+            self.dm_pool = Some(Workspace::per_worker(threads));
+        }
+        self.dm_pool.as_ref().expect("just installed")
     }
 }
 
