@@ -1,0 +1,88 @@
+//! `dsmatch-lint` — the repo-invariant lint pass.
+//!
+//! Usage: `dsmatch-lint [--root <dir>] [--config <file.json>] [--list-rules]`
+//!
+//! Walks every `.rs` file under the root (skipping `target/`, `.git/`
+//! and the lint's own violation fixtures), applies the rule set from
+//! [`dsmatch_check::lint::rules`], prints findings as
+//! `path:line: [rule] message`, and exits non-zero when any exist —
+//! `-D warnings` semantics for CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsmatch_check::lint::rules::RULES;
+use dsmatch_check::lint::{lint_tree, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config = Some(PathBuf::from(file)),
+                None => return usage("--config needs a file"),
+            },
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{:<14} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let cfg = match config {
+        None => Config::repo_default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("dsmatch-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Config::from_json(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("dsmatch-lint: bad config {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_tree(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dsmatch-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        eprintln!("dsmatch-lint: clean ({} files)", report.files);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "dsmatch-lint: {} finding(s) across {} files",
+            report.findings.len(),
+            report.files
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("dsmatch-lint: {problem}");
+    eprintln!("usage: dsmatch-lint [--root <dir>] [--config <file.json>] [--list-rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,39 @@
+//! # dsmatch_check — the verification layer
+//!
+//! Machine-checked evidence about the concurrency protocols the rayon
+//! shim's scheduler is built on, plus a repo-invariant static analyzer.
+//! The paper's speedup claims rest on a correct shared-memory runtime;
+//! this crate is how the workspace argues that correctness by exploration
+//! and enforcement rather than by tests that happen to pass.
+//!
+//! Three layers:
+//!
+//! - [`protocol`] — the scheduler's two synchronization protocols
+//!   (eventcount sleep/wake, length-hinted deque), extracted out of
+//!   `shims/rayon/src/pool.rs` as *parameterized* modules: the protocol
+//!   logic is written once against small `Ops` traits and executed both
+//!   by the real pool (over `std` atomics, `Mutex`, `Condvar`) and by the
+//!   model checker (over simulated primitives).
+//! - [`sim`] — a hand-rolled loom-style bounded model checker: a DFS
+//!   schedule explorer that drives N model threads through **every**
+//!   interleaving of the protocol's shared-memory operations up to a
+//!   preemption bound, detecting lost wakeups, stranded jobs and
+//!   deadlocks. No crates.io in this build environment, so like the rayon
+//!   shim it is written from scratch.
+//! - [`lint`] — `dsmatch-lint`, a text/token-level static analyzer (no
+//!   `syn`) enforcing the repo's cross-cutting invariants in CI: `SAFETY:`
+//!   comments on `unsafe`, poison-tolerant locking on engine paths,
+//!   clock-free deterministic kernels, the `DSMATCH_TEST_TIMEOUT_SECS`
+//!   deadline knob, and no stray debug macros.
+//!
+//! The model-checking tests live in `tests/` and run in the default
+//! `cargo test` suite; the preemption bound keeps full exploration under
+//! a few seconds. See the README's "Static analysis & verification"
+//! section for scope and bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod protocol;
+pub mod sim;

@@ -1,0 +1,166 @@
+//! Lint configuration: which paths each rule covers. The repo default is
+//! compiled in; a JSON file (`--config`) can override any field, parsed
+//! with the workspace's own `dsmatch_json` (no external deps).
+
+use std::collections::BTreeMap;
+
+use dsmatch_json::Json;
+
+/// Path scoping for the rule set. All paths are workspace-relative with
+/// forward slashes; matching is by prefix.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Prefixes skipped entirely (generated output, the violation
+    /// fixtures the lint's own tests feed it, …).
+    pub skip: Vec<String>,
+    /// Per-rule applicability: when a rule has a non-empty list here it
+    /// only runs under those prefixes; absent/empty means everywhere.
+    pub scope: BTreeMap<String, Vec<String>>,
+    /// Per-rule exemptions: prefixes where the rule is off even inside
+    /// its scope.
+    pub exempt: BTreeMap<String, Vec<String>>,
+    /// `test-deadline` ignores literals below this many seconds — short
+    /// durations in tests are data (job deadlines, latency budgets), not
+    /// harness timeouts.
+    pub test_deadline_min_secs: u64,
+}
+
+impl Config {
+    /// The repo's checked-in default scoping.
+    pub fn repo_default() -> Config {
+        let mut scope = BTreeMap::new();
+        // Poison-tolerant locking is an invariant of the serve/engine
+        // shared-state paths (the facade crate); elsewhere unwrap-on-lock
+        // is fine or covered by its own reasoning.
+        scope.insert("lock-unwrap".to_string(), vec!["src/".to_string()]);
+        // Determinism: algorithm crates must not read wall clocks.
+        scope.insert("wall-clock".to_string(), vec!["crates/".to_string()]);
+        let mut exempt = BTreeMap::new();
+        // The bench harness exists to measure time.
+        exempt.insert("wall-clock".to_string(), vec!["crates/bench/".to_string()]);
+        // The lint implementation necessarily spells out the marker
+        // syntax in format strings and docs; a token-level pass cannot
+        // tell those templates from real (malformed) markers.
+        exempt.insert("allow-marker".to_string(), vec!["crates/check/src/lint/".to_string()]);
+        Config {
+            skip: vec![
+                "target/".to_string(),
+                ".git/".to_string(),
+                "crates/check/tests/fixtures/".to_string(),
+            ],
+            scope,
+            exempt,
+            test_deadline_min_secs: 3,
+        }
+    }
+
+    /// Parse a JSON override file on top of [`Config::repo_default`].
+    ///
+    /// Recognized keys (all optional): `"skip"` (array of prefixes),
+    /// `"scope"` / `"exempt"` (objects mapping rule name → array of
+    /// prefixes, replacing the default entry for that rule), and
+    /// `"test_deadline_min_secs"` (integer).
+    pub fn from_json(text: &str) -> Result<Config, String> {
+        let json = Json::parse(text)?;
+        let mut cfg = Config::repo_default();
+        if let Some(skip) = json.get("skip") {
+            cfg.skip = str_list("skip", skip)?;
+        }
+        if let Some(scope) = json.get("scope") {
+            merge_map("scope", scope, &mut cfg.scope)?;
+        }
+        if let Some(exempt) = json.get("exempt") {
+            merge_map("exempt", exempt, &mut cfg.exempt)?;
+        }
+        if let Some(min) = json.get("test_deadline_min_secs") {
+            cfg.test_deadline_min_secs =
+                min.as_u64().ok_or("test_deadline_min_secs must be an integer")?;
+        }
+        Ok(cfg)
+    }
+
+    /// Whether `rule` applies to `rel` under this scoping.
+    pub fn applies(&self, rule: &str, rel: &str) -> bool {
+        if let Some(prefixes) = self.scope.get(rule) {
+            if !prefixes.is_empty() && !prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+                return false;
+            }
+        }
+        if let Some(prefixes) = self.exempt.get(rule) {
+            if prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `rel` is skipped outright.
+    pub fn skipped(&self, rel: &str) -> bool {
+        self.skip.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+fn str_list(key: &str, json: &Json) -> Result<Vec<String>, String> {
+    let arr = json.as_arr().ok_or_else(|| format!("{key} must be an array of strings"))?;
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{key} must be an array of strings"))
+        })
+        .collect()
+}
+
+fn merge_map(
+    key: &str,
+    json: &Json,
+    into: &mut BTreeMap<String, Vec<String>>,
+) -> Result<(), String> {
+    let Json::Obj(pairs) = json else {
+        return Err(format!("{key} must be an object of rule → prefix arrays"));
+    };
+    for (rule, prefixes) in pairs {
+        into.insert(rule.clone(), str_list(key, prefixes)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scoping() {
+        let cfg = Config::repo_default();
+        assert!(cfg.applies("lock-unwrap", "src/engine/serve.rs"));
+        assert!(!cfg.applies("lock-unwrap", "crates/graph/src/lib.rs"));
+        assert!(cfg.applies("wall-clock", "crates/graph/src/lib.rs"));
+        assert!(!cfg.applies("wall-clock", "crates/bench/src/lib.rs"));
+        assert!(cfg.applies("unsafe-block", "anything/at/all.rs"));
+        assert!(cfg.skipped("crates/check/tests/fixtures/bad.rs"));
+    }
+
+    #[test]
+    fn json_overrides_merge_over_default() {
+        let cfg = Config::from_json(
+            r#"{"skip": ["vendor/"],
+                "scope": {"lock-unwrap": ["src/", "shims/"]},
+                "exempt": {"debug-macro": ["crates/gen/"]},
+                "test_deadline_min_secs": 10}"#,
+        )
+        .unwrap();
+        assert!(cfg.skipped("vendor/x.rs"));
+        assert!(!cfg.skipped("target/x.rs"), "skip list is replaced");
+        assert!(cfg.applies("lock-unwrap", "shims/rayon/src/pool.rs"));
+        assert!(!cfg.applies("debug-macro", "crates/gen/src/lib.rs"));
+        assert_eq!(cfg.test_deadline_min_secs, 10);
+        // untouched defaults survive
+        assert!(!cfg.applies("wall-clock", "crates/bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn malformed_config_is_an_error() {
+        assert!(Config::from_json("{\"scope\": [1,2]}").is_err());
+        assert!(Config::from_json("not json").is_err());
+    }
+}

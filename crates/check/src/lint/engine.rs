@@ -1,0 +1,211 @@
+//! The lint driver: file walking, test-region detection, allow-marker
+//! handling, and finding assembly.
+//!
+//! Allow markers are the escape hatch: a comment `lint:allow(<rule>):
+//! <justification>` on the offending line or the line directly above
+//! suppresses that rule there. The justification is mandatory — a marker
+//! without one (or naming an unknown rule) is itself reported under the
+//! `allow-marker` meta rule, which cannot be allowed away.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use super::config::Config;
+use super::rules::{rule_by_name, RuleCtx, ALLOW_MARKER_RULE, RULES};
+use super::scan::Source;
+
+/// A reportable lint violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Description with the fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Result of linting a tree.
+pub struct Report {
+    /// All findings, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Lint one source text as if it lived at `rel`.
+pub fn lint_source(rel: &str, text: String, cfg: &Config) -> Vec<Finding> {
+    let src = Source::new(text);
+    let test_start = (1..=src.line_count())
+        .find(|&l| src.masked_line(l).trim_start().starts_with("#[cfg(test)]"));
+    let in_tests_dir = rel.starts_with("tests/") || rel.contains("/tests/");
+    let ctx = RuleCtx { rel, src: &src, cfg, test_start, in_tests_dir };
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !cfg.applies(rule.name, rel) {
+            continue;
+        }
+        for raw in (rule.check)(&ctx) {
+            if has_allow_marker(&src, raw.line, rule.name) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: rule.name.to_string(),
+                path: rel.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+    if cfg.applies(ALLOW_MARKER_RULE, rel) {
+        findings.extend(check_markers(rel, &src));
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// Lint the file at `root/rel`.
+pub fn lint_file(root: &Path, rel: &str, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let text = fs::read_to_string(root.join(rel))?;
+    Ok(lint_source(rel, text, cfg))
+}
+
+/// Lint every `.rs` file under `root` (deterministic order), honoring
+/// the config's skip list.
+pub fn lint_tree(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut report = Report { findings: Vec::new(), files: 0 };
+    walk(root, String::new(), cfg, &mut report)?;
+    Ok(report)
+}
+
+fn walk(root: &Path, rel: String, cfg: &Config, report: &mut Report) -> io::Result<()> {
+    let dir = if rel.is_empty() { root.to_path_buf() } else { root.join(&rel) };
+    let mut entries: Vec<(String, bool)> = Vec::new();
+    for entry in fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, is_dir));
+    }
+    entries.sort();
+    for (name, is_dir) in entries {
+        let child_rel = if rel.is_empty() { name.clone() } else { format!("{rel}/{name}") };
+        let probe = if is_dir { format!("{child_rel}/") } else { child_rel.clone() };
+        if cfg.skipped(&probe) {
+            continue;
+        }
+        if is_dir {
+            walk(root, child_rel, cfg, report)?;
+        } else if name.ends_with(".rs") {
+            report.files += 1;
+            report.findings.extend(lint_file(root, &child_rel, cfg)?);
+        }
+    }
+    Ok(())
+}
+
+/// True when line `line` or the one above carries `lint:allow(<rule>)`.
+fn has_allow_marker(src: &Source, line: usize, rule: &str) -> bool {
+    let needle = format!("lint:allow({rule})");
+    let lo = line.saturating_sub(1).max(1);
+    (lo..=line).any(|l| src.raw_line(l).contains(needle.as_str()))
+}
+
+/// The `allow-marker` meta rule: every marker in the file must name a
+/// known rule and carry a non-empty justification after a colon.
+fn check_markers(rel: &str, src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for line in 1..=src.line_count() {
+        let text = src.raw_line(line);
+        let mut from = 0;
+        while let Some(pos) = text[from..].find("lint:allow(") {
+            let start = from + pos + "lint:allow(".len();
+            let problem = match text[start..].find(')') {
+                None => Some("unterminated marker".to_string()),
+                Some(close) => {
+                    let name = &text[start..start + close];
+                    let rest = &text[start + close + 1..];
+                    if rule_by_name(name).is_none() {
+                        Some(format!("marker names unknown rule `{name}`"))
+                    } else if !rest.trim_start().starts_with(':')
+                        || rest.trim_start()[1..].trim().is_empty()
+                    {
+                        Some(format!(
+                            "marker for `{name}` lacks a justification — write `lint:allow({name}): <why>`"
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(message) = problem {
+                out.push(Finding {
+                    rule: ALLOW_MARKER_RULE.to_string(),
+                    path: rel.to_string(),
+                    line,
+                    message,
+                });
+            }
+            from = start;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, text: &str) -> Vec<Finding> {
+        lint_source(rel, text.to_string(), &Config::repo_default())
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_or_previous_line() {
+        let same =
+            "fn f() { let x = 1; dbg!(x); } // lint:allow(debug-macro): exercising the marker\n";
+        assert!(lint("src/a.rs", same).is_empty());
+        let above = "// lint:allow(debug-macro): exercising the marker\ndbg!(1);\n";
+        assert!(lint("src/a.rs", above).is_empty());
+        let far = "// lint:allow(debug-macro): too far away\n\n\ndbg!(1);\n";
+        assert_eq!(lint("src/a.rs", far).len(), 1);
+    }
+
+    #[test]
+    fn marker_without_justification_is_flagged() {
+        let bare = "dbg!(1); // lint:allow(debug-macro)\n";
+        let found = lint("src/a.rs", bare);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "allow-marker");
+        let unknown = "// lint:allow(no-such-rule): whatever\n";
+        let found = lint("src/a.rs", unknown);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn test_region_heuristic() {
+        let text = "fn prod(m: &std::sync::Mutex<u32>) { let _ = m.lock().unwrap(); }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t(m: &std::sync::Mutex<u32>) { let _ = m.lock().unwrap(); } }\n";
+        let found = lint("src/a.rs", text);
+        assert_eq!(found.len(), 1, "only the non-test site: {found:?}");
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn scoping_respects_config() {
+        let text = "fn f(m: &std::sync::Mutex<u32>) { let _ = m.lock().unwrap(); }\n";
+        assert_eq!(lint("src/a.rs", text).len(), 1);
+        assert!(lint("crates/graph/src/a.rs", text).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! `dsmatch-lint`: a text/token-level static analyzer (no `syn`, no
+//! crates.io) enforcing the repo's cross-cutting invariants. See
+//! [`rules`] for the rule set and [`scan`] for the comment/string-masking
+//! tokenizer the rules run over.
+
+pub mod config;
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use engine::{lint_file, lint_tree, Finding};

@@ -1,0 +1,219 @@
+//! The rule set. Each rule is a pure function over a lexed [`Source`]
+//! plus path context; the engine handles scoping, allow markers and
+//! reporting. Rules search the *masked* text (so string/comment content
+//! can't trigger them) and read *raw* lines only where comment text is
+//! the point (`SAFETY:` audits).
+
+use super::config::Config;
+use super::scan::{find_all, word_at, Source};
+
+/// A rule hit before allow-marker filtering.
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description with the fix.
+    pub message: String,
+}
+
+/// Per-file context handed to every rule.
+pub struct RuleCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// Lexed source.
+    pub src: &'a Source,
+    /// Active configuration.
+    pub cfg: &'a Config,
+    /// 1-based line of the first `#[cfg(test)]` attribute, if any. The
+    /// engine treats everything from there to EOF as test code — a
+    /// deliberate over-approximation (the repo keeps test modules last in
+    /// a file) that a token-level pass can get right without parsing.
+    pub test_start: Option<usize>,
+    /// True when the file lives under a `tests/` directory.
+    pub in_tests_dir: bool,
+}
+
+impl RuleCtx<'_> {
+    /// Whether `line` is test code under the heuristic above.
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.in_tests_dir || self.test_start.is_some_and(|start| line >= start)
+    }
+}
+
+/// A named lint rule.
+pub struct Rule {
+    /// Rule name — the token used in `lint:allow(<name>)` markers and
+    /// config keys.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and the README table.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&RuleCtx<'_>) -> Vec<RawFinding>,
+}
+
+/// Every rule, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "unsafe-block",
+        summary: "every `unsafe` keyword needs a `// SAFETY:` comment on the same line or in the comment block directly above",
+        check: check_unsafe_block,
+    },
+    Rule {
+        name: "lock-unwrap",
+        summary: "no `.lock().unwrap()` / `.lock().expect(...)` on serve/engine shared-state paths — use poison-tolerant `unwrap_or_else(|p| p.into_inner())` or return a structured error",
+        check: check_lock_unwrap,
+    },
+    Rule {
+        name: "wall-clock",
+        summary: "no `Instant::now` / `SystemTime::now` in algorithm crates — kernels must be deterministic; clocks live in the harness",
+        check: check_wall_clock,
+    },
+    Rule {
+        name: "test-deadline",
+        summary: "no hard-coded multi-second test deadlines — route them through the DSMATCH_TEST_TIMEOUT_SECS knob",
+        check: check_test_deadline,
+    },
+    Rule {
+        name: "debug-macro",
+        summary: "no `dbg!` / `todo!` / `unimplemented!` anywhere",
+        check: check_debug_macro,
+    },
+];
+
+/// Name of the marker-wellformedness meta rule (reported by the engine,
+/// not listed in [`RULES`] since it cannot itself be allowed away).
+pub const ALLOW_MARKER_RULE: &str = "allow-marker";
+
+/// Look up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn check_unsafe_block(ctx: &RuleCtx<'_>) -> Vec<RawFinding> {
+    let masked = ctx.src.masked();
+    let mut out = Vec::new();
+    for pos in find_all(masked, "unsafe") {
+        if !word_at(masked, pos, "unsafe") {
+            continue;
+        }
+        let line = ctx.src.line_of(pos);
+        if !safety_documented(ctx.src, line) {
+            out.push(RawFinding {
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// True when `line` carries a `SAFETY:` comment, or the contiguous run
+/// of `//` comment lines directly above it does. Scanning the whole
+/// comment block (rather than a fixed window) lets long justifications
+/// keep their `SAFETY:` tag on the first line.
+fn safety_documented(src: &Source, line: usize) -> bool {
+    if src.raw_line(line).contains("SAFETY:") {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let above = src.raw_line(l);
+        if !above.trim_start().starts_with("//") {
+            return false;
+        }
+        if above.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_lock_unwrap(ctx: &RuleCtx<'_>) -> Vec<RawFinding> {
+    let masked = ctx.src.masked();
+    let mut out = Vec::new();
+    for needle in [".lock().unwrap()", ".lock().expect("] {
+        for pos in find_all(masked, needle) {
+            let line = ctx.src.line_of(pos);
+            if ctx.is_test_code(line) {
+                continue;
+            }
+            out.push(RawFinding {
+                line,
+                message: format!(
+                    "`{needle}…` panics on a poisoned lock; use `.lock().unwrap_or_else(|p| p.into_inner())` or reply with a structured error"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_wall_clock(ctx: &RuleCtx<'_>) -> Vec<RawFinding> {
+    let masked = ctx.src.masked();
+    let mut out = Vec::new();
+    for needle in ["Instant::now", "SystemTime::now"] {
+        for pos in find_all(masked, needle) {
+            let line = ctx.src.line_of(pos);
+            if ctx.is_test_code(line) {
+                continue;
+            }
+            out.push(RawFinding {
+                line,
+                message: format!(
+                    "`{needle}` in an algorithm crate breaks determinism; thread time in from the caller"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_test_deadline(ctx: &RuleCtx<'_>) -> Vec<RawFinding> {
+    let masked = ctx.src.masked();
+    let mut out = Vec::new();
+    for pos in find_all(masked, "from_secs(") {
+        let line = ctx.src.line_of(pos);
+        if !ctx.is_test_code(line) {
+            continue;
+        }
+        let after = &masked[pos + "from_secs(".len()..];
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        let Ok(secs) = digits.parse::<u64>() else {
+            continue; // non-literal argument: a named constant or knob
+        };
+        if secs < ctx.cfg.test_deadline_min_secs {
+            continue;
+        }
+        // A nearby mention of the knob means this literal is its default.
+        let lo = line.saturating_sub(8).max(1);
+        let knob_nearby =
+            (lo..=line).any(|l| ctx.src.raw_line(l).contains("DSMATCH_TEST_TIMEOUT_SECS"));
+        if !knob_nearby {
+            out.push(RawFinding {
+                line,
+                message: format!(
+                    "hard-coded {secs}s test deadline; derive it from DSMATCH_TEST_TIMEOUT_SECS so slow runners (tsan, ci) can widen it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_debug_macro(ctx: &RuleCtx<'_>) -> Vec<RawFinding> {
+    let masked = ctx.src.masked();
+    let mut out = Vec::new();
+    for name in ["dbg", "todo", "unimplemented"] {
+        let needle = format!("{name}!(");
+        for pos in find_all(masked, &needle) {
+            if !word_at(masked, pos, name) {
+                continue;
+            }
+            out.push(RawFinding {
+                line: ctx.src.line_of(pos),
+                message: format!("`{name}!` must not ship"),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,314 @@
+//! The masking scanner: a single pass over Rust source that blanks the
+//! interiors of comments, string/char literals and doc text with spaces,
+//! leaving code tokens at their original byte offsets.
+//!
+//! Rules search the masked text, so `"lock().unwrap()"` inside a string
+//! literal or a comment can never trigger a code rule — and rules that
+//! *need* comment text (`SAFETY:` audits, `lint:allow` markers) read the
+//! untouched raw lines. This is deliberately a lexer, not a parser: the
+//! repo invariants it checks are token-shaped, and a token-level pass
+//! cannot be wrong about nesting the way a regex would be.
+
+/// A lexed source file: the raw text, its code-only masked twin (same
+/// length, comments/strings blanked to spaces, newlines preserved), and
+/// a line index shared by both.
+pub struct Source {
+    raw: String,
+    masked: String,
+    line_starts: Vec<usize>,
+}
+
+impl Source {
+    /// Lex `raw` into a masked view.
+    pub fn new(raw: String) -> Source {
+        let masked = mask(&raw);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Source { raw, masked, line_starts }
+    }
+
+    /// The untouched source text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The masked (code-only) text, byte-for-byte aligned with `raw`.
+    pub fn masked(&self) -> &str {
+        &self.masked
+    }
+
+    /// Number of lines (a trailing newline does not start a new line).
+    pub fn line_count(&self) -> usize {
+        if self.line_starts.last() == Some(&self.raw.len()) && self.raw.ends_with('\n') {
+            self.line_starts.len() - 1
+        } else {
+            self.line_starts.len()
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.raw.len(), |&next| next.saturating_sub(1));
+        (start, end)
+    }
+
+    /// Raw text of 1-based `line`, without the newline.
+    pub fn raw_line(&self, line: usize) -> &str {
+        let (start, end) = self.line_span(line);
+        &self.raw[start..end]
+    }
+
+    /// Masked text of 1-based `line`, without the newline.
+    pub fn masked_line(&self, line: usize) -> &str {
+        let (start, end) = self.line_span(line);
+        &self.masked[start..end]
+    }
+}
+
+/// True when `text[pos..]` starts with `token` at an identifier boundary
+/// on both sides (so `unsafe` does not match inside `unsafe_code`).
+pub fn word_at(text: &str, pos: usize, token: &str) -> bool {
+    let bytes = text.as_bytes();
+    if !text[pos..].starts_with(token) {
+        return false;
+    }
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    if pos > 0 && ident(bytes[pos - 1]) {
+        return false;
+    }
+    let end = pos + token.len();
+    end >= bytes.len() || !ident(bytes[end])
+}
+
+/// Byte offsets at which `needle` occurs in `haystack`.
+pub fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + needle.len().max(1);
+    }
+    out
+}
+
+/// Blank comment and string/char interiors to spaces, preserving length
+/// and newlines.
+fn mask(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = bytes.to_vec();
+    let blank = |out: &mut [u8], range: std::ops::Range<usize>| {
+        for b in &mut out[range] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = raw[i..].find('\n').map_or(bytes.len(), |rel| i + rel);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                if let Some(end) = skip_raw_or_byte_string(bytes, i) {
+                    blank(&mut out, i..end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if let Some(end) = skip_char_literal(raw, i) {
+                    blank(&mut out, i..end);
+                    i = end;
+                } else {
+                    i += 1; // lifetime or loop label: not a literal
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII spaces")
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// `i` points at an opening `"`; return the offset just past the close.
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// `i` points at `r` or `b`; recognize `r"`, `r#"`, `b"`, `br"`, `br#"`,
+/// `b'…'` prefixes and return the offset past the literal.
+fn skip_raw_or_byte_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            // byte char literal b'x' / b'\n'
+            let mut k = j + 1;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'\\' => k += 2,
+                    b'\'' => return Some(k + 1),
+                    _ => k += 1,
+                }
+            }
+            return Some(bytes.len());
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some(skip_string(bytes, j));
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // scan for `"` followed by `hashes` hashes
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// `i` points at `'`; return `Some(end)` when it opens a char literal,
+/// `None` when it is a lifetime/label tick.
+fn skip_char_literal(raw: &str, i: usize) -> Option<usize> {
+    let rest = &raw[i + 1..];
+    let mut chars = rest.char_indices();
+    let (_, first) = chars.next()?;
+    if first == '\\' {
+        // escaped char: scan to the closing quote
+        let bytes = raw.as_bytes();
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(raw.len());
+    }
+    // `'c'` (any single char, maybe multibyte) — else a lifetime
+    match chars.next() {
+        Some((off, '\'')) => Some(i + 1 + off + 1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = Source::new(
+            "let x = \"unsafe { }\"; // dbg!(x)\nlet y = 'a'; /* todo!() */ let z = 1;\n"
+                .to_string(),
+        );
+        assert!(!src.masked().contains("unsafe"));
+        assert!(!src.masked().contains("dbg!"));
+        assert!(!src.masked().contains("todo!"));
+        assert!(src.masked().contains("let z = 1;"));
+        assert_eq!(src.masked().len(), src.raw().len());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = Source::new(
+            "fn f<'a>(s: &'a str) -> &'a str { s }\nlet r = r#\"lock().unwrap()\"#;\n".to_string(),
+        );
+        assert!(src.masked().contains("fn f<'a>(s: &'a str)"));
+        assert!(!src.masked().contains("lock().unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = Source::new("/* a /* b */ dbg!(1) */ let ok = 2;".to_string());
+        assert!(!src.masked().contains("dbg!"));
+        assert!(src.masked().contains("let ok = 2;"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let text = "forbid(unsafe_code) unsafe {";
+        let hits: Vec<usize> =
+            find_all(text, "unsafe").into_iter().filter(|&p| word_at(text, p, "unsafe")).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&text[hits[0]..hits[0] + 8], "unsafe {");
+    }
+
+    #[test]
+    fn line_index() {
+        let src = Source::new("a\nbb\nccc\n".to_string());
+        assert_eq!(src.line_count(), 3);
+        assert_eq!(src.line_of(0), 1);
+        assert_eq!(src.line_of(2), 2);
+        assert_eq!(src.raw_line(2), "bb");
+        assert_eq!(src.raw_line(3), "ccc");
+    }
+}

@@ -1,0 +1,116 @@
+//! The length-hinted work-stealing deque protocol: a mutexed `VecDeque`
+//! whose occupancy is mirrored in an atomic hint so sweeps skip empty
+//! deques without touching their locks.
+//!
+//! Invariant: the hint is written **only under the deque lock**, to the
+//! exact post-operation length. A lock-free hint read may therefore be
+//! stale, but staleness is one-sided in the direction that matters:
+//!
+//! - While a *remover* (pop/steal) holds the lock, the not-yet-updated
+//!   hint **overestimates** the length — a concurrent fast-path read sees
+//!   "non-empty", takes the lock, and finds the truth. Never a false
+//!   empty.
+//! - Only the owner pushes to its own deque ([`push`]) and only a thief
+//!   prepends to *its own* deque ([`prepend`]), so a fast-path read that
+//!   underestimates during someone else's insertion can only make a thief
+//!   skip a victim it could have robbed — the job is not lost, because
+//!   the inserter announces the work through the eventcount afterwards
+//!   (see [`super::eventcount`]) and the owner drains its own deque
+//!   before parking.
+//!
+//! The model checker verifies the consequences directly: across every
+//! interleaving of push/pop/steal/steal-half at 2–3 threads, no job is
+//! lost, none is executed twice, and the composed pool loop (sweep with
+//! hint fast paths, then park) never strands a pushed job.
+
+/// The shared-memory operations the hinted-deque protocol performs.
+///
+/// `hint` is read lock-free (`Acquire` in the real pool); every other
+/// operation requires the deque lock, passed explicitly as `Guard` so the
+/// protocol functions cannot touch the queue without holding it.
+pub trait DequeOps {
+    /// The queued item type (type-erased jobs in the real pool).
+    type Item;
+    /// Guard of the deque lock; released on drop.
+    type Guard<'a>
+    where
+        Self: 'a;
+
+    /// Lock-free load of the occupancy hint.
+    fn hint(&self) -> usize;
+    /// Store the occupancy hint (caller holds the lock).
+    fn set_hint(&self, guard: &mut Self::Guard<'_>, len: usize);
+    /// Acquire the deque lock.
+    fn lock(&self) -> Self::Guard<'_>;
+    /// Queue length under the lock.
+    fn len(&self, guard: &Self::Guard<'_>) -> usize;
+    /// Append at the back (owner side).
+    fn push_back(&self, guard: &mut Self::Guard<'_>, item: Self::Item);
+    /// Insert at the front (thief re-homing stolen surplus).
+    fn push_front(&self, guard: &mut Self::Guard<'_>, item: Self::Item);
+    /// Remove from the back (owner side, LIFO).
+    fn pop_back(&self, guard: &mut Self::Guard<'_>) -> Option<Self::Item>;
+    /// Remove from the front (thief side, FIFO).
+    fn pop_front(&self, guard: &mut Self::Guard<'_>) -> Option<Self::Item>;
+}
+
+/// Owner-side push at the back, updating the hint under the lock.
+pub fn push<D: DequeOps>(deque: &D, item: D::Item) {
+    let mut guard = deque.lock();
+    deque.push_back(&mut guard, item);
+    let len = deque.len(&guard);
+    deque.set_hint(&mut guard, len);
+}
+
+/// Owner-side pop at the back (LIFO). Lock-free when the hint says empty
+/// — safe because the hint never underestimates the owner's own deque
+/// (only the owner inserts into it, and removals overestimate while in
+/// progress; see the module docs).
+pub fn pop<D: DequeOps>(deque: &D) -> Option<D::Item> {
+    if deque.hint() == 0 {
+        return None;
+    }
+    let mut guard = deque.lock();
+    let item = deque.pop_back(&mut guard);
+    let len = deque.len(&guard);
+    deque.set_hint(&mut guard, len);
+    item
+}
+
+/// Thief-side batch pop (FIFO): take the older *half* of the deque (at
+/// least one item) in one lock acquisition — steal-half amortizes lock
+/// traffic to O(workers · log jobs) per region instead of one victim
+/// lock per job. Lock-free when the hint says empty. The surplus beyond
+/// the first item is pushed into `surplus` for the thief to re-home with
+/// [`prepend`]; the victim's lock is released first, so no thread ever
+/// holds two deque locks (which could deadlock two symmetric thieves).
+pub fn steal_half<D: DequeOps>(deque: &D, surplus: &mut Vec<D::Item>) -> Option<D::Item> {
+    if deque.hint() == 0 {
+        return None;
+    }
+    let mut guard = deque.lock();
+    let take = deque.len(&guard).div_ceil(2);
+    let first = deque.pop_front(&mut guard);
+    for _ in 1..take {
+        surplus.push(deque.pop_front(&mut guard).expect("take <= len"));
+    }
+    let len = deque.len(&guard);
+    deque.set_hint(&mut guard, len);
+    first
+}
+
+/// Re-home stolen surplus onto the thief's **own** deque. Stolen jobs are
+/// older than anything the owner will push later, so they go to the
+/// front (in reverse, preserving their order) to keep FIFO-ish order for
+/// onward thieves.
+pub fn prepend<D: DequeOps>(deque: &D, surplus: &mut Vec<D::Item>) {
+    if surplus.is_empty() {
+        return;
+    }
+    let mut guard = deque.lock();
+    for item in surplus.drain(..).rev() {
+        deque.push_front(&mut guard, item);
+    }
+    let len = deque.len(&guard);
+    deque.set_hint(&mut guard, len);
+}

@@ -1,0 +1,102 @@
+//! The eventcount sleep protocol: how idle pool workers park without ever
+//! losing a wakeup.
+//!
+//! The protocol keeps uncontended pushes lock-free. State:
+//!
+//! - `epoch` — bumped (`SeqCst`) on every work announcement;
+//! - `sleepers` — workers parked or committed to parking;
+//! - `shutdown` — latched true when the pool is told to exit;
+//! - a mutex + condvar pair used **only** for the park/notify rendezvous
+//!   (the condvar's guarded state lives in the atomics, re-checked under
+//!   the lock before every wait).
+//!
+//! The lost-wakeup argument: a worker reads `epoch` *before* its failed
+//! work-finding sweep ([`park`] is called with that pre-sweep value), and
+//! an announcer bumps `epoch` *before* checking `sleepers`. Both sides
+//! are `SeqCst`, so either the announcer observes the sleeper's
+//! registration and notifies under the lock, or the parking worker
+//! observes the bumped epoch during its re-check under the lock and never
+//! waits — never neither. [`crate::sim`]'s explorer verifies this over
+//! every interleaving at 2–3 threads, and the seeded-bug regression
+//! tests show the same explorer catching each single-step weakening of
+//! the protocol (bump after the sleeper check, missing re-check, …).
+
+/// The shared-memory operations the eventcount protocol performs,
+/// implemented over `std` primitives by the real pool and over simulated
+/// primitives by the model checker.
+///
+/// Atomic accessors are `SeqCst`. `Guard` is the sleep-lock guard:
+/// dropping it releases the lock.
+pub trait EventcountOps {
+    /// Guard of the sleep mutex; released on drop.
+    type Guard<'a>
+    where
+        Self: 'a;
+
+    /// `SeqCst` load of the wakeup epoch.
+    fn epoch(&self) -> u64;
+    /// `SeqCst` bump of the wakeup epoch.
+    fn bump_epoch(&self);
+    /// `SeqCst` load of the parked-worker count.
+    fn sleepers(&self) -> usize;
+    /// `SeqCst` increment of the parked-worker count.
+    fn add_sleeper(&self);
+    /// `SeqCst` decrement of the parked-worker count.
+    fn remove_sleeper(&self);
+    /// `SeqCst` load of the shutdown latch.
+    fn is_shutdown(&self) -> bool;
+    /// `SeqCst` store latching shutdown on.
+    fn set_shutdown(&self);
+    /// Acquire the sleep lock.
+    fn lock_sleep(&self) -> Self::Guard<'_>;
+    /// Atomically release the sleep lock and wait for a notification,
+    /// reacquiring the lock before returning.
+    fn wait_sleep<'a>(&'a self, guard: Self::Guard<'a>) -> Self::Guard<'a>;
+    /// Wake one waiter (caller holds the sleep lock).
+    fn notify_one(&self);
+    /// Wake every waiter (caller holds the sleep lock).
+    fn notify_all(&self);
+}
+
+/// Announce new work: advance the wakeup epoch and wake a parked worker,
+/// if any. The epoch bump **must** precede the sleeper check — this
+/// ordering (against [`park`]'s registration-then-re-check) is the whole
+/// protocol; the model checker's seeded-bug regression demonstrates that
+/// reversing it loses wakeups.
+///
+/// The sleeper check keeps the common case (no one parked) entirely
+/// lock-free.
+pub fn announce<E: EventcountOps>(ec: &E) {
+    ec.bump_epoch();
+    if ec.sleepers() > 0 {
+        let guard = ec.lock_sleep();
+        ec.notify_one();
+        drop(guard);
+    }
+}
+
+/// Park until the epoch moves past `seen` or shutdown is latched.
+///
+/// `seen` must be the epoch value read **before** the failed work-finding
+/// sweep that led here: any announcement the sweep missed necessarily
+/// bumped the epoch afterwards, so the re-check under the lock observes
+/// it and returns instead of waiting.
+pub fn park<E: EventcountOps>(ec: &E, seen: u64) {
+    let mut guard = ec.lock_sleep();
+    ec.add_sleeper();
+    while ec.epoch() == seen && !ec.is_shutdown() {
+        guard = ec.wait_sleep(guard);
+    }
+    ec.remove_sleeper();
+    drop(guard);
+}
+
+/// Latch shutdown and wake every parked worker. Unlike [`announce`] this
+/// always takes the lock: shutdown is rare and must reach sleepers that
+/// registered concurrently with the latch.
+pub fn shutdown<E: EventcountOps>(ec: &E) {
+    ec.set_shutdown();
+    let guard = ec.lock_sleep();
+    ec.notify_all();
+    drop(guard);
+}

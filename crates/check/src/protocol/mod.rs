@@ -1,0 +1,21 @@
+//! The scheduler's synchronization protocols, written once and executed
+//! twice.
+//!
+//! Each submodule defines a small `Ops` trait naming the shared-memory
+//! operations a protocol performs, plus free functions containing the
+//! protocol logic itself. `shims/rayon` implements the traits over real
+//! `std` primitives and calls the same free functions from its hot paths;
+//! [`crate::sim`] implements them over simulated primitives whose every
+//! operation is a scheduling point, so the model checker explores every
+//! interleaving of exactly the code the pool runs.
+//!
+//! The protocols assume sequentially consistent atomics. The real pool
+//! uses `SeqCst` for the eventcount pair (epoch, sleepers) — the orderings
+//! the lost-wakeup argument rests on — and `Acquire`/`Release` for the
+//! deque length hint, whose staleness is tolerated by design (a stale
+//! hint can only overestimate emptiness transiently; see
+//! [`deque`]). The checker explores the SC interleavings, which covers
+//! every outcome the `SeqCst` operations admit.
+
+pub mod deque;
+pub mod eventcount;

@@ -1,0 +1,226 @@
+//! Simulated shared-memory primitives. Every handle is a cheap clone
+//! (run id + slot index) into the run's [`World`](super::runtime); the
+//! operations marked as scheduling points pause the calling model thread
+//! until the controller picks it, which is what lets the explorer
+//! interleave them.
+
+use std::sync::Arc;
+
+use super::runtime::{cv_notify, cv_wait, direct_op, mutex_lock, mutex_unlock, sim_op, RunShared};
+
+pub(crate) fn new_cell(shared: Arc<RunShared>, id: usize) -> Cell {
+    Cell { shared, id }
+}
+
+pub(crate) fn new_mutex(shared: Arc<RunShared>, id: usize) -> SimMutex {
+    SimMutex { shared, id }
+}
+
+pub(crate) fn new_condvar(shared: Arc<RunShared>, id: usize) -> SimCondvar {
+    SimCondvar { shared, id }
+}
+
+pub(crate) fn new_queue(shared: Arc<RunShared>, id: usize) -> SimQueue {
+    SimQueue { shared, id }
+}
+
+/// A simulated atomic `u64`. Every `load`/`store`/`fetch_*` is a
+/// scheduling point (they are exactly the operations whose interleaving
+/// the checker explores); `peek`/`poke` access the value directly for
+/// setup and [`Sim::finally`](super::Sim::finally) checks.
+#[derive(Clone)]
+pub struct Cell {
+    shared: Arc<RunShared>,
+    id: usize,
+}
+
+impl Cell {
+    /// Atomic load (scheduling point).
+    pub fn load(&self) -> u64 {
+        let id = self.id;
+        sim_op(&self.shared, |w| w.cells[id])
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, value: u64) {
+        let id = self.id;
+        sim_op(&self.shared, |w| w.cells[id] = value);
+    }
+
+    /// Atomic wrapping add; returns the previous value (scheduling point).
+    pub fn fetch_add(&self, delta: u64) -> u64 {
+        let id = self.id;
+        sim_op(&self.shared, |w| {
+            let old = w.cells[id];
+            w.cells[id] = old.wrapping_add(delta);
+            old
+        })
+    }
+
+    /// Atomic wrapping subtract; returns the previous value (scheduling
+    /// point).
+    pub fn fetch_sub(&self, delta: u64) -> u64 {
+        let id = self.id;
+        sim_op(&self.shared, |w| {
+            let old = w.cells[id];
+            w.cells[id] = old.wrapping_sub(delta);
+            old
+        })
+    }
+
+    /// Atomic bitwise or; returns the previous value (scheduling point).
+    pub fn fetch_or(&self, bits: u64) -> u64 {
+        let id = self.id;
+        sim_op(&self.shared, |w| {
+            let old = w.cells[id];
+            w.cells[id] = old | bits;
+            old
+        })
+    }
+
+    /// Atomically decrement if positive; true on success (scheduling
+    /// point). The model-test analogue of a compare-and-swap claim loop.
+    pub fn dec_if_positive(&self) -> bool {
+        let id = self.id;
+        sim_op(&self.shared, |w| {
+            if w.cells[id] > 0 {
+                w.cells[id] -= 1;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Direct read, no scheduling point — setup / final checks only.
+    pub fn peek(&self) -> u64 {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.cells[id])
+    }
+
+    /// Direct write, no scheduling point — setup only.
+    pub fn poke(&self, value: u64) {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.cells[id] = value);
+    }
+}
+
+/// A simulated mutex. `lock` is a scheduling point and blocks through
+/// the controller; release (guard drop) is not a scheduling point —
+/// acquirers re-poll under the world lock, so releasing is only
+/// observable at the releaser's next operation anyway.
+#[derive(Clone)]
+pub struct SimMutex {
+    shared: Arc<RunShared>,
+    id: usize,
+}
+
+impl SimMutex {
+    /// Acquire; blocks (through the controller) while held elsewhere.
+    pub fn lock(&self) -> SimGuard {
+        mutex_lock(&self.shared, self.id);
+        SimGuard { shared: Arc::clone(&self.shared), mid: self.id, armed: true }
+    }
+}
+
+/// Guard of a [`SimMutex`]; releases on drop.
+pub struct SimGuard {
+    shared: Arc<RunShared>,
+    mid: usize,
+    armed: bool,
+}
+
+impl Drop for SimGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            mutex_unlock(&self.shared, self.mid);
+        }
+    }
+}
+
+/// A simulated condvar with FIFO wakeups.
+#[derive(Clone)]
+pub struct SimCondvar {
+    shared: Arc<RunShared>,
+    id: usize,
+}
+
+impl SimCondvar {
+    /// Atomically release the guard's mutex and wait for a notification;
+    /// reacquires the mutex before returning (both steps scheduling
+    /// points, like a real condvar wait).
+    pub fn wait(&self, mut guard: SimGuard) -> SimGuard {
+        assert!(Arc::ptr_eq(&guard.shared, &self.shared), "guard from a different run");
+        let mid = guard.mid;
+        guard.armed = false;
+        drop(guard);
+        cv_wait(&self.shared, self.id, mid);
+        SimGuard { shared: Arc::clone(&self.shared), mid, armed: true }
+    }
+
+    /// Wake the longest-waiting waiter, if any (scheduling point).
+    pub fn notify_one(&self) {
+        cv_notify(&self.shared, self.id, false);
+    }
+
+    /// Wake every waiter (scheduling point).
+    pub fn notify_all(&self) {
+        cv_notify(&self.shared, self.id, true);
+    }
+}
+
+/// A simulated `VecDeque<u64>` — the queue a deque lock protects.
+///
+/// Operations are **not** scheduling points: the protocol only touches
+/// the queue while holding its [`SimMutex`], so distinct interleavings
+/// of queue operations are already distinct interleavings of the lock
+/// operations around them. Callers outside a critical section (setup,
+/// final checks) get direct access for the same reason.
+#[derive(Clone)]
+pub struct SimQueue {
+    shared: Arc<RunShared>,
+    id: usize,
+}
+
+impl SimQueue {
+    /// Append at the back.
+    pub fn push_back(&self, value: u64) {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].push_back(value));
+    }
+
+    /// Insert at the front.
+    pub fn push_front(&self, value: u64) {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].push_front(value));
+    }
+
+    /// Remove from the back.
+    pub fn pop_back(&self) -> Option<u64> {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].pop_back())
+    }
+
+    /// Remove from the front.
+    pub fn pop_front(&self) -> Option<u64> {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].pop_front())
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].len())
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the contents, front to back — final checks.
+    pub fn peek_items(&self) -> Vec<u64> {
+        let id = self.id;
+        direct_op(&self.shared, |w| w.queues[id].iter().copied().collect())
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulated implementations of the protocol `Ops` traits — the model
+//! checker's counterparts to the real pool's `std`-backed ones. The
+//! protocol free functions in [`crate::protocol`] run unchanged over
+//! these, so the interleavings the explorer walks are interleavings of
+//! exactly the operations the pool performs.
+
+use super::{Cell, Sim, SimCondvar, SimGuard, SimMutex, SimQueue};
+use crate::protocol::deque::DequeOps;
+use crate::protocol::eventcount::EventcountOps;
+
+/// Simulated eventcount: the epoch / sleepers / shutdown atomics plus
+/// the sleep mutex + condvar, as allocated slots of one model run.
+#[derive(Clone)]
+pub struct SimEventcount {
+    epoch: Cell,
+    sleepers: Cell,
+    shutdown: Cell,
+    sleep: SimMutex,
+    cv: SimCondvar,
+}
+
+impl SimEventcount {
+    /// Allocate the eventcount's state in `sim`'s world.
+    pub fn new(sim: &mut Sim) -> Self {
+        SimEventcount {
+            epoch: sim.cell(0),
+            sleepers: sim.cell(0),
+            shutdown: sim.cell(0),
+            sleep: sim.mutex(),
+            cv: sim.condvar(),
+        }
+    }
+}
+
+impl EventcountOps for SimEventcount {
+    type Guard<'a> = SimGuard;
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load()
+    }
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1);
+    }
+    fn sleepers(&self) -> usize {
+        self.sleepers.load() as usize
+    }
+    fn add_sleeper(&self) {
+        self.sleepers.fetch_add(1);
+    }
+    fn remove_sleeper(&self) {
+        self.sleepers.fetch_sub(1);
+    }
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load() != 0
+    }
+    fn set_shutdown(&self) {
+        self.shutdown.store(1);
+    }
+    fn lock_sleep(&self) -> SimGuard {
+        self.sleep.lock()
+    }
+    fn wait_sleep(&self, guard: SimGuard) -> SimGuard {
+        self.cv.wait(guard)
+    }
+    fn notify_one(&self) {
+        self.cv.notify_one();
+    }
+    fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Simulated length-hinted deque: a [`SimQueue`] behind a [`SimMutex`]
+/// with a [`Cell`] occupancy hint. Items are `u64` tokens so model tests
+/// can track execution in a bitmask.
+#[derive(Clone)]
+pub struct SimDeque {
+    items: SimQueue,
+    hint: Cell,
+    lock: SimMutex,
+}
+
+impl SimDeque {
+    /// Allocate the deque's state in `sim`'s world.
+    pub fn new(sim: &mut Sim) -> Self {
+        SimDeque { items: sim.queue(), hint: sim.cell(0), lock: sim.mutex() }
+    }
+
+    /// Setup-only: fill the deque (and hint) before threads run.
+    pub fn preload(&self, tokens: &[u64]) {
+        for &t in tokens {
+            self.items.push_back(t);
+        }
+        self.hint.poke(self.items.len() as u64);
+    }
+
+    /// Final-check read of the remaining items, front to back.
+    pub fn peek_items(&self) -> Vec<u64> {
+        self.items.peek_items()
+    }
+
+    /// Final-check read of the hint.
+    pub fn peek_hint(&self) -> u64 {
+        self.hint.peek()
+    }
+}
+
+impl DequeOps for SimDeque {
+    type Item = u64;
+    type Guard<'a> = SimGuard;
+
+    fn hint(&self) -> usize {
+        self.hint.load() as usize
+    }
+    fn set_hint(&self, _guard: &mut SimGuard, len: usize) {
+        self.hint.store(len as u64);
+    }
+    fn lock(&self) -> SimGuard {
+        self.lock.lock()
+    }
+    fn len(&self, _guard: &SimGuard) -> usize {
+        self.items.len()
+    }
+    fn push_back(&self, _guard: &mut SimGuard, item: u64) {
+        self.items.push_back(item);
+    }
+    fn push_front(&self, _guard: &mut SimGuard, item: u64) {
+        self.items.push_front(item);
+    }
+    fn pop_back(&self, _guard: &mut SimGuard) -> Option<u64> {
+        self.items.pop_back()
+    }
+    fn pop_front(&self, _guard: &mut SimGuard) -> Option<u64> {
+        self.items.pop_front()
+    }
+}

@@ -1,0 +1,32 @@
+//! A hand-rolled loom-style bounded model checker.
+//!
+//! [`Explorer`] drives N *model threads* — real OS threads, gated so that
+//! exactly one runs at a time — through every interleaving of their
+//! shared-memory operations, up to a configurable preemption bound
+//! (context-bounded stateless model checking). Every operation on a
+//! simulated primitive ([`Cell`], [`SimMutex`], [`SimCondvar`]) is a
+//! scheduling point; between two points a thread runs thread-local code
+//! atomically. The explored memory model is sequential consistency,
+//! which covers every outcome the pool's `SeqCst` protocol operations
+//! admit (the deque hint's `Acquire`/`Release` pair is strictly weaker;
+//! its staleness tolerance is argued in [`crate::protocol::deque`]).
+//!
+//! A schedule that leaves unfinished threads with no runnable successor
+//! is reported as a [`Violation::Deadlock`] — the shape a lost wakeup or
+//! a stranded job takes in a finite test. Assertion failures inside model
+//! threads and in the [`Sim::finally`] check surface as violations too,
+//! carrying the exact schedule (sequence of thread ids) that produced
+//! them, so a reported bug is replayable by hand.
+//!
+//! Exploration is exhaustive within the preemption bound: the DFS
+//! backtracks over every scheduling decision whose alternative stays
+//! within budget, and [`Stats::complete`] reports whether the walk
+//! finished without hitting the schedule cap.
+
+mod cells;
+pub mod env;
+mod runtime;
+
+pub use cells::{Cell, SimCondvar, SimGuard, SimMutex, SimQueue};
+pub use env::{SimDeque, SimEventcount};
+pub use runtime::{Explorer, Sim, Stats, Violation};

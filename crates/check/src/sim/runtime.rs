@@ -1,0 +1,800 @@
+//! The model-checker runtime: gated model threads, the schedule
+//! controller, and the preemption-bounded DFS over schedules.
+//!
+//! Execution model: each model thread is a real OS thread that parks on a
+//! private gate channel before every shared-memory operation and reports
+//! back to the controller over a shared event channel after reaching its
+//! next scheduling point. The controller opens exactly one gate at a
+//! time, so the world (all simulated shared state) is only ever mutated
+//! by one thread between decisions — interleavings are explored at the
+//! granularity of shared-memory operations, which is exactly the
+//! granularity at which the protocols can race.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Model-thread id: index into the spawn order of [`Sim::thread`] calls.
+pub(crate) type Tid = usize;
+
+/// How long the controller waits for a scheduled thread to reach its next
+/// scheduling point before declaring the run stalled. A correct checker
+/// never gets near this; it exists so a non-yielding infinite loop in a
+/// protocol under test fails the run instead of hanging the suite.
+const STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Scheduler-visible state of one model thread, kept in [`World`] so both
+/// the controller and the runner threads (under the world lock) agree on
+/// who is runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThreadSt {
+    /// Parked at a scheduling point, runnable.
+    Ready,
+    /// Waiting to acquire the given simulated mutex; runnable once it is
+    /// unowned.
+    BlockedMutex(usize),
+    /// Waiting on the given simulated condvar; not runnable until a
+    /// notify moves it to [`ThreadSt::BlockedMutex`].
+    BlockedCv(usize),
+    /// Body returned.
+    Finished,
+}
+
+/// Owner marker for a mutex acquired outside any model thread (setup or
+/// `finally` code running on the controller).
+pub(crate) const CONTROLLER: Tid = usize::MAX;
+
+/// All simulated shared state of one run.
+#[derive(Default)]
+pub(crate) struct World {
+    /// Simulated atomics ([`super::Cell`]), by id.
+    pub(crate) cells: Vec<u64>,
+    /// Current owner of each simulated mutex, `None` when free.
+    pub(crate) mutex_owner: Vec<Option<Tid>>,
+    /// FIFO waiters per simulated condvar: `(thread, mutex to reacquire)`.
+    pub(crate) cv_waiters: Vec<VecDeque<(Tid, usize)>>,
+    /// Simulated queues ([`super::SimQueue`]), by id.
+    pub(crate) queues: Vec<VecDeque<u64>>,
+    /// Scheduler-visible thread states.
+    pub(crate) threads: Vec<ThreadSt>,
+}
+
+/// Shared between the controller and every runner of one run.
+pub(crate) struct RunShared {
+    pub(crate) world: Mutex<World>,
+}
+
+impl RunShared {
+    /// Lock the world, tolerating poison: a model thread that panics
+    /// mid-operation must not wedge teardown or mask the original panic.
+    pub(crate) fn world(&self) -> std::sync::MutexGuard<'_, World> {
+        self.world.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// What a runner reports to the controller after its step.
+pub(crate) enum EventKind {
+    /// Parked at the next scheduling point, still [`ThreadSt::Ready`].
+    AtYield,
+    /// Blocked; the runner already recorded *on what* in
+    /// [`World::threads`] before sending.
+    Blocked,
+    /// Body returned.
+    Finished,
+    /// Body panicked with this message.
+    Panicked(String),
+}
+
+pub(crate) struct Event {
+    pub(crate) tid: Tid,
+    pub(crate) kind: EventKind,
+}
+
+/// Per-runner context installed in TLS for the duration of the body.
+pub(crate) struct Ctx {
+    pub(crate) shared: Arc<RunShared>,
+    pub(crate) tid: Tid,
+    pub(crate) events: mpsc::Sender<Event>,
+    pub(crate) gate: mpsc::Receiver<()>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Panic payload used to unwind runner threads whose run the controller
+/// has abandoned (violation found or prefix replay done); the runner's
+/// catch_unwind swallows it silently.
+struct Abandon;
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// True when the calling thread is a model thread of `shared`'s run.
+/// Handles used from setup/`finally` code (controller thread, no TLS
+/// context) operate on the world directly without scheduling.
+fn on_sim_thread(shared: &Arc<RunShared>) -> bool {
+    CTX.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => {
+            assert!(
+                Arc::ptr_eq(&ctx.shared, shared),
+                "sim handle used from a model thread of a different run"
+            );
+            true
+        }
+        None => false,
+    })
+}
+
+/// Report an event to the controller. Ignores send failure: the receiver
+/// is only gone when the run is being abandoned, and then the gate recv
+/// will unwind us.
+fn send_event(kind: EventKind) {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect("send_event outside model thread");
+        let _ = ctx.events.send(Event { tid: ctx.tid, kind });
+    });
+}
+
+/// Park until the controller opens this thread's gate; unwind with
+/// [`Abandon`] if the controller dropped it.
+fn gate_recv() {
+    let ok = CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect("gate_recv outside model thread");
+        ctx.gate.recv().is_ok()
+    });
+    if !ok {
+        std::panic::panic_any(Abandon);
+    }
+}
+
+/// The scheduling point itself: report and wait to be chosen.
+fn yield_point() {
+    send_event(EventKind::AtYield);
+    gate_recv();
+}
+
+/// Run one shared-memory operation as a scheduling point (when called
+/// from a model thread) or directly (setup/`finally` on the controller).
+pub(crate) fn sim_op<R>(shared: &Arc<RunShared>, op: impl FnOnce(&mut World) -> R) -> R {
+    if on_sim_thread(shared) {
+        yield_point();
+    }
+    op(&mut shared.world())
+}
+
+/// Run an operation on the world without a scheduling point. Used for
+/// operations that are not independently observable interleaving-wise:
+/// queue access under an already-held simulated mutex, and mutex release
+/// (release-then-reschedule is equivalent to scheduling at the releaser's
+/// next operation, since acquirers re-poll under the world lock).
+pub(crate) fn direct_op<R>(shared: &Arc<RunShared>, op: impl FnOnce(&mut World) -> R) -> R {
+    op(&mut shared.world())
+}
+
+/// Acquire simulated mutex `mid`, blocking through the controller.
+pub(crate) fn mutex_lock(shared: &Arc<RunShared>, mid: usize) {
+    if !on_sim_thread(shared) {
+        let mut w = shared.world();
+        assert!(w.mutex_owner[mid].is_none(), "controller-side lock of a held sim mutex");
+        w.mutex_owner[mid] = Some(CONTROLLER);
+        return;
+    }
+    yield_point();
+    let tid = CTX.with(|c| c.borrow().as_ref().expect("model thread").tid);
+    loop {
+        {
+            let mut w = shared.world();
+            if w.mutex_owner[mid].is_none() {
+                w.mutex_owner[mid] = Some(tid);
+                w.threads[tid] = ThreadSt::Ready;
+                return;
+            }
+            w.threads[tid] = ThreadSt::BlockedMutex(mid);
+        }
+        send_event(EventKind::Blocked);
+        gate_recv();
+    }
+}
+
+/// Release simulated mutex `mid`. Not a scheduling point (see
+/// [`direct_op`]); called from guard drop, possibly during unwind.
+pub(crate) fn mutex_unlock(shared: &Arc<RunShared>, mid: usize) {
+    let mut w = shared.world();
+    debug_assert!(w.mutex_owner[mid].is_some(), "unlock of a free sim mutex");
+    w.mutex_owner[mid] = None;
+}
+
+/// Atomically release `mid` and wait on condvar `cvid`, reacquiring `mid`
+/// before returning — the caller's guard must already be disarmed.
+pub(crate) fn cv_wait(shared: &Arc<RunShared>, cvid: usize, mid: usize) {
+    assert!(on_sim_thread(shared), "condvar wait requires a model thread");
+    let tid = CTX.with(|c| c.borrow().as_ref().expect("model thread").tid);
+    yield_point();
+    {
+        let mut w = shared.world();
+        debug_assert_eq!(w.mutex_owner[mid], Some(tid), "wait without the lock");
+        w.mutex_owner[mid] = None;
+        w.cv_waiters[cvid].push_back((tid, mid));
+        w.threads[tid] = ThreadSt::BlockedCv(cvid);
+    }
+    send_event(EventKind::Blocked);
+    gate_recv();
+    // A notifier moved us to BlockedMutex(mid); the controller scheduled
+    // us because the mutex is (momentarily) free — reacquire it.
+    loop {
+        {
+            let mut w = shared.world();
+            if w.mutex_owner[mid].is_none() {
+                w.mutex_owner[mid] = Some(tid);
+                w.threads[tid] = ThreadSt::Ready;
+                return;
+            }
+            w.threads[tid] = ThreadSt::BlockedMutex(mid);
+        }
+        send_event(EventKind::Blocked);
+        gate_recv();
+    }
+}
+
+/// Wake waiters of condvar `cvid`: the first in FIFO order, or all.
+/// A scheduling point (it is observable: it decides who can run).
+pub(crate) fn cv_notify(shared: &Arc<RunShared>, cvid: usize, all: bool) {
+    sim_op(shared, |w| {
+        while let Some((t, m)) = w.cv_waiters[cvid].pop_front() {
+            w.threads[t] = ThreadSt::BlockedMutex(m);
+            if !all {
+                break;
+            }
+        }
+    });
+}
+
+/// Registration surface handed to the test closure: allocate shared
+/// state, spawn model threads, install the post-run check.
+pub struct Sim {
+    shared: Arc<RunShared>,
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+    finally: Option<Box<dyn FnOnce()>>,
+}
+
+impl Sim {
+    /// Allocate a simulated atomic initialized to `init`.
+    pub fn cell(&mut self, init: u64) -> super::Cell {
+        let id = {
+            let mut w = self.shared.world();
+            w.cells.push(init);
+            w.cells.len() - 1
+        };
+        super::cells::new_cell(Arc::clone(&self.shared), id)
+    }
+
+    /// Allocate a simulated mutex.
+    pub fn mutex(&mut self) -> super::SimMutex {
+        let id = {
+            let mut w = self.shared.world();
+            w.mutex_owner.push(None);
+            w.mutex_owner.len() - 1
+        };
+        super::cells::new_mutex(Arc::clone(&self.shared), id)
+    }
+
+    /// Allocate a simulated condvar.
+    pub fn condvar(&mut self) -> super::SimCondvar {
+        let id = {
+            let mut w = self.shared.world();
+            w.cv_waiters.push(VecDeque::new());
+            w.cv_waiters.len() - 1
+        };
+        super::cells::new_condvar(Arc::clone(&self.shared), id)
+    }
+
+    /// Allocate a simulated queue (the `VecDeque` behind a deque lock).
+    pub fn queue(&mut self) -> super::SimQueue {
+        let id = {
+            let mut w = self.shared.world();
+            w.queues.push(VecDeque::new());
+            w.queues.len() - 1
+        };
+        super::cells::new_queue(Arc::clone(&self.shared), id)
+    }
+
+    /// Spawn a model thread; returns its id (the id events and schedules
+    /// refer to). Threads start concurrently at their first scheduling
+    /// point — code before the first shared-memory operation is setup.
+    pub fn thread(&mut self, body: impl FnOnce() + Send + 'static) -> Tid {
+        self.bodies.push(Box::new(body));
+        self.bodies.len() - 1
+    }
+
+    /// Install a check to run on the controller after every complete
+    /// schedule (use `peek`-style accessors; not a model thread). An
+    /// assertion failure here is reported as a violation with the
+    /// schedule that produced it.
+    pub fn finally(&mut self, f: impl FnOnce() + 'static) {
+        assert!(self.finally.is_none(), "finally installed twice");
+        self.finally = Some(Box::new(f));
+    }
+}
+
+/// Why a schedule was rejected. Carries the schedule — the sequence of
+/// thread ids chosen at each decision — so the interleaving is
+/// reconstructible by hand.
+#[derive(Debug)]
+pub enum Violation {
+    /// Unfinished threads exist but none is runnable: a lost wakeup /
+    /// stranded job / classic deadlock.
+    Deadlock {
+        /// One line per unfinished thread describing what it waits on.
+        waiting: Vec<String>,
+        /// The schedule that got here.
+        schedule: Vec<Tid>,
+    },
+    /// A model thread panicked (assertion failure in the test body or
+    /// protocol code).
+    ThreadPanic {
+        /// Which thread.
+        tid: Tid,
+        /// Panic message.
+        message: String,
+        /// The schedule that got here.
+        schedule: Vec<Tid>,
+    },
+    /// The [`Sim::finally`] check failed after a complete schedule.
+    FinallyFailed {
+        /// Panic message from the check.
+        message: String,
+        /// The complete schedule that produced the bad final state.
+        schedule: Vec<Tid>,
+    },
+    /// A single schedule exceeded the per-run step cap — the protocol
+    /// under test livelocks (yields forever without finishing).
+    StepLimit {
+        /// The schedule so far.
+        schedule: Vec<Tid>,
+    },
+    /// A scheduled thread failed to reach its next scheduling point
+    /// within the 30 s stall limit — a non-yielding infinite loop.
+    Stalled {
+        /// The schedule so far.
+        schedule: Vec<Tid>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Deadlock { waiting, schedule } => write!(
+                f,
+                "deadlock (lost wakeup or stranded work): {}; schedule {:?}",
+                waiting.join(", "),
+                schedule
+            ),
+            Violation::ThreadPanic { tid, message, schedule } => {
+                write!(f, "model thread {tid} panicked: {message}; schedule {schedule:?}")
+            }
+            Violation::FinallyFailed { message, schedule } => {
+                write!(f, "post-run check failed: {message}; schedule {schedule:?}")
+            }
+            Violation::StepLimit { schedule } => write!(
+                f,
+                "step limit exceeded (livelock?); schedule prefix {:?}…",
+                &schedule[..schedule.len().min(64)]
+            ),
+            Violation::Stalled { schedule } => {
+                write!(f, "scheduled thread stalled (non-yielding loop?); schedule {schedule:?}")
+            }
+        }
+    }
+}
+
+/// Exploration summary for a passing check.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// True when the DFS exhausted every schedule within the preemption
+    /// bound; false when it stopped at the schedule cap.
+    pub complete: bool,
+}
+
+/// One scheduling decision, recorded for DFS backtracking.
+struct Frame {
+    /// Runnable threads at this decision, previously-running thread
+    /// first (continuing it costs no preemption), the rest ascending.
+    ordered: Vec<Tid>,
+    /// Index into `ordered` actually taken.
+    choice: usize,
+    /// Preemptions spent strictly before this decision.
+    preempt_before: usize,
+    /// Whether the previously-running thread was still runnable here
+    /// (i.e. whether a non-zero choice costs a preemption).
+    prev_enabled: bool,
+}
+
+/// The bounded DFS schedule explorer.
+///
+/// `Explorer::new(p)` explores every schedule with at most `p`
+/// preemptions — context switches at points where the running thread
+/// could have continued. Preemption bounding is the standard lever for
+/// exhaustive-yet-tractable exploration: concurrency bugs overwhelmingly
+/// manifest within two or three preemptions.
+pub struct Explorer {
+    max_preemptions: usize,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Explorer {
+    /// Explorer with the given preemption bound and default caps
+    /// (500 000 schedules, 10 000 steps per schedule).
+    pub fn new(max_preemptions: usize) -> Self {
+        Explorer { max_preemptions, max_schedules: 500_000, max_steps: 10_000 }
+    }
+
+    /// Override the schedule cap (exploration reports `complete: false`
+    /// when it hits the cap).
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Explore every schedule of the test within the preemption bound.
+    ///
+    /// `test` is invoked once per schedule to build a fresh [`Sim`]
+    /// (allocate state, spawn threads, install the final check); it must
+    /// be deterministic. Returns the first violation found, with its
+    /// schedule, or exploration stats.
+    pub fn explore(&self, test: impl Fn(&mut Sim)) -> Result<Stats, Violation> {
+        let mut prefix: Vec<Tid> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let frames = self.run_one(&test, &prefix)?;
+            schedules += 1;
+            if schedules >= self.max_schedules {
+                return Ok(Stats { schedules, complete: false });
+            }
+            // Backtrack: deepest decision with an unexplored alternative
+            // that stays within the preemption budget. Alternatives to a
+            // decision all cost one preemption iff the previous thread
+            // was runnable there (continuing it was free), zero if not.
+            let mut next: Option<Vec<Tid>> = None;
+            for idx in (0..frames.len()).rev() {
+                let fr = &frames[idx];
+                if fr.choice + 1 < fr.ordered.len() {
+                    let cost = usize::from(fr.prev_enabled);
+                    if fr.preempt_before + cost <= self.max_preemptions {
+                        let mut p: Vec<Tid> =
+                            frames[..idx].iter().map(|g| g.ordered[g.choice]).collect();
+                        p.push(fr.ordered[fr.choice + 1]);
+                        next = Some(p);
+                        break;
+                    }
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => return Ok(Stats { schedules, complete: true }),
+            }
+        }
+    }
+
+    /// [`Explorer::explore`], panicking with the violation's display on
+    /// failure — the form tests use (`#[should_panic]` for seeded bugs).
+    pub fn check(&self, test: impl Fn(&mut Sim)) -> Stats {
+        match self.explore(test) {
+            Ok(stats) => stats,
+            Err(v) => panic!("model checking failed: {v}"),
+        }
+    }
+
+    /// Execute one schedule: follow `prefix`, then always continue the
+    /// running thread (default choice 0). Returns the decision trace.
+    fn run_one(&self, test: &impl Fn(&mut Sim), prefix: &[Tid]) -> Result<Vec<Frame>, Violation> {
+        let shared = Arc::new(RunShared { world: Mutex::new(World::default()) });
+        let mut sim = Sim { shared: Arc::clone(&shared), bodies: Vec::new(), finally: None };
+        test(&mut sim);
+        let Sim { bodies, finally, .. } = sim;
+        let n = bodies.len();
+        assert!(n > 0, "model test spawned no threads");
+        shared.world().threads = vec![ThreadSt::Ready; n];
+
+        let (etx, erx) = mpsc::channel::<Event>();
+        let mut gates = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for (tid, body) in bodies.into_iter().enumerate() {
+            let (gtx, grx) = mpsc::sync_channel::<()>(1);
+            gates.push(gtx);
+            let ctx = Ctx { shared: Arc::clone(&shared), tid, events: etx.clone(), gate: grx };
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{tid}"))
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    let tid = ctx.tid;
+                    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+                    let result = catch_unwind(AssertUnwindSafe(body));
+                    let ctx =
+                        CTX.with(|c| c.borrow_mut().take()).expect("model thread context vanished");
+                    match result {
+                        Ok(()) => {
+                            let _ = ctx.events.send(Event { tid, kind: EventKind::Finished });
+                        }
+                        Err(p) if p.downcast_ref::<Abandon>().is_some() => {}
+                        Err(p) => {
+                            let _ = ctx.events.send(Event {
+                                tid,
+                                kind: EventKind::Panicked(panic_msg(p.as_ref())),
+                            });
+                        }
+                    }
+                })
+                .expect("spawn model thread");
+            joins.push(handle);
+        }
+        drop(etx);
+
+        let mut finished = 0usize;
+        let mut violation: Option<Violation> = None;
+        let mut schedule: Vec<Tid> = Vec::new();
+        let mut frames: Vec<Frame> = Vec::new();
+
+        // Phase 1: every thread runs (concurrently — no shared-memory
+        // operation has executed yet) to its first scheduling point, or
+        // finishes/panics outright.
+        for _ in 0..n {
+            match erx.recv_timeout(STALL_LIMIT) {
+                Ok(ev) => match ev.kind {
+                    EventKind::AtYield | EventKind::Blocked => {}
+                    EventKind::Finished => {
+                        shared.world().threads[ev.tid] = ThreadSt::Finished;
+                        finished += 1;
+                    }
+                    EventKind::Panicked(message) => {
+                        violation = Some(Violation::ThreadPanic {
+                            tid: ev.tid,
+                            message,
+                            schedule: schedule.clone(),
+                        });
+                        break;
+                    }
+                },
+                Err(_) => {
+                    violation = Some(Violation::Stalled { schedule: schedule.clone() });
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: one decision per step until everyone finished.
+        let mut prev: Option<Tid> = None;
+        let mut preemptions = 0usize;
+        while violation.is_none() && finished < n {
+            let enabled: Vec<Tid> = {
+                let w = shared.world();
+                (0..n)
+                    .filter(|&t| match w.threads[t] {
+                        ThreadSt::Ready => true,
+                        ThreadSt::BlockedMutex(m) => w.mutex_owner[m].is_none(),
+                        ThreadSt::BlockedCv(_) | ThreadSt::Finished => false,
+                    })
+                    .collect()
+            };
+            if enabled.is_empty() {
+                let waiting = {
+                    let w = shared.world();
+                    (0..n)
+                        .filter(|&t| w.threads[t] != ThreadSt::Finished)
+                        .map(|t| match w.threads[t] {
+                            ThreadSt::BlockedMutex(m) => format!("t{t} on mutex {m}"),
+                            ThreadSt::BlockedCv(cv) => format!("t{t} on condvar {cv}"),
+                            _ => format!("t{t} (unscheduled)"),
+                        })
+                        .collect()
+                };
+                violation = Some(Violation::Deadlock { waiting, schedule });
+                break;
+            }
+            let prev_enabled = prev.is_some_and(|p| enabled.contains(&p));
+            let mut ordered = enabled;
+            if let Some(p) = prev {
+                if prev_enabled {
+                    ordered.retain(|&t| t != p);
+                    ordered.insert(0, p);
+                }
+            }
+            let choice = if frames.len() < prefix.len() {
+                let want = prefix[frames.len()];
+                ordered
+                    .iter()
+                    .position(|&t| t == want)
+                    .expect("prefix thread must be runnable on replay")
+            } else {
+                0
+            };
+            let chosen = ordered[choice];
+            frames.push(Frame {
+                ordered: ordered.clone(),
+                choice,
+                preempt_before: preemptions,
+                prev_enabled,
+            });
+            if prev_enabled && Some(chosen) != prev {
+                preemptions += 1;
+            }
+            prev = Some(chosen);
+            schedule.push(chosen);
+            if frames.len() > self.max_steps {
+                violation = Some(Violation::StepLimit { schedule });
+                break;
+            }
+            gates[chosen].send(()).expect("scheduled model thread already exited");
+            match erx.recv_timeout(STALL_LIMIT) {
+                Ok(ev) => {
+                    debug_assert_eq!(ev.tid, chosen, "event from unscheduled thread");
+                    match ev.kind {
+                        EventKind::AtYield => {
+                            shared.world().threads[ev.tid] = ThreadSt::Ready;
+                        }
+                        EventKind::Blocked => {}
+                        EventKind::Finished => {
+                            shared.world().threads[ev.tid] = ThreadSt::Finished;
+                            finished += 1;
+                        }
+                        EventKind::Panicked(message) => {
+                            violation = Some(Violation::ThreadPanic {
+                                tid: ev.tid,
+                                message,
+                                schedule: schedule.clone(),
+                            });
+                        }
+                    }
+                }
+                Err(_) => {
+                    violation = Some(Violation::Stalled { schedule: schedule.clone() });
+                }
+            }
+        }
+
+        // Teardown: closing the gates unwinds any still-parked runner.
+        drop(gates);
+        for handle in joins {
+            let _ = handle.join();
+        }
+
+        if violation.is_none() {
+            if let Some(f) = finally {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                    violation = Some(Violation::FinallyFailed {
+                        message: panic_msg(p.as_ref()),
+                        schedule: frames.iter().map(|f| f.ordered[f.choice]).collect(),
+                    });
+                }
+            }
+        }
+
+        match violation {
+            Some(v) => Err(v),
+            None => Ok(frames),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads × two independent atomic ops each: exactly C(4,2) = 6
+    /// interleavings, all reachable within 3 preemptions. Pins the DFS
+    /// enumeration itself.
+    #[test]
+    fn dfs_enumerates_exactly_the_interleavings() {
+        let stats = Explorer::new(3).check(|sim| {
+            let a = sim.cell(0);
+            let b = sim.cell(0);
+            {
+                let a = a.clone();
+                sim.thread(move || {
+                    a.fetch_add(1);
+                    a.fetch_add(1);
+                });
+            }
+            {
+                let b = b.clone();
+                sim.thread(move || {
+                    b.fetch_add(1);
+                    b.fetch_add(1);
+                });
+            }
+            let (a, b) = (a.clone(), b.clone());
+            sim.finally(move || {
+                assert_eq!(a.peek(), 2);
+                assert_eq!(b.peek(), 2);
+            });
+        });
+        assert!(stats.complete);
+        assert_eq!(stats.schedules, 6);
+    }
+
+    /// With a preemption bound of 1 the same test explores only the 4
+    /// schedules with at most one context switch away from a runnable
+    /// thread.
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let stats = Explorer::new(1).check(|sim| {
+            let a = sim.cell(0);
+            {
+                let a = a.clone();
+                sim.thread(move || {
+                    a.fetch_add(1);
+                    a.fetch_add(1);
+                });
+            }
+            {
+                let a = a.clone();
+                sim.thread(move || {
+                    a.fetch_add(1);
+                    a.fetch_add(1);
+                });
+            }
+        });
+        assert!(stats.complete);
+        assert_eq!(stats.schedules, 4);
+    }
+
+    /// A guaranteed-deadlock shape (both threads wait, nobody notifies)
+    /// is detected and reported with the schedule.
+    #[test]
+    fn deadlock_is_detected() {
+        let err = Explorer::new(2)
+            .explore(|sim| {
+                let m = sim.mutex();
+                let cv = sim.condvar();
+                for _ in 0..2 {
+                    let (m, cv) = (m.clone(), cv.clone());
+                    sim.thread(move || {
+                        let g = m.lock();
+                        drop(cv.wait(g));
+                    });
+                }
+            })
+            .unwrap_err();
+        match err {
+            Violation::Deadlock { waiting, .. } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// Mutual exclusion: the simulated mutex actually excludes — a
+    /// read-modify-write race under the lock never loses an update.
+    #[test]
+    fn sim_mutex_provides_mutual_exclusion() {
+        let stats = Explorer::new(2).check(|sim| {
+            let m = sim.mutex();
+            let q = sim.queue();
+            for _ in 0..2 {
+                let (m, q) = (m.clone(), q.clone());
+                sim.thread(move || {
+                    let g = m.lock();
+                    let len = q.len();
+                    q.push_back(len as u64);
+                    drop(g);
+                });
+            }
+            let q = q.clone();
+            sim.finally(move || {
+                assert_eq!(q.peek_items(), vec![0, 1], "updates must not be lost");
+            });
+        });
+        assert!(stats.complete);
+    }
+}

@@ -1,0 +1,8 @@
+// Violates `allow-marker` twice: a marker with no justification and a
+// marker naming an unknown rule. (The dbg! is suppressed by the first
+// marker — suppression and marker-wellformedness are separate rules.)
+pub fn sloppy(x: u32) -> u32 {
+    let y = dbg!(x + 1); // lint:allow(debug-macro)
+    let _ = y; // lint:allow(made-up-rule): not a rule
+    y
+}

@@ -1,0 +1,11 @@
+// Violates `debug-macro` three times; the commented-out dbg! and the
+// one in the string must NOT count.
+pub fn leftovers(x: u32) -> u32 {
+    let y = dbg!(x + 1);
+    if y > 10 {
+        todo!("handle the big case");
+    }
+    // dbg!(y) — already masked out
+    let _ = "dbg!(in a string)";
+    unimplemented!()
+}

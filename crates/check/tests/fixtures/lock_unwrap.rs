@@ -1,0 +1,9 @@
+// Violates `lock-unwrap` twice (unwrap, then expect) when linted at a
+// src/ path; the string literal on the last line must NOT count.
+use std::sync::Mutex;
+
+pub fn poke(state: &Mutex<Vec<u32>>) {
+    state.lock().unwrap().push(1);
+    state.lock().expect("state lock").push(2);
+    let _ = "state.lock().unwrap() in a string is fine";
+}

@@ -1,0 +1,9 @@
+// Clean twin of lock_unwrap.rs: poison-tolerant handling plus one
+// justified allow marker.
+use std::sync::Mutex;
+
+pub fn poke(state: &Mutex<Vec<u32>>) {
+    state.lock().unwrap_or_else(|p| p.into_inner()).push(1);
+    // lint:allow(lock-unwrap): setup-only path, a poisoned lock here means the process is already lost
+    state.lock().unwrap().push(2);
+}

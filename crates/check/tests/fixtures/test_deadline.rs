@@ -1,0 +1,14 @@
+// Violates `test-deadline`: a hard-coded 30-second deadline in a test
+// region, with no mention of the timeout knob in sight. The 1-second
+// duration below it is under the threshold and must not fire.
+pub fn production_path() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn waits_too_concretely() {
+        let deadline = std::time::Duration::from_secs(30);
+        let blip = std::time::Duration::from_secs(1);
+        assert!(deadline > blip);
+    }
+}

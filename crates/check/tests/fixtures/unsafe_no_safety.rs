@@ -1,0 +1,4 @@
+// Violates `unsafe-block`: no SAFETY comment anywhere near the block.
+pub fn reinterpret(x: &u64) -> &i64 {
+    unsafe { &*(x as *const u64 as *const i64) }
+}

@@ -1,0 +1,6 @@
+// Clean twin of unsafe_no_safety.rs: the SAFETY comment satisfies the rule.
+pub fn reinterpret(x: &u64) -> &i64 {
+    // SAFETY: u64 and i64 have identical size and alignment; the borrow
+    // keeps the source alive.
+    unsafe { &*(x as *const u64 as *const i64) }
+}

@@ -1,0 +1,8 @@
+// Violates `wall-clock` twice when linted at a crates/ path.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,107 @@
+//! Pins every `dsmatch-lint` rule against the fixture corpus in
+//! `tests/fixtures/`. Each violating fixture must keep producing its
+//! exact findings (rule + line), and each clean twin must stay silent —
+//! so a rule that silently stops matching, or an allow marker that stops
+//! suppressing, fails here instead of rotting.
+
+use std::fs;
+use std::path::Path;
+
+use dsmatch_check::lint::engine::lint_source;
+use dsmatch_check::lint::{Config, Finding};
+
+/// Lint a fixture file's text as if it lived at `rel` in the workspace.
+fn lint_fixture_at(fixture: &str, rel: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    lint_source(rel, text, &Config::repo_default())
+}
+
+/// Assert the findings are exactly `expected` (rule, line) pairs, in order.
+fn assert_findings(found: &[Finding], expected: &[(&str, usize)]) {
+    let got: Vec<(&str, usize)> = found.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+    assert_eq!(got, expected, "findings: {found:?}");
+}
+
+#[test]
+fn unsafe_block_without_safety_comment_is_flagged() {
+    let found = lint_fixture_at("unsafe_no_safety.rs", "src/fixture.rs");
+    assert_findings(&found, &[("unsafe-block", 3)]);
+}
+
+#[test]
+fn safety_comment_satisfies_unsafe_block() {
+    let found = lint_fixture_at("unsafe_with_safety.rs", "src/fixture.rs");
+    assert_findings(&found, &[]);
+}
+
+#[test]
+fn lock_unwrap_and_expect_are_flagged_on_scoped_paths() {
+    let found = lint_fixture_at("lock_unwrap.rs", "src/fixture.rs");
+    assert_findings(&found, &[("lock-unwrap", 6), ("lock-unwrap", 7)]);
+}
+
+#[test]
+fn lock_unwrap_scope_excludes_unscoped_paths() {
+    // The rule is scoped to src/ by the default config; the same text at
+    // a crate path must not fire.
+    let found = lint_fixture_at("lock_unwrap.rs", "crates/graph/src/fixture.rs");
+    assert_findings(&found, &[]);
+}
+
+#[test]
+fn justified_marker_and_poison_tolerance_silence_lock_unwrap() {
+    let found = lint_fixture_at("lock_unwrap_allowed.rs", "src/fixture.rs");
+    assert_findings(&found, &[]);
+}
+
+#[test]
+fn wall_clock_reads_are_flagged_in_crates() {
+    let found = lint_fixture_at("wall_clock.rs", "crates/graph/src/fixture.rs");
+    assert_findings(&found, &[("wall-clock", 5), ("wall-clock", 6)]);
+}
+
+#[test]
+fn wall_clock_exemption_covers_bench_crate() {
+    // crates/bench/ is on the default exempt list for wall-clock: timing
+    // harnesses are the one place wall-clock reads are the point.
+    let found = lint_fixture_at("wall_clock.rs", "crates/bench/src/fixture.rs");
+    assert_findings(&found, &[]);
+}
+
+#[test]
+fn hard_coded_test_deadline_is_flagged() {
+    // Only the 30s literal fires; the 1s literal is below the threshold.
+    let found = lint_fixture_at("test_deadline.rs", "src/fixture.rs");
+    assert_findings(&found, &[("test-deadline", 10)]);
+}
+
+#[test]
+fn timeout_knob_default_silences_test_deadline() {
+    let found = lint_fixture_at("test_deadline_knob.rs", "src/fixture.rs");
+    assert_findings(&found, &[]);
+}
+
+#[test]
+fn debug_macros_are_flagged_outside_comments_and_strings() {
+    let found = lint_fixture_at("debug_macro.rs", "src/fixture.rs");
+    assert_findings(&found, &[("debug-macro", 4), ("debug-macro", 6), ("debug-macro", 10)]);
+}
+
+#[test]
+fn malformed_markers_are_flagged_by_the_meta_rule() {
+    // The bare marker still suppresses its dbg! (line 5) — suppression
+    // and marker wellformedness are deliberately separate — but both bad
+    // markers are reported and cannot themselves be allowed away.
+    let found = lint_fixture_at("bad_marker.rs", "src/fixture.rs");
+    assert_findings(&found, &[("allow-marker", 5), ("allow-marker", 6)]);
+}
+
+#[test]
+fn fixture_corpus_is_skipped_by_the_default_config() {
+    // The violating fixtures live inside the repo; the default skip list
+    // must keep `dsmatch-lint --root .` clean despite them.
+    let cfg = Config::repo_default();
+    assert!(cfg.skipped("crates/check/tests/fixtures/"));
+}

@@ -1,0 +1,149 @@
+//! Model-checked properties of the length-hinted deque protocol
+//! (`dsmatch_check::protocol::deque`): across every interleaving of
+//! owner pops and thief steals, no job is lost, none runs twice, and
+//! the hint fast path never causes a false empty on the owner's side.
+
+use dsmatch_check::protocol::deque;
+use dsmatch_check::sim::{Cell, Explorer, Sim, SimDeque};
+
+/// Bitmask-record an executed token; `count` catches double execution
+/// that the mask alone would hide.
+fn run_token(mask: &Cell, count: &Cell, token: u64) {
+    mask.fetch_or(1 << token);
+    count.fetch_add(1);
+}
+
+fn spawn_owner_drain(sim: &mut Sim, own: &SimDeque, mask: &Cell, count: &Cell) {
+    let (own, mask, count) = (own.clone(), mask.clone(), count.clone());
+    sim.thread(move || {
+        while let Some(token) = deque::pop(&own) {
+            run_token(&mask, &count, token);
+        }
+    });
+}
+
+fn spawn_thief(sim: &mut Sim, victim: &SimDeque, home: &SimDeque, mask: &Cell, count: &Cell) {
+    let (victim, home, mask, count) = (victim.clone(), home.clone(), mask.clone(), count.clone());
+    sim.thread(move || {
+        let mut surplus = Vec::new();
+        if let Some(token) = deque::steal_half(&victim, &mut surplus) {
+            deque::prepend(&home, &mut surplus);
+            run_token(&mask, &count, token);
+            while let Some(token) = deque::pop(&home) {
+                run_token(&mask, &count, token);
+            }
+        }
+    });
+}
+
+/// Owner drains its deque while a thief steals half and re-homes the
+/// surplus: every token runs exactly once, nothing remains.
+#[test]
+fn owner_pop_vs_steal_half_no_loss_no_dup() {
+    let stats = Explorer::new(2).check(|sim| {
+        let victim = SimDeque::new(sim);
+        let home = SimDeque::new(sim);
+        victim.preload(&[1, 2, 3]);
+        let mask = sim.cell(0);
+        let count = sim.cell(0);
+        spawn_owner_drain(sim, &victim, &mask, &count);
+        spawn_thief(sim, &victim, &home, &mask, &count);
+        let (mask, count, victim, home) =
+            (mask.clone(), count.clone(), victim.clone(), home.clone());
+        sim.finally(move || {
+            assert_eq!(mask.peek(), 0b1110, "tokens 1,2,3 all executed");
+            assert_eq!(count.peek(), 3, "each token exactly once");
+            assert!(victim.peek_items().is_empty());
+            assert!(home.peek_items().is_empty());
+            assert_eq!(victim.peek_hint(), 0, "hint settles to the truth");
+            assert_eq!(home.peek_hint(), 0, "hint settles to the truth");
+        });
+    });
+    assert!(stats.complete, "exploration truncated");
+    assert!(stats.schedules > 50, "expected many interleavings, explored {}", stats.schedules);
+}
+
+/// Two thieves race each other over one victim; tokens left unstolen
+/// stay intact on the victim. Disjointness: no token both executed and
+/// remaining, and the executed count matches the mask's popcount.
+#[test]
+fn two_thieves_race_without_duplication() {
+    let stats = Explorer::new(2).check(|sim| {
+        let victim = SimDeque::new(sim);
+        let home_a = SimDeque::new(sim);
+        let home_b = SimDeque::new(sim);
+        victim.preload(&[1, 2, 3, 4]);
+        let mask = sim.cell(0);
+        let count = sim.cell(0);
+        spawn_thief(sim, &victim, &home_a, &mask, &count);
+        spawn_thief(sim, &victim, &home_b, &mask, &count);
+        let (mask, count, victim) = (mask.clone(), count.clone(), victim.clone());
+        sim.finally(move || {
+            let executed = mask.peek();
+            let remaining: u64 = victim.peek_items().iter().map(|&t| 1 << t).sum();
+            assert_eq!(executed & remaining, 0, "a token executed AND remaining");
+            assert_eq!(executed | remaining, 0b11110, "a token vanished");
+            assert_eq!(count.peek(), u64::from(executed.count_ones()), "a token executed twice");
+        });
+    });
+    assert!(stats.complete, "exploration truncated");
+}
+
+/// The single-item race: owner pop vs thief steal on a one-element
+/// deque — exactly one of them gets it.
+#[test]
+fn pop_races_steal_on_single_item() {
+    let stats = Explorer::new(3).check(|sim| {
+        let victim = SimDeque::new(sim);
+        let home = SimDeque::new(sim);
+        victim.preload(&[5]);
+        let mask = sim.cell(0);
+        let count = sim.cell(0);
+        spawn_owner_drain(sim, &victim, &mask, &count);
+        spawn_thief(sim, &victim, &home, &mask, &count);
+        let (mask, count, victim) = (mask.clone(), count.clone(), victim.clone());
+        sim.finally(move || {
+            assert_eq!(mask.peek(), 1 << 5);
+            assert_eq!(count.peek(), 1, "the token ran exactly once");
+            assert!(victim.peek_items().is_empty());
+        });
+    });
+    assert!(stats.complete, "exploration truncated");
+}
+
+/// Seeded bug: push that forgets to update the hint. The owner's pop
+/// fast path then sees a stale 0 and reports empty while the item sits
+/// in the deque — the checker reports the left-behind token.
+#[test]
+fn seeded_bug_push_without_hint_update_is_caught() {
+    use dsmatch_check::protocol::deque::DequeOps;
+    fn push_no_hint(deque: &SimDeque, item: u64) {
+        let mut guard = deque.lock();
+        deque.push_back(&mut guard, item);
+        // BUG: hint not updated.
+        drop(guard);
+    }
+    let err = Explorer::new(2)
+        .explore(|sim| {
+            let own = SimDeque::new(sim);
+            let mask = sim.cell(0);
+            let count = sim.cell(0);
+            {
+                let own = own.clone();
+                sim.thread(move || push_no_hint(&own, 3));
+            }
+            spawn_owner_drain(sim, &own, &mask, &count);
+            let (mask, own) = (mask.clone(), own.clone());
+            sim.finally(move || {
+                assert!(
+                    own.peek_items().is_empty() && mask.peek() == 0b1000,
+                    "token stranded by the stale hint"
+                );
+            });
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, dsmatch_check::sim::Violation::FinallyFailed { .. }),
+        "expected the stranded token to fail the final check, got: {err}"
+    );
+}

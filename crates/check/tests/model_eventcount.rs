@@ -1,0 +1,251 @@
+//! Model-checked properties of the eventcount sleep protocol
+//! (`dsmatch_check::protocol::eventcount`) — the exact code the rayon
+//! shim's pool runs — plus seeded-bug regressions showing the checker
+//! catches each single-step weakening of the protocol.
+
+use dsmatch_check::protocol::eventcount::{self, EventcountOps};
+use dsmatch_check::sim::{Explorer, Sim, SimEventcount, Violation};
+
+/// Spawn a worker shaped like the pool's `worker_loop`: read the epoch,
+/// sweep for work, then park on the pre-sweep epoch.
+fn spawn_worker(
+    sim: &mut Sim,
+    ec: &SimEventcount,
+    work: &dsmatch_check::sim::Cell,
+    done: &dsmatch_check::sim::Cell,
+) {
+    let (ec, work, done) = (ec.clone(), work.clone(), done.clone());
+    sim.thread(move || loop {
+        let seen = ec.epoch();
+        if work.dec_if_positive() {
+            done.fetch_add(1);
+            return;
+        }
+        if ec.is_shutdown() {
+            return;
+        }
+        eventcount::park(&ec, seen);
+    });
+}
+
+/// One worker, one producer announcing one unit of work: across every
+/// interleaving (3 preemptions deep) the worker consumes the unit —
+/// no lost wakeup, no deadlock.
+#[test]
+fn wakeup_never_lost_single_sleeper() {
+    let stats = Explorer::new(3).check(|sim| {
+        let ec = SimEventcount::new(sim);
+        let work = sim.cell(0);
+        let done = sim.cell(0);
+        spawn_worker(sim, &ec, &work, &done);
+        {
+            let (ec, work) = (ec.clone(), work.clone());
+            sim.thread(move || {
+                work.fetch_add(1);
+                eventcount::announce(&ec);
+            });
+        }
+        let done = done.clone();
+        sim.finally(move || {
+            assert_eq!(done.peek(), 1, "announced work was consumed");
+        });
+    });
+    assert!(stats.complete, "exploration truncated");
+    assert!(stats.schedules > 20, "expected many interleavings, explored {}", stats.schedules);
+}
+
+/// Two workers, two units announced one at a time with `notify_one`:
+/// both units are consumed — notify_one never strands the second
+/// sleeper while work remains.
+#[test]
+fn notify_one_with_two_sleepers_loses_nothing() {
+    let stats = Explorer::new(2).check(|sim| {
+        let ec = SimEventcount::new(sim);
+        let work = sim.cell(0);
+        let done = sim.cell(0);
+        spawn_worker(sim, &ec, &work, &done);
+        spawn_worker(sim, &ec, &work, &done);
+        {
+            let (ec, work) = (ec.clone(), work.clone());
+            sim.thread(move || {
+                work.fetch_add(1);
+                eventcount::announce(&ec);
+                work.fetch_add(1);
+                eventcount::announce(&ec);
+            });
+        }
+        let done = done.clone();
+        sim.finally(move || {
+            assert_eq!(done.peek(), 2, "both announced units were consumed");
+        });
+    });
+    assert!(stats.complete, "exploration truncated");
+}
+
+/// Shutdown liveness: `shutdown` wakes every parked worker, in every
+/// interleaving of two parkers racing the latch.
+#[test]
+fn shutdown_wakes_every_sleeper() {
+    let stats = Explorer::new(2).check(|sim| {
+        let ec = SimEventcount::new(sim);
+        for _ in 0..2 {
+            let ec = ec.clone();
+            sim.thread(move || loop {
+                let seen = ec.epoch();
+                if ec.is_shutdown() {
+                    return;
+                }
+                eventcount::park(&ec, seen);
+            });
+        }
+        {
+            let ec = ec.clone();
+            sim.thread(move || eventcount::shutdown(&ec));
+        }
+        // Termination of every schedule IS the property.
+    });
+    assert!(stats.complete, "exploration truncated");
+}
+
+// ---------------------------------------------------------------------
+// Seeded bugs: each is the real protocol weakened by one step. The
+// checker must catch every one (as a deadlock — the finite-test shape of
+// a lost wakeup), which is the evidence that the passing tests above
+// actually explore the dangerous interleavings.
+// ---------------------------------------------------------------------
+
+/// BUG: check `sleepers` *before* bumping the epoch (the announcement
+/// loses its ordering against `park`'s registration + re-check).
+fn announce_bug_sleeper_check_first<E: EventcountOps>(ec: &E) {
+    if ec.sleepers() > 0 {
+        let guard = ec.lock_sleep();
+        ec.notify_one();
+        drop(guard);
+    }
+    ec.bump_epoch();
+}
+
+/// BUG: wait without re-checking the epoch under the lock.
+fn park_bug_no_recheck<E: EventcountOps>(ec: &E, _seen: u64) {
+    let mut guard = ec.lock_sleep();
+    ec.add_sleeper();
+    guard = ec.wait_sleep(guard);
+    ec.remove_sleeper();
+    drop(guard);
+}
+
+fn explore_buggy(
+    announce: fn(&SimEventcount),
+    park: fn(&SimEventcount, u64),
+    stale_seen: bool,
+) -> Result<dsmatch_check::sim::Stats, Violation> {
+    Explorer::new(3).explore(move |sim| {
+        let ec = SimEventcount::new(sim);
+        let work = sim.cell(0);
+        let done = sim.cell(0);
+        {
+            let (ec, work, done) = (ec.clone(), work.clone(), done.clone());
+            sim.thread(move || loop {
+                // BUG variant: read the epoch *after* the sweep, so an
+                // announcement between sweep and park is absorbed into
+                // `seen` and the re-check cannot save us.
+                let seen_early = ec.epoch();
+                let got = work.dec_if_positive();
+                if got {
+                    done.fetch_add(1);
+                    return;
+                }
+                let seen = if stale_seen { ec.epoch() } else { seen_early };
+                if ec.is_shutdown() {
+                    return;
+                }
+                park(&ec, seen);
+            });
+        }
+        {
+            let (ec, work) = (ec.clone(), work.clone());
+            sim.thread(move || {
+                work.fetch_add(1);
+                announce(&ec);
+            });
+        }
+        let done = done.clone();
+        sim.finally(move || assert_eq!(done.peek(), 1));
+    })
+}
+
+#[test]
+fn seeded_bug_announce_order_is_caught() {
+    let err = explore_buggy(
+        announce_bug_sleeper_check_first::<SimEventcount>,
+        eventcount::park::<SimEventcount>,
+        false,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, Violation::Deadlock { .. }),
+        "expected a lost-wakeup deadlock, got: {err}"
+    );
+}
+
+#[test]
+fn seeded_bug_missing_recheck_is_caught() {
+    let err = explore_buggy(
+        eventcount::announce::<SimEventcount>,
+        park_bug_no_recheck::<SimEventcount>,
+        false,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, Violation::Deadlock { .. }),
+        "expected a lost-wakeup deadlock, got: {err}"
+    );
+}
+
+#[test]
+fn seeded_bug_stale_epoch_read_is_caught() {
+    let err = explore_buggy(
+        eventcount::announce::<SimEventcount>,
+        eventcount::park::<SimEventcount>,
+        true,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, Violation::Deadlock { .. }),
+        "expected a lost-wakeup deadlock, got: {err}"
+    );
+}
+
+/// The `check` entry point panics on a violation, so a seeded bug fails
+/// the test run loudly — the `#[should_panic]` regression the CI gate
+/// pins.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn seeded_bug_panics_under_check() {
+    Explorer::new(3).check(|sim| {
+        let ec = SimEventcount::new(sim);
+        let work = sim.cell(0);
+        let done = sim.cell(0);
+        {
+            let (ec, work, done) = (ec.clone(), work.clone(), done.clone());
+            sim.thread(move || loop {
+                let seen = ec.epoch();
+                if work.dec_if_positive() {
+                    done.fetch_add(1);
+                    return;
+                }
+                if ec.is_shutdown() {
+                    return;
+                }
+                eventcount::park(&ec, seen);
+            });
+        }
+        {
+            let (ec, work) = (ec.clone(), work.clone());
+            sim.thread(move || {
+                work.fetch_add(1);
+                announce_bug_sleeper_check_first(&ec);
+            });
+        }
+    });
+}

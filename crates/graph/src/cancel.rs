@@ -71,6 +71,7 @@ impl CancelToken {
 
     /// A token that fires once `timeout` has elapsed from now.
     pub fn with_deadline(timeout: Duration) -> Self {
+        // lint:allow(wall-clock): deadline tokens are the one sanctioned clock source — solvers consume tokens, they never read clocks themselves
         Self::deadline_at(Instant::now() + timeout)
     }
 
@@ -95,6 +96,7 @@ impl CancelToken {
             return true;
         }
         match self.inner.deadline {
+            // lint:allow(wall-clock): evaluating a deadline is this type's purpose; tokens without one never touch the clock
             Some(deadline) => Instant::now() >= deadline,
             None => false,
         }
@@ -143,6 +145,7 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_millis(0));
         // A zero deadline has already passed by the time we check.
         assert!(t.is_cancelled());
+        // lint:allow(test-deadline): far-future sentinel proving the token does NOT fire — nothing ever waits on it
         let far = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!far.is_cancelled());
     }

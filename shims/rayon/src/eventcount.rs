@@ -1,0 +1,84 @@
+//! The pool's eventcount, as a [`EventcountOps`] implementation over real
+//! `std` primitives.
+//!
+//! The protocol logic itself — announce, park, shutdown, and the ordering
+//! argument that makes them lose no wakeups — lives in
+//! `dsmatch_check::protocol::eventcount`, shared verbatim with the model
+//! checker that exhaustively verifies it (see the README's "Static
+//! analysis & verification"). This module only binds the protocol's
+//! operations to `AtomicU64`/`AtomicUsize`/`AtomicBool`, a data-less
+//! `Mutex` and a `Condvar`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use dsmatch_check::protocol::eventcount::EventcountOps;
+
+/// Real eventcount state: the atomics the protocol reasons about plus
+/// the sleep rendezvous. All atomic accesses are `SeqCst` — the protocol
+/// is verified under sequential consistency and the eventcount is far
+/// off the hot path (pushers skip it entirely while `sleepers` is zero).
+pub(crate) struct Eventcount {
+    /// Wakeup epoch: bumped on every work announcement.
+    epoch: AtomicU64,
+    /// Workers parked (or committed to parking, under the sleep lock).
+    sleepers: AtomicUsize,
+    /// Latched true when the pool is told to exit.
+    shutdown: AtomicBool,
+    /// Holds no data — the state the condvar guards lives in the atomics
+    /// above, re-checked under this lock before every wait.
+    sleep: Mutex<()>,
+    work_available: Condvar,
+}
+
+impl Eventcount {
+    pub(crate) fn new() -> Self {
+        Eventcount {
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            work_available: Condvar::new(),
+        }
+    }
+}
+
+impl EventcountOps for Eventcount {
+    // The guarded data is `()`: poison carries no torn state, so a
+    // panicked worker must not wedge every other worker's park/notify.
+    type Guard<'a> = MutexGuard<'a, ()>;
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+    fn sleepers(&self) -> usize {
+        self.sleepers.load(Ordering::SeqCst)
+    }
+    fn add_sleeper(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+    }
+    fn remove_sleeper(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+    fn set_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+    fn lock_sleep(&self) -> MutexGuard<'_, ()> {
+        self.sleep.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    fn wait_sleep<'a>(&'a self, guard: MutexGuard<'a, ()>) -> MutexGuard<'a, ()> {
+        self.work_available.wait(guard).unwrap_or_else(|p| p.into_inner())
+    }
+    fn notify_one(&self) {
+        self.work_available.notify_one();
+    }
+    fn notify_all(&self) {
+        self.work_available.notify_all();
+    }
+}

@@ -1,0 +1,70 @@
+//! The length-hinted work-stealing deque, as a [`DequeOps`]
+//! implementation over `Mutex<VecDeque<T>>` plus an atomic length hint.
+//!
+//! The access protocol — owner push/pop at the back, thief steal-half at
+//! the front, hint written only under the lock, lock-free empty fast
+//! paths — lives in `dsmatch_check::protocol::deque`, shared verbatim
+//! with the model checker that verifies no job is lost or duplicated
+//! across every interleaving. This module only binds the protocol's
+//! operations to the real primitives.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dsmatch_check::protocol::deque::DequeOps;
+
+/// A mutexed deque with a lock-free occupancy hint.
+///
+/// `len` is updated inside the deque lock but read without it: a probe
+/// that reads a stale 0 merely skips the deque this sweep — the epoch
+/// protocol in the pool's worker loop guarantees the push that made it
+/// non-empty also advanced the wakeup epoch, so no job is ever stranded.
+/// (Both halves of that argument are model-checked; see the README's
+/// "Static analysis & verification".)
+pub(crate) struct HintDeque<T> {
+    jobs: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> HintDeque<T> {
+    pub(crate) fn new() -> Self {
+        HintDeque { jobs: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+}
+
+impl<T> DequeOps for HintDeque<T> {
+    type Item = T;
+    // Jobs are plain boxed closures — a poisoned deque holds nothing
+    // torn, and one panicked worker must not strand every job behind a
+    // poisoned lock.
+    type Guard<'a>
+        = MutexGuard<'a, VecDeque<T>>
+    where
+        Self: 'a;
+
+    fn hint(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+    fn set_hint(&self, _guard: &mut MutexGuard<'_, VecDeque<T>>, len: usize) {
+        self.len.store(len, Ordering::Release);
+    }
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.jobs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    fn len(&self, guard: &MutexGuard<'_, VecDeque<T>>) -> usize {
+        guard.len()
+    }
+    fn push_back(&self, guard: &mut MutexGuard<'_, VecDeque<T>>, item: T) {
+        guard.push_back(item);
+    }
+    fn push_front(&self, guard: &mut MutexGuard<'_, VecDeque<T>>, item: T) {
+        guard.push_front(item);
+    }
+    fn pop_back(&self, guard: &mut MutexGuard<'_, VecDeque<T>>) -> Option<T> {
+        guard.pop_back()
+    }
+    fn pop_front(&self, guard: &mut MutexGuard<'_, VecDeque<T>>) -> Option<T> {
+        guard.pop_front()
+    }
+}

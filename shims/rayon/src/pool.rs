@@ -34,72 +34,29 @@
 #![allow(unsafe_code)]
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+use dsmatch_check::protocol::deque;
+use dsmatch_check::protocol::eventcount::{self, EventcountOps};
+
+use crate::eventcount::Eventcount;
+use crate::hint_deque::HintDeque;
 
 /// A type-erased, lifetime-erased unit of work.
 type Job = Box<dyn FnOnce() + Send>;
 
-/// One worker's deque plus a lock-free occupancy hint.
-///
-/// `len` is updated inside the deque lock but read without it: a probe
-/// that reads a stale 0 merely skips the deque this sweep — the epoch
-/// protocol in [`worker_loop`] guarantees the push that made it non-empty
-/// also advanced the wakeup epoch, so no job is ever stranded.
-struct WorkerDeque {
-    jobs: Mutex<VecDeque<Job>>,
-    len: AtomicUsize,
-}
-
-impl WorkerDeque {
-    fn new() -> Self {
-        WorkerDeque { jobs: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
-    }
-
-    fn push_back(&self, job: Job) {
-        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
-        q.push_back(job);
-        self.len.store(q.len(), Ordering::Release);
-    }
-
-    /// Owner-side pop (LIFO). Lock-free when the hint says empty.
-    fn pop_back(&self) -> Option<Job> {
-        if self.len.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
-        let job = q.pop_back();
-        self.len.store(q.len(), Ordering::Release);
-        job
-    }
-
-    /// Thief-side batch pop (FIFO): take the older *half* of the deque
-    /// (at least one job) in one lock acquisition — steal-half amortizes
-    /// lock traffic to O(workers · log jobs) per region instead of one
-    /// victim lock per job. Lock-free when the hint says empty. The
-    /// surplus is returned for the thief to re-home; the victim's lock is
-    /// released first, so no thread ever holds two deque locks (which
-    /// could deadlock two symmetric thieves).
-    fn steal_half(&self, surplus: &mut Vec<Job>) -> Option<Job> {
-        if self.len.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let mut q = self.jobs.lock().expect("pool deque lock poisoned");
-        let take = q.len().div_ceil(2);
-        let first = q.pop_front();
-        for _ in 1..take {
-            surplus.push(q.pop_front().expect("take <= len"));
-        }
-        self.len.store(q.len(), Ordering::Release);
-        first
-    }
-}
-
 /// Shared state of one pool: the per-worker deques its workers drain.
+///
+/// The two synchronization protocols this struct lives by — the hinted
+/// deques and the eventcount sleep/wake dance — are *extracted*: their
+/// logic lives in `dsmatch_check::protocol` (shared with the model
+/// checker that exhaustively verifies them), and this module only calls
+/// the protocol functions over the real implementations in
+/// [`crate::hint_deque`] and [`crate::eventcount`].
 pub(crate) struct PoolCore {
     size: usize,
     /// One deque per worker. The owner pushes/pops at the back; thieves
@@ -108,22 +65,14 @@ pub(crate) struct PoolCore {
     /// the common case (owner pop) contends only with an active thief on
     /// the *same* deque, never with the whole pool, and the atomic length
     /// hint lets sweeps skip empty deques without touching their locks.
-    deques: Vec<WorkerDeque>,
+    deques: Vec<HintDeque<Job>>,
     /// Successful steals since the pool started (relaxed; test telemetry).
     steals: AtomicU64,
-    /// Wakeup epoch: bumped on every push (eventcount pattern). A worker
-    /// that read epoch `e` before an empty sweep parks until it moves —
-    /// any push its sweep missed has already advanced it.
-    epoch: AtomicU64,
-    /// Workers currently parked (or about to park, under the sleep lock).
-    /// Pushers skip the sleep lock entirely while this is zero.
-    sleepers: AtomicUsize,
-    shutdown: AtomicBool,
-    /// Mutex paired with `work_available`; holds no data — the state the
-    /// condvar guards lives in the atomics above, re-checked under this
-    /// lock before every wait.
-    sleep: Mutex<()>,
-    work_available: Condvar,
+    /// Park/wake rendezvous: workers that sweep empty park here; every
+    /// push announces through it. See
+    /// `dsmatch_check::protocol::eventcount` for the lost-wakeup
+    /// argument.
+    ec: Eventcount,
 }
 
 impl std::fmt::Debug for PoolCore {
@@ -304,13 +253,9 @@ impl PoolCore {
         let size = size.max(1);
         let core = Arc::new(PoolCore {
             size,
-            deques: (0..size).map(|_| WorkerDeque::new()).collect(),
+            deques: (0..size).map(|_| HintDeque::new()).collect(),
             steals: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
-            sleepers: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            sleep: Mutex::new(()),
-            work_available: Condvar::new(),
+            ec: Eventcount::new(),
         });
         let mut workers = Vec::with_capacity(size);
         for k in 0..size {
@@ -347,7 +292,7 @@ impl PoolCore {
     /// Push a job onto deque `index` (back — LIFO for the owner, FIFO for
     /// thieves) and wake a parked worker, if any.
     fn push_to(&self, index: usize, job: Job) {
-        self.deques[index].push_back(job);
+        deque::push(&self.deques[index], job);
         self.announce_work();
     }
 
@@ -355,13 +300,11 @@ impl PoolCore {
     /// `SeqCst` pair (epoch bump, then sleeper check) against the park
     /// path's (sleeper registration, then epoch re-check) guarantees that
     /// either the pusher sees the sleeper and notifies, or the parking
-    /// worker sees the new epoch and re-sweeps — never neither.
+    /// worker sees the new epoch and re-sweeps — never neither. The
+    /// protocol is model-checked over every interleaving (see
+    /// `dsmatch_check::protocol::eventcount`).
     fn announce_work(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
-            self.work_available.notify_one();
-        }
+        eventcount::announce(&self.ec);
     }
 
     /// One full work-finding sweep for worker `index`: own deque first
@@ -371,7 +314,7 @@ impl PoolCore {
     /// workers can in turn steal from it (logarithmic work diffusion).
     /// `None` means the pool was empty at each probe.
     fn find_work(&self, index: usize, rng: &mut StealRng) -> Option<Job> {
-        if let Some(job) = self.deques[index].pop_back() {
+        if let Some(job) = deque::pop(&self.deques[index]) {
             return Some(job);
         }
         if self.size == 1 {
@@ -385,19 +328,13 @@ impl PoolCore {
                 victim += 1;
             }
             let mut surplus = Vec::new();
-            if let Some(job) = self.deques[victim].steal_half(&mut surplus) {
+            if let Some(job) = deque::steal_half(&self.deques[victim], &mut surplus) {
                 self.steals.fetch_add(1 + surplus.len() as u64, Ordering::Relaxed);
                 if !surplus.is_empty() {
-                    let own = &self.deques[index];
-                    let mut q = own.jobs.lock().expect("pool deque lock poisoned");
                     // Stolen jobs are older than anything the owner will
-                    // push later; front-load them to keep FIFO-ish order
-                    // for onward thieves.
-                    for job in surplus.drain(..).rev() {
-                        q.push_front(job);
-                    }
-                    own.len.store(q.len(), Ordering::Release);
-                    drop(q);
+                    // push later; `prepend` front-loads them to keep
+                    // FIFO-ish order for onward thieves.
+                    deque::prepend(&self.deques[index], &mut surplus);
                     self.announce_work();
                 }
                 return Some(job);
@@ -408,9 +345,7 @@ impl PoolCore {
 
     /// Tell workers to exit once their deques are drained.
     pub(crate) fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
-        self.work_available.notify_all();
+        eventcount::shutdown(&self.ec);
     }
 
     /// Run `op` with a [`Scope`] whose spawned jobs execute on this pool,
@@ -454,24 +389,20 @@ fn worker_loop(core: Arc<PoolCore>, index: usize) {
     loop {
         // Epoch is read *before* the sweep: a push that the sweep misses
         // necessarily advanced the epoch afterwards, so the park below
-        // wakes immediately instead of losing the job.
-        let seen = core.epoch.load(Ordering::SeqCst);
+        // wakes immediately instead of losing the job. (The model checker
+        // demonstrates that moving this read after the sweep strands
+        // jobs — see `crates/check/tests/model_eventcount.rs`.)
+        let seen = core.ec.epoch();
         if let Some(job) = core.find_work(index, &mut rng) {
             // Jobs are panic-wrapped at spawn time, so this call never
             // unwinds into the loop.
             job();
             continue;
         }
-        if core.shutdown.load(Ordering::SeqCst) {
+        if core.ec.is_shutdown() {
             return;
         }
-        let mut guard = core.sleep.lock().expect("pool sleep lock poisoned");
-        core.sleepers.fetch_add(1, Ordering::SeqCst);
-        while core.epoch.load(Ordering::SeqCst) == seen && !core.shutdown.load(Ordering::SeqCst) {
-            guard = core.work_available.wait(guard).expect("pool sleep lock poisoned");
-        }
-        core.sleepers.fetch_sub(1, Ordering::SeqCst);
-        drop(guard);
+        eventcount::park(&core.ec, seen);
     }
 }
 
@@ -628,24 +559,8 @@ impl<'scope> Scope<'scope> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_timeout;
     use std::sync::atomic::{AtomicUsize, Ordering};
-
-    /// Deadline for this module's bounded scheduler waits: the
-    /// `DSMATCH_TEST_TIMEOUT_SECS` environment variable when set to a
-    /// positive integer, else `default_secs`. One knob for every probe
-    /// deadline in the repo (the engine's observed-parallelism probe reads
-    /// the same variable; the reader is duplicated there because the
-    /// `real-rayon` CI leg compiles the workspace without this shim), so
-    /// loaded CI runners raise it in the workflow instead of these tests
-    /// flaking on hard-coded laptop-scale numbers.
-    fn test_timeout(default_secs: u64) -> std::time::Duration {
-        let secs = std::env::var("DSMATCH_TEST_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .filter(|&s| s > 0)
-            .unwrap_or(default_secs);
-        std::time::Duration::from_secs(secs)
-    }
 
     fn drain(core: Arc<PoolCore>, workers: Vec<JoinHandle<()>>) {
         core.shutdown();

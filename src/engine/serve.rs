@@ -1762,6 +1762,7 @@ mod tests {
         let t0 = Instant::now();
         let (summary, lines) = run(input, &opts(2));
         assert!(
+            // lint:allow(test-deadline): upper bound proving the 5 s sleep was cut short — must stay below 5 s, so it cannot route through the widening knob
             t0.elapsed() < Duration::from_secs(4),
             "the 5 s sleep must be cut short by its 30 ms deadline"
         );
@@ -1788,6 +1789,7 @@ mod tests {
         let t0 = Instant::now();
         let (summary, lines) = run(input, &opts(2));
         assert!(
+            // lint:allow(test-deadline): upper bound proving the 5 s sleep was cut short — must stay below 5 s, so it cannot route through the widening knob
             t0.elapsed() < Duration::from_secs(4),
             "the 5 s sleep must be cut short by the client cancel"
         );
@@ -1860,6 +1862,7 @@ mod tests {
         o.default_deadline_ms = 20;
         let t0 = Instant::now();
         let (summary, lines) = run(input, &o);
+        // lint:allow(test-deadline): upper bound proving the 5 s sleep was cut short — must stay below 5 s, so it cannot route through the widening knob
         assert!(t0.elapsed() < Duration::from_secs(4));
         assert_eq!(summary.errors, 1);
         assert_eq!(lines[1].get("code").unwrap().as_str(), Some("deadline"));

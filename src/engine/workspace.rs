@@ -180,14 +180,16 @@ pub fn observed_parallelism() -> usize {
         for _ in 0..expected {
             s.spawn(|_| {
                 let inline = std::thread::current().id() == caller;
-                let mut count = barrier.arrived.lock().unwrap();
+                let mut count = barrier.arrived.lock().unwrap_or_else(|p| p.into_inner());
                 *count += 1;
                 barrier.all_here.notify_all();
                 if !inline {
                     let mut remaining = test_timeout(2);
                     while *count < expected && !remaining.is_zero() {
-                        let (next, timeout) =
-                            barrier.all_here.wait_timeout(count, remaining).unwrap();
+                        let (next, timeout) = barrier
+                            .all_here
+                            .wait_timeout(count, remaining)
+                            .unwrap_or_else(|p| p.into_inner());
                         count = next;
                         if timeout.timed_out() {
                             remaining = std::time::Duration::ZERO;
@@ -195,11 +197,11 @@ pub fn observed_parallelism() -> usize {
                     }
                 }
                 drop(count);
-                ids.lock().unwrap().insert(std::thread::current().id());
+                ids.lock().unwrap_or_else(|p| p.into_inner()).insert(std::thread::current().id());
             });
         }
     });
-    let n = ids.into_inner().unwrap().len();
+    let n = ids.into_inner().unwrap_or_else(|p| p.into_inner()).len();
     n.max(1)
 }
 

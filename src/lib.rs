@@ -58,6 +58,8 @@
 //! assert_eq!(report.cardinality(), dsmatch::exact::sprank(&graph));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 
 pub use dsmatch_core as heur;

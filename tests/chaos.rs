@@ -14,6 +14,15 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
 
+/// Harness timeout, widened on slow runners via DSMATCH_TEST_TIMEOUT_SECS.
+fn test_timeout(default_secs: u64) -> std::time::Duration {
+    let secs = std::env::var("DSMATCH_TEST_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default_secs);
+    std::time::Duration::from_secs(secs)
+}
+
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
@@ -203,7 +212,7 @@ mod socket {
         /// Connect (retrying while the daemon binds) and consume the
         /// per-connection ready line.
         fn ready(path: &Path) -> Client {
-            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            let deadline = std::time::Instant::now() + test_timeout(30);
             let stream = loop {
                 match UnixStream::connect(path) {
                     Ok(s) => break s,

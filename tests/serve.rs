@@ -14,6 +14,15 @@ use dsmatch::graph::{BipartiteGraph, TripletMatrix};
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
+/// Harness timeout, widened on slow runners via DSMATCH_TEST_TIMEOUT_SECS.
+fn test_timeout(default_secs: u64) -> std::time::Duration {
+    let secs = std::env::var("DSMATCH_TEST_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default_secs);
+    std::time::Duration::from_secs(secs)
+}
+
 // ---------------------------------------------------------------------------
 // Engine-level helpers
 // ---------------------------------------------------------------------------
@@ -521,7 +530,7 @@ fn socket_path(tag: &str) -> std::path::PathBuf {
 /// Connect to `path`, retrying while the daemon is still binding it.
 #[cfg(unix)]
 fn connect_socket(path: &std::path::Path) -> std::os::unix::net::UnixStream {
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let deadline = std::time::Instant::now() + test_timeout(30);
     loop {
         match std::os::unix::net::UnixStream::connect(path) {
             Ok(s) => return s,
@@ -710,7 +719,7 @@ fn max_clients_overflow_is_rejected_with_busy_and_slot_is_reclaimed() {
     // Hang up the occupant; the daemon reclaims the slot (the handler
     // thread exits asynchronously, so admission may lag a beat).
     drop(first);
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let deadline = std::time::Instant::now() + test_timeout(30);
     let mut third = loop {
         let mut c = SocketClient::new(connect_socket(&path));
         let first_line = c.next();
@@ -743,7 +752,7 @@ fn binary_unix_socket_round_trip() {
         .expect("spawning socket daemon");
 
     // Wait for the socket to appear (the daemon binds it at startup).
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let deadline = std::time::Instant::now() + test_timeout(30);
     let stream = loop {
         match UnixStream::connect(&path) {
             Ok(s) => break s,
